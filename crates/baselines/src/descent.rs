@@ -1,0 +1,88 @@
+//! Greedy single-way descent over partition space, shared by the
+//! model-driven baseline objectives.
+//!
+//! The paper's own hill-climb (Figure 13) has a bespoke termination rule
+//! (stop when the critical thread changes); the baselines instead descend a
+//! scalar objective — Σ predicted CPI for throughput, CPI spread for
+//! fairness — accepting the best strictly-improving single-way move until
+//! none exists.
+
+/// Greedily improves `eval` (lower is better) by moving one way at a time
+/// between threads, honouring a per-thread floor. Deterministic: among
+/// equal-valued moves the first (donor, receiver) in index order wins.
+pub fn greedy_single_way_descent<F>(start: &[u32], min_ways: u32, eval: F) -> Vec<u32>
+where
+    F: Fn(&[u32]) -> f64,
+{
+    let n = start.len();
+    let mut ways = start.to_vec();
+    let mut current = eval(&ways);
+    let mut scratch = ways.clone();
+    for _ in 0..4096 {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for donor in 0..n {
+            if ways[donor] <= min_ways {
+                continue;
+            }
+            for receiver in 0..n {
+                if receiver == donor {
+                    continue;
+                }
+                scratch.copy_from_slice(&ways);
+                scratch[donor] -= 1;
+                scratch[receiver] += 1;
+                let v = eval(&scratch);
+                if v < current - 1e-9 && best.is_none_or(|(b, _, _)| v < b) {
+                    best = Some((v, donor, receiver));
+                }
+            }
+        }
+        let Some((v, donor, receiver)) = best else { break };
+        ways[donor] -= 1;
+        ways[receiver] += 1;
+        current = v;
+    }
+    ways
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_known_optimum() {
+        // eval = squared distance to [6, 2]: the descent must land there.
+        let target = [6.0, 2.0];
+        let out = greedy_single_way_descent(&[4, 4], 1, |w| {
+            w.iter()
+                .zip(target.iter())
+                .map(|(&a, &b)| (a as f64 - b).powi(2))
+                .sum()
+        });
+        assert_eq!(out, vec![6, 2]);
+    }
+
+    #[test]
+    fn respects_floor() {
+        let out = greedy_single_way_descent(&[4, 4], 2, |w| -(w[0] as f64));
+        assert_eq!(out, vec![6, 2]); // drains thread 1 only to the floor
+    }
+
+    #[test]
+    fn preserves_total() {
+        let out = greedy_single_way_descent(&[16, 16, 16, 16], 1, |w| {
+            // Arbitrary bumpy objective.
+            w.iter().enumerate().map(|(i, &x)| ((x as f64) - (i as f64 * 5.0)).abs()).sum()
+        });
+        assert_eq!(out.iter().sum::<u32>(), 64);
+        assert!(out.iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn no_move_when_already_optimal() {
+        let out = greedy_single_way_descent(&[3, 3], 1, |w| {
+            (w[0] as f64 - 3.0).powi(2) + (w[1] as f64 - 3.0).powi(2)
+        });
+        assert_eq!(out, vec![3, 3]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline cache-management schemes the paper compares against.
+//!
+//! * [`SharedCachePolicy`] — a plain shared L2 with global LRU and no
+//!   partitioning (Figure 20's baseline).
+//! * [`StaticEqualPolicy`] — a fixed equal partition, equivalent to private
+//!   per-core caches and, per the paper, to the optimal-fairness schemes
+//!   of Kim et al. / Chang & Sohi (Figure 19's baseline).
+//! * [`StaticPolicy`] — an arbitrary fixed partition (used for the
+//!   cache-sensitivity sweeps of Figure 10 and for ablations).
+//! * [`UcpThroughputPolicy`] — a throughput-oriented scheme in the style of
+//!   Suh et al. / UCP: utility-monitor profiling plus lookahead
+//!   marginal-utility allocation, maximising total hits regardless of
+//!   which thread is critical (Figure 21's baseline).
+//! * [`ModelThroughputPolicy`] — the same spline models as the paper's
+//!   scheme but optimising ΣCPI instead of max-CPI; isolates the effect of
+//!   the *objective* from the effect of the *machinery* (ablation).
+//! * [`FairnessOrientedPolicy`] — minimises the spread of predicted CPIs
+//!   (an idealised fairness objective beyond the static-equal proxy).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descent;
+pub mod fairness;
+pub mod set_partition;
+pub mod statics;
+pub mod throughput;
+pub mod tracker;
+
+pub use fairness::FairnessOrientedPolicy;
+pub use set_partition::SetPartitionAdapter;
+pub use statics::{SharedCachePolicy, StaticEqualPolicy, StaticPolicy};
+pub use throughput::{ModelThroughputPolicy, UcpThroughputPolicy};

@@ -1,0 +1,104 @@
+//! Set-partitioning adapter: runs any way-quota policy as an OS
+//! page-coloring scheme.
+//!
+//! The paper's related work discusses OS software approaches that partition
+//! by cache *sets* through memory address mapping (Lin et al., Zhang et
+//! al.) rather than by ways. [`SetPartitionAdapter`] reuses the exact same
+//! decision logic — the inner policy still computes per-thread quotas from
+//! CPI models — but applies them as set ranges. The comparison against the
+//! way-partitioned original isolates the *mechanism*:
+//!
+//! * way partitioning keeps cross-thread hits (constructive sharing);
+//! * set partitioning gives hard isolation but replicates shared lines
+//!   into every accessor's range and re-shapes associativity.
+
+use icp_cmp_sim::simulator::IntervalReport;
+use icp_cmp_sim::umon::UtilityMonitor;
+use icp_core::policy::{PartitionDecision, Partitioner};
+
+/// Wraps a way-quota policy and re-targets its decisions at set ranges.
+pub struct SetPartitionAdapter<P: Partitioner> {
+    inner: P,
+}
+
+impl<P: Partitioner> SetPartitionAdapter<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        SetPartitionAdapter { inner }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn convert(decision: PartitionDecision) -> PartitionDecision {
+        match decision {
+            PartitionDecision::Partition(q) => PartitionDecision::SetPartition(q),
+            other => other,
+        }
+    }
+}
+
+impl<P: Partitioner> Partitioner for SetPartitionAdapter<P> {
+    fn name(&self) -> &'static str {
+        "set-partition"
+    }
+
+    fn initial(&mut self, threads: usize, total_ways: u32) -> PartitionDecision {
+        Self::convert(self.inner.initial(threads, total_ways))
+    }
+
+    fn repartition(&mut self, report: &IntervalReport, total_ways: u32) -> PartitionDecision {
+        Self::convert(self.inner.repartition(report, total_ways))
+    }
+
+    fn wants_umon(&self) -> bool {
+        self.inner.wants_umon()
+    }
+
+    fn observe_umon(&mut self, umon: &UtilityMonitor) {
+        self.inner.observe_umon(umon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statics::StaticEqualPolicy;
+    use icp_core::ModelBasedPolicy;
+
+    #[test]
+    fn converts_partitions_to_set_partitions() {
+        let mut p = SetPartitionAdapter::new(StaticEqualPolicy);
+        match p.initial(4, 64) {
+            PartitionDecision::SetPartition(q) => assert_eq!(q, vec![16; 4]),
+            other => panic!("expected SetPartition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn passes_through_keep() {
+        use icp_cmp_sim::simulator::{IntervalReport, ThreadIntervalStats};
+        use icp_cmp_sim::stats::ThreadCounters;
+        let mut p = SetPartitionAdapter::new(StaticEqualPolicy);
+        let r = IntervalReport {
+            index: 0,
+            threads: vec![ThreadIntervalStats {
+                counters: ThreadCounters::default(),
+                cpi: 1.0,
+                ways: 16,
+            }],
+            finished: false,
+            wall_cycles: 0,
+        };
+        assert_eq!(p.repartition(&r, 64), PartitionDecision::Keep);
+    }
+
+    #[test]
+    fn wraps_dynamic_policy() {
+        let p = SetPartitionAdapter::new(ModelBasedPolicy::new());
+        assert_eq!(p.name(), "set-partition");
+        assert!(!p.wants_umon());
+    }
+}

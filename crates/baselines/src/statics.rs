@@ -1,0 +1,142 @@
+//! Non-adaptive baselines: shared (unpartitioned) and static partitions.
+
+use icp_cmp_sim::l2::equal_split;
+use icp_cmp_sim::simulator::IntervalReport;
+use icp_core::policy::{PartitionDecision, Partitioner};
+
+/// A plain shared cache: global LRU, no eviction control. This is the
+/// configuration the paper's Figure 20 compares against; it enjoys full
+/// flexibility and constructive sharing but suffers destructive
+/// inter-thread evictions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SharedCachePolicy;
+
+impl Partitioner for SharedCachePolicy {
+    fn name(&self) -> &'static str {
+        "shared"
+    }
+
+    fn initial(&mut self, _threads: usize, _total_ways: u32) -> PartitionDecision {
+        PartitionDecision::Unpartitioned
+    }
+
+    fn repartition(&mut self, _report: &IntervalReport, _total_ways: u32) -> PartitionDecision {
+        PartitionDecision::Keep
+    }
+}
+
+/// A fixed equal split of the ways — functionally a private per-core cache,
+/// and the paper's stand-in for optimal-fairness schemes (Figure 19): every
+/// thread is isolated and equally provisioned, but capacity cannot follow
+/// demand.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticEqualPolicy;
+
+impl Partitioner for StaticEqualPolicy {
+    fn name(&self) -> &'static str {
+        "static-equal"
+    }
+
+    fn repartition(&mut self, _report: &IntervalReport, _total_ways: u32) -> PartitionDecision {
+        PartitionDecision::Keep
+    }
+}
+
+/// An arbitrary fixed partition, applied once and never changed. Used by
+/// the Figure 10 sensitivity sweeps ("run thread i with w ways") and as an
+/// oracle-partition ablation.
+#[derive(Clone, Debug)]
+pub struct StaticPolicy {
+    ways: Vec<u32>,
+}
+
+impl StaticPolicy {
+    /// Creates a fixed-partition policy. Quota validity (sum = way count)
+    /// is checked when the partition is applied.
+    pub fn new(ways: Vec<u32>) -> Self {
+        StaticPolicy { ways }
+    }
+
+    /// The fixed quotas.
+    pub fn ways(&self) -> &[u32] {
+        &self.ways
+    }
+}
+
+impl Partitioner for StaticPolicy {
+    fn name(&self) -> &'static str {
+        "static-custom"
+    }
+
+    fn initial(&mut self, threads: usize, total_ways: u32) -> PartitionDecision {
+        assert_eq!(self.ways.len(), threads, "quota per thread");
+        assert_eq!(self.ways.iter().sum::<u32>(), total_ways, "quotas must sum to way count");
+        PartitionDecision::Partition(self.ways.clone())
+    }
+
+    fn repartition(&mut self, _report: &IntervalReport, _total_ways: u32) -> PartitionDecision {
+        PartitionDecision::Keep
+    }
+}
+
+/// Convenience: the equal split itself (re-exported here because baseline
+/// users frequently need it to build `StaticPolicy` variants).
+pub fn equal_partition(total_ways: u32, threads: usize) -> Vec<u32> {
+    equal_split(total_ways, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icp_cmp_sim::simulator::{IntervalReport, ThreadIntervalStats};
+    use icp_cmp_sim::stats::ThreadCounters;
+
+    fn report() -> IntervalReport {
+        IntervalReport {
+            index: 0,
+            threads: vec![ThreadIntervalStats {
+                counters: ThreadCounters::default(),
+                cpi: 1.0,
+                ways: 2,
+            }],
+            finished: false,
+            wall_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn shared_runs_unpartitioned_forever() {
+        let mut p = SharedCachePolicy;
+        assert_eq!(p.initial(4, 64), PartitionDecision::Unpartitioned);
+        assert_eq!(p.repartition(&report(), 64), PartitionDecision::Keep);
+        assert!(!p.wants_umon());
+    }
+
+    #[test]
+    fn static_equal_starts_equal_and_keeps() {
+        let mut p = StaticEqualPolicy;
+        assert_eq!(p.initial(4, 64), PartitionDecision::Partition(vec![16; 4]));
+        assert_eq!(p.repartition(&report(), 64), PartitionDecision::Keep);
+    }
+
+    #[test]
+    fn static_custom_applies_given_partition() {
+        let mut p = StaticPolicy::new(vec![40, 8, 8, 8]);
+        assert_eq!(
+            p.initial(4, 64),
+            PartitionDecision::Partition(vec![40, 8, 8, 8])
+        );
+        assert_eq!(p.repartition(&report(), 64), PartitionDecision::Keep);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to way count")]
+    fn static_custom_validates_sum() {
+        StaticPolicy::new(vec![1, 1, 1, 1]).initial(4, 64);
+    }
+
+    #[test]
+    fn equal_partition_helper() {
+        assert_eq!(equal_partition(10, 3), vec![4, 3, 3]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared bookkeeping for model-driven baseline policies: per-thread CPI
+//! model maintenance plus the two-boundary bootstrap that guarantees every
+//! model sees at least two distinct way counts.
+
+use icp_cmp_sim::simulator::IntervalReport;
+use icp_core::model::ThreadCpiModel;
+
+/// Tracks per-thread CPI models across interval boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct CpiModelTracker {
+    models: Vec<ThreadCpiModel>,
+    intervals_seen: usize,
+}
+
+impl CpiModelTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds an interval report into the models. The very first interval
+    /// is used only for sequencing, not for model evidence — its CPIs are
+    /// inflated by compulsory misses (cold caches).
+    pub fn observe(&mut self, report: &IntervalReport) {
+        let n = report.threads.len();
+        if self.models.len() != n {
+            self.models = vec![ThreadCpiModel::new(); n];
+        }
+        if self.intervals_seen > 0 {
+            for (t, ts) in report.threads.iter().enumerate() {
+                if ts.counters.instructions > 0 {
+                    self.models[t].observe(ts.ways, ts.cpi);
+                }
+            }
+        }
+        self.intervals_seen += 1;
+    }
+
+    /// The models (empty until the first observation).
+    pub fn models(&self) -> &[ThreadCpiModel] {
+        &self.models
+    }
+
+    /// Number of boundaries observed.
+    pub fn intervals_seen(&self) -> usize {
+        self.intervals_seen
+    }
+
+    /// True once every thread's model can predict (≥ 2 distinct way counts
+    /// seen) and the bootstrap period is over.
+    pub fn ready(&self) -> bool {
+        self.intervals_seen > 2
+            && !self.models.is_empty()
+            && self.models.iter().all(|m| m.distinct_points() >= 2)
+    }
+
+    /// Predicted CPI of thread `t` at `ways`, with a fallback for unready
+    /// models.
+    pub fn predict(&self, t: usize, ways: u32, fallback: f64) -> f64 {
+        self.models[t].predict(ways).unwrap_or(fallback)
+    }
+
+    /// Bootstrap partition for the early boundaries: an equal split,
+    /// perturbed on the second boundary (odd threads lend a way to even
+    /// threads) so every model collects two distinct way counts.
+    pub fn bootstrap_partition(&self, threads: usize, total_ways: u32, min_ways: u32) -> Vec<u32> {
+        let mut ways = icp_cmp_sim::l2::equal_split(total_ways, threads);
+        if self.intervals_seen >= 2 && threads >= 2 {
+            let mut i = 0;
+            while i + 1 < threads {
+                if ways[i + 1] > min_ways {
+                    ways[i] += 1;
+                    ways[i + 1] -= 1;
+                }
+                i += 2;
+            }
+        }
+        ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icp_cmp_sim::simulator::{IntervalReport, ThreadIntervalStats};
+    use icp_cmp_sim::stats::ThreadCounters;
+
+    fn report(idx: usize, cpis: &[f64], ways: &[u32]) -> IntervalReport {
+        let threads = cpis
+            .iter()
+            .zip(ways)
+            .map(|(&cpi, &w)| ThreadIntervalStats {
+                counters: ThreadCounters {
+                    instructions: 1000,
+                    active_cycles: (cpi * 1000.0) as u64,
+                    ..Default::default()
+                },
+                cpi,
+                ways: w,
+            })
+            .collect();
+        IntervalReport { index: idx, threads, finished: false, wall_cycles: 0 }
+    }
+
+    #[test]
+    fn becomes_ready_after_distinct_observations() {
+        let mut tr = CpiModelTracker::new();
+        assert!(!tr.ready());
+        tr.observe(&report(0, &[4.0, 5.0], &[8, 8]));
+        assert!(!tr.ready());
+        tr.observe(&report(1, &[4.0, 5.0], &[9, 7]));
+        assert!(!tr.ready()); // bootstrap period not over
+        tr.observe(&report(2, &[4.0, 5.0], &[10, 6]));
+        assert!(tr.ready());
+    }
+
+    #[test]
+    fn bootstrap_perturbs_second_boundary() {
+        let mut tr = CpiModelTracker::new();
+        tr.observe(&report(0, &[1.0; 4], &[16; 4]));
+        assert_eq!(tr.bootstrap_partition(4, 64, 1), vec![16; 4]);
+        tr.observe(&report(1, &[1.0; 4], &[16; 4]));
+        assert_eq!(tr.bootstrap_partition(4, 64, 1), vec![17, 15, 17, 15]);
+    }
+
+    #[test]
+    fn predict_falls_back_until_fitted() {
+        let mut tr = CpiModelTracker::new();
+        // Report 0 is warm-up: sequencing only, no model evidence.
+        tr.observe(&report(0, &[9.0, 9.0], &[8, 8]));
+        assert_eq!(tr.predict(0, 12, 9.9), 9.9);
+        tr.observe(&report(1, &[4.0, 5.0], &[8, 8]));
+        assert_eq!(tr.predict(0, 12, 9.9), 9.9); // one knot: still fallback
+        tr.observe(&report(2, &[3.0, 5.0], &[12, 4]));
+        // Thread 0 now has points at 8 and 12: prediction interpolates.
+        let p = tr.predict(0, 10, 9.9);
+        assert!(p > 3.0 && p < 4.0, "{p}");
+    }
+
+    #[test]
+    fn first_report_is_warmup_only() {
+        let mut tr = CpiModelTracker::new();
+        tr.observe(&report(0, &[42.0], &[8]));
+        assert_eq!(tr.models()[0].distinct_points(), 0);
+        assert_eq!(tr.intervals_seen(), 1);
+    }
+}

@@ -1,0 +1,422 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`.
+//!
+//! Each ablation prints a small outcome table once (speedup of the paper's
+//! scheme under each variant) and benchmarks the default variant's run
+//! time. Shapes to look for in the printed tables:
+//!
+//! * **interval length**: the paper reports "little variation across the
+//!   results when the execution interval was either increased or
+//!   decreased" — improvements should be broadly flat.
+//! * **curve family**: spline vs PCHIP vs linear should all work, splines/
+//!   PCHIP slightly better than a global line.
+//! * **Figure 13 termination**: the strict revert-on-any-flip rule can
+//!   wedge the partition (see `icp_core::model_based` docs); the improved
+//!   rule should be at least as good.
+//! * **UMON sampling stride**: the UCP baseline should degrade gracefully
+//!   as sampling gets sparser.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icp_core::ModelKind;
+use icp_experiments::runner::{ExperimentConfig, Scheme};
+use icp_experiments::table::{pct, Table};
+use icp_workloads::suite;
+use std::hint::black_box;
+
+/// Mean improvement of `scheme` over shared and equal baselines across a
+/// three-benchmark probe set.
+fn probe_improvements(cfg: &ExperimentConfig, scheme: &Scheme) -> (f64, f64) {
+    let probes = [suite::swim(), suite::mgrid(), suite::cg()];
+    let mut vs_shared = 0.0;
+    let mut vs_equal = 0.0;
+    for b in &probes {
+        let outs = cfg.run_schemes(b, &[Scheme::Shared, Scheme::StaticEqual, scheme.clone()]);
+        vs_shared += outs[2].improvement_percent_over(&outs[0]);
+        vs_equal += outs[2].improvement_percent_over(&outs[1]);
+    }
+    (vs_shared / probes.len() as f64, vs_equal / probes.len() as f64)
+}
+
+fn ablation_interval_length(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut t = Table::new(
+            "Ablation: execution interval length (model-based vs baselines)",
+            &["interval", "vs shared", "vs equal"],
+        );
+        for factor in [4u64, 2, 1] {
+            let mut cfg = ExperimentConfig::test();
+            cfg.system.interval_instructions /= factor;
+            let (s, e) = probe_improvements(&cfg, &Scheme::ModelBased);
+            t.row(vec![
+                format!("{}", cfg.system.interval_instructions),
+                pct(s),
+                pct(e),
+            ]);
+        }
+        println!("\n{}", t.render());
+    });
+    let cfg = ExperimentConfig::test();
+    let mut g = c.benchmark_group("ablation_interval");
+    g.sample_size(10);
+    g.bench_function("default_interval", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBased).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_model_kind(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let cfg = ExperimentConfig::test();
+        let mut t = Table::new(
+            "Ablation: CPI-curve family (paper uses cubic splines)",
+            &["model", "vs shared", "vs equal"],
+        );
+        for (name, kind) in [
+            ("spline", ModelKind::Spline),
+            ("pchip", ModelKind::Pchip),
+            ("linear", ModelKind::Linear),
+        ] {
+            let (s, e) = probe_improvements(&cfg, &Scheme::ModelBasedWith(kind));
+            t.row(vec![name.to_string(), pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+    });
+    let cfg = ExperimentConfig::test();
+    let mut g = c.benchmark_group("ablation_model");
+    g.sample_size(10);
+    g.bench_function("pchip_variant", |b| {
+        b.iter(|| {
+            black_box(
+                cfg.run(&suite::swim(), &Scheme::ModelBasedWith(ModelKind::Pchip))
+                    .wall_cycles,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn ablation_strict_figure13(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let cfg = ExperimentConfig::test();
+        let mut t = Table::new(
+            "Ablation: Figure 13 termination rule",
+            &["rule", "vs shared", "vs equal"],
+        );
+        for (name, scheme) in [
+            ("accept-if-improves (default)", Scheme::ModelBased),
+            ("strict revert-on-flip", Scheme::ModelBasedStrict),
+        ] {
+            let (s, e) = probe_improvements(&cfg, &scheme);
+            t.row(vec![name.to_string(), pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+    });
+    let cfg = ExperimentConfig::test();
+    let mut g = c.benchmark_group("ablation_hillclimb");
+    g.sample_size(10);
+    g.bench_function("strict_figure13", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBasedStrict).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_umon_sampling(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        // The runtime enables sampling stride 4 by default; here we run the
+        // UCP baseline with explicit strides by pre-enabling the monitor.
+        use icp_baselines::UcpThroughputPolicy;
+        use icp_cmp_sim::Simulator;
+        use icp_core::IntraAppRuntime;
+        use icp_workloads::WorkloadScale;
+
+        let cfg = ExperimentConfig::test();
+        let mut t = Table::new(
+            "Ablation: UMON sampling stride (UCP baseline quality)",
+            &["stride", "wall cycles (swim)"],
+        );
+        for stride in [1u64, 4, 16, 64] {
+            let bench = suite::swim();
+            let streams = bench.build_streams(&cfg.system, WorkloadScale::Test, cfg.seed);
+            let mut sim = Simulator::new(cfg.system, streams);
+            sim.enable_umon(stride);
+            let mut rt = IntraAppRuntime::new(UcpThroughputPolicy::new(), &cfg.system);
+            let out = rt.execute(&mut sim);
+            t.row(vec![stride.to_string(), out.wall_cycles.to_string()]);
+        }
+        println!("\n{}", t.render());
+    });
+    let cfg = ExperimentConfig::test();
+    let mut g = c.benchmark_group("ablation_umon");
+    g.sample_size(10);
+    g.bench_function("ucp_default_stride", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::UcpThroughput).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_enforcement(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        // §V argues for gradual replacement-based enforcement over instant
+        // reconfiguration (which loses data). Compare both end-to-end, and
+        // also quantify how gradually the default converges.
+        use icp_cmp_sim::EnforcementKind;
+        let mut t = Table::new(
+            "Ablation: partition enforcement mechanism (§V)",
+            &["enforcement", "vs shared", "vs equal"],
+        );
+        for (name, kind) in [
+            ("replacement (paper)", EnforcementKind::Replacement),
+            ("instant reconfigure", EnforcementKind::Reconfigure),
+        ] {
+            let mut cfg = ExperimentConfig::test();
+            cfg.enforcement = kind;
+            let (s, e) = probe_improvements(&cfg, &Scheme::ModelBased);
+            t.row(vec![name.to_string(), pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+
+        let cfg = ExperimentConfig::test();
+        let out = cfg.run(&suite::cg(), &Scheme::ModelBased);
+        let last = out.records.last().expect("intervals").ways.clone();
+        let first_match = out
+            .records
+            .iter()
+            .position(|r| {
+                r.ways
+                    .iter()
+                    .zip(&last)
+                    .all(|(a, b)| (*a as i64 - *b as i64).abs() <= 2)
+            })
+            .unwrap_or(out.records.len());
+        let mut t = Table::new(
+            "Gradual convergence of the replacement-based mechanism",
+            &["metric", "value"],
+        );
+        t.row(vec!["intervals".into(), out.records.len().to_string()]);
+        t.row(vec![
+            "first interval within ±2 ways of final partition".into(),
+            first_match.to_string(),
+        ]);
+        println!("\n{}", t.render());
+    });
+    let mut cfg = ExperimentConfig::test();
+    cfg.enforcement = icp_cmp_sim::EnforcementKind::Reconfigure;
+    let mut g = c.benchmark_group("ablation_enforcement");
+    g.sample_size(10);
+    g.bench_function("reconfigure_run", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBased).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_replacement(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        // Does replacement-based way partitioning survive hardware's
+        // pseudo-LRU approximation? (The paper assumes exact LRU.)
+        use icp_cmp_sim::ReplacementKind;
+        let mut t = Table::new(
+            "Ablation: exact LRU vs tree pseudo-LRU under the dynamic scheme",
+            &["replacement", "vs shared", "vs equal"],
+        );
+        for (name, kind) in [
+            ("true-lru", ReplacementKind::TrueLru),
+            ("tree-plru", ReplacementKind::TreePlru),
+        ] {
+            let mut cfg = ExperimentConfig::test();
+            cfg.replacement = kind;
+            let (s, e) = probe_improvements(&cfg, &Scheme::ModelBased);
+            t.row(vec![name.to_string(), pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+    });
+    let mut cfg = ExperimentConfig::test();
+    cfg.replacement = icp_cmp_sim::ReplacementKind::TreePlru;
+    let mut g = c.benchmark_group("ablation_replacement");
+    g.sample_size(10);
+    g.bench_function("plru_run", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBased).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_inclusive(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut t = Table::new(
+            "Ablation: non-inclusive vs inclusive hierarchy (L1 back-invalidation)",
+            &["hierarchy", "vs shared", "vs equal"],
+        );
+        for (name, inclusive) in [("non-inclusive", false), ("inclusive", true)] {
+            let mut cfg = ExperimentConfig::test();
+            cfg.system.inclusive = inclusive;
+            let (s, e) = probe_improvements(&cfg, &Scheme::ModelBased);
+            t.row(vec![name.to_string(), pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+    });
+    let mut cfg = ExperimentConfig::test();
+    cfg.system.inclusive = true;
+    let mut g = c.benchmark_group("ablation_inclusive");
+    g.sample_size(10);
+    g.bench_function("inclusive_run", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBased).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_phase_detection(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let cfg = ExperimentConfig::test();
+        let mut t = Table::new(
+            "Ablation: phase-change detection (model reset on 50% prediction error)",
+            &["variant", "vs shared", "vs equal"],
+        );
+        for (name, scheme) in [
+            ("ewma-only (default)", Scheme::ModelBased),
+            ("with phase reset", Scheme::ModelBasedPhaseDetect),
+        ] {
+            let (s, e) = probe_improvements(&cfg, &scheme);
+            t.row(vec![name.to_string(), pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+    });
+    let cfg = ExperimentConfig::test();
+    let mut g = c.benchmark_group("ablation_phase");
+    g.sample_size(10);
+    g.bench_function("phase_detect_run", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBasedPhaseDetect).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_coherence(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut t = Table::new(
+            "Ablation: write-invalidate L1 coherence on/off",
+            &["coherence", "vs shared", "vs equal"],
+        );
+        for (name, coherence) in [("off (default)", false), ("on", true)] {
+            let mut cfg = ExperimentConfig::test();
+            cfg.system.coherence = coherence;
+            let (s, e) = probe_improvements(&cfg, &Scheme::ModelBased);
+            t.row(vec![name.to_string(), pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+    });
+    let mut cfg = ExperimentConfig::test();
+    cfg.system.coherence = true;
+    let mut g = c.benchmark_group("ablation_coherence");
+    g.sample_size(10);
+    g.bench_function("coherent_run", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBased).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_prefetch(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        // Prefetching interacts with partitioning both ways: it hides the
+        // polluter's latency (more pollution pressure under shared LRU)
+        // and its fills obey quotas once partitioned.
+        let mut t = Table::new(
+            "Ablation: sequential L2 prefetching (degree sweep)",
+            &["degree", "vs shared", "vs equal"],
+        );
+        for degree in [0u32, 1, 2, 4] {
+            let mut cfg = ExperimentConfig::test();
+            cfg.system.prefetch_degree = degree;
+            let (s, e) = probe_improvements(&cfg, &Scheme::ModelBased);
+            t.row(vec![degree.to_string(), pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+    });
+    let mut cfg = ExperimentConfig::test();
+    cfg.system.prefetch_degree = 2;
+    let mut g = c.benchmark_group("ablation_prefetch");
+    g.sample_size(10);
+    g.bench_function("prefetch_run", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBased).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_l2_banks(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut t = Table::new(
+            "Ablation: L2 bank count (bank conflicts serialise accesses)",
+            &["banks", "vs shared", "vs equal"],
+        );
+        for banks in [0u32, 4, 8, 16] {
+            let mut cfg = ExperimentConfig::test();
+            cfg.system.l2_banks = banks;
+            let (s, e) = probe_improvements(&cfg, &Scheme::ModelBased);
+            let label = if banks == 0 { "unbanked".to_string() } else { banks.to_string() };
+            t.row(vec![label, pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+    });
+    let mut cfg = ExperimentConfig::test();
+    cfg.system.l2_banks = 8;
+    let mut g = c.benchmark_group("ablation_banks");
+    g.sample_size(10);
+    g.bench_function("banked_run", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBased).wall_cycles))
+    });
+    g.finish();
+}
+
+fn ablation_victim_cache(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        // Can a victim cache (related work: Zhang & Asanovic) recover the
+        // partitioning win on its own by absorbing inter-thread conflict
+        // evictions?
+        let mut t = Table::new(
+            "Ablation: victim cache size (shared cache + victim vs dynamic partitioning)",
+            &["victim lines", "dyn vs shared", "dyn vs equal"],
+        );
+        for lines in [0u32, 64, 256] {
+            let mut cfg = ExperimentConfig::test();
+            cfg.system.victim_cache_lines = lines;
+            let (s, e) = probe_improvements(&cfg, &Scheme::ModelBased);
+            t.row(vec![lines.to_string(), pct(s), pct(e)]);
+        }
+        println!("\n{}", t.render());
+    });
+    let mut cfg = ExperimentConfig::test();
+    cfg.system.victim_cache_lines = 64;
+    let mut g = c.benchmark_group("ablation_victim");
+    g.sample_size(10);
+    g.bench_function("victim_run", |b| {
+        b.iter(|| black_box(cfg.run(&suite::swim(), &Scheme::ModelBased).wall_cycles))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_interval_length,
+    ablation_model_kind,
+    ablation_strict_figure13,
+    ablation_umon_sampling,
+    ablation_enforcement,
+    ablation_replacement,
+    ablation_inclusive,
+    ablation_phase_detection,
+    ablation_coherence,
+    ablation_prefetch,
+    ablation_l2_banks,
+    ablation_victim_cache
+);
+criterion_main!(ablations);

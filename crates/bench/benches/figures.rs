@@ -1,0 +1,94 @@
+//! One Criterion benchmark per reproduced paper figure/table.
+//!
+//! Each bench measures the wall time of regenerating the figure at test
+//! scale and — once per process — prints the figure's rows, so `cargo
+//! bench` output doubles as a reproduction report.
+
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icp_experiments::figures::{self, SuiteData};
+use icp_experiments::runner::ExperimentConfig;
+use icp_experiments::table::Table;
+
+fn print_once(once: &'static Once, table: &Table) {
+    once.call_once(|| println!("\n{}", table.render()));
+}
+
+fn bench_cfg() -> ExperimentConfig {
+    ExperimentConfig::test()
+}
+
+fn fig02(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    let cfg = bench_cfg();
+    c.bench_function("fig02_config", |b| {
+        b.iter(|| {
+            let t = figures::fig02_config(&cfg.system);
+            print_once(&ONCE, &t);
+            t
+        })
+    });
+}
+
+/// The motivation and headline-comparison figures share one suite
+/// collection; each bench then measures the figure extraction itself.
+fn motivation_figures(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let data = SuiteData::collect(&cfg);
+
+    macro_rules! fig_bench {
+        ($c:expr, $name:literal, $f:path) => {{
+            static ONCE: Once = Once::new();
+            $c.bench_function($name, |b| {
+                b.iter(|| {
+                    let t = $f(&data);
+                    print_once(&ONCE, &t);
+                    t
+                })
+            });
+        }};
+    }
+
+    fig_bench!(c, "fig03_thread_performance", figures::fig03_thread_performance);
+    fig_bench!(c, "fig04_thread_misses", figures::fig04_thread_misses);
+    fig_bench!(c, "fig05_cpi_miss_correlation", figures::fig05_cpi_miss_correlation);
+    fig_bench!(c, "fig06_swim_cpi_timeline", figures::fig06_swim_cpi_timeline);
+    fig_bench!(c, "fig07_swim_miss_timeline", figures::fig07_swim_miss_timeline);
+    fig_bench!(c, "fig08_interthread_interaction", figures::fig08_interthread_interaction);
+    fig_bench!(c, "fig09_interaction_breakdown", figures::fig09_interaction_breakdown);
+    fig_bench!(c, "fig19_vs_private", figures::fig19_vs_private);
+    fig_bench!(c, "fig20_vs_shared", figures::fig20_vs_shared);
+    fig_bench!(c, "fig21_vs_throughput", figures::fig21_vs_throughput);
+}
+
+/// Figures that run their own simulations (whole-run benches; sampled
+/// lightly because each iteration is a full simulation).
+fn simulation_figures(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("simulation_figures");
+    g.sample_size(10);
+
+    macro_rules! sim_bench {
+        ($g:expr, $name:literal, $f:path) => {{
+            static ONCE: Once = Once::new();
+            $g.bench_function($name, |b| {
+                b.iter(|| {
+                    let t = $f(&cfg);
+                    print_once(&ONCE, &t);
+                    t
+                })
+            });
+        }};
+    }
+
+    sim_bench!(g, "fig10_way_sensitivity", figures::fig10_way_sensitivity);
+    sim_bench!(g, "fig11_progress", figures::fig11_progress_illustration);
+    sim_bench!(g, "fig15_cpi_models", figures::fig15_cpi_models);
+    sim_bench!(g, "fig18_cg_snapshot", figures::fig18_cg_snapshot);
+    sim_bench!(g, "fig22_eight_core", figures::fig22_eight_core);
+    g.finish();
+}
+
+criterion_group!(figures_benches, fig02, motivation_figures, simulation_figures);
+criterion_main!(figures_benches);

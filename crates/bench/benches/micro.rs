@@ -1,0 +1,183 @@
+//! Hot-path microbenchmarks: the simulator's inner loops and the policies'
+//! decision procedures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use icp_cmp_sim::cache::SetAssocCache;
+use icp_cmp_sim::l2::PartitionedL2;
+use icp_cmp_sim::umon::UtilityMonitor;
+use icp_cmp_sim::{CacheConfig, Simulator, SystemConfig};
+use icp_core::policy::Partitioner;
+use icp_core::{CpiProportionalPolicy, IntraAppRuntime, ModelBasedPolicy, ThreadCpiModel};
+use icp_numeric::{CubicSpline, Xoshiro256, Zipf};
+use icp_workloads::{suite, WorkloadScale};
+use std::hint::black_box;
+
+fn l2_access(c: &mut Criterion) {
+    let cfg = CacheConfig::new(1024 * 1024, 64, 64); // paper-size L2
+    let mut g = c.benchmark_group("l2_access");
+
+    // Hit path: warm one set, hit it repeatedly.
+    let mut l2 = PartitionedL2::new(cfg, 4);
+    l2.access(0, 0);
+    g.bench_function("hit_unpartitioned", |b| {
+        b.iter(|| black_box(l2.access(0, 0)))
+    });
+
+    // Miss path (streaming): every access misses and evicts.
+    let mut l2 = PartitionedL2::new(cfg, 4);
+    let mut line = 0u64;
+    g.bench_function("miss_unpartitioned", |b| {
+        b.iter(|| {
+            line = line.wrapping_add(1);
+            black_box(l2.access(0, line * 64))
+        })
+    });
+
+    // Miss path with quota enforcement active.
+    let mut l2 = PartitionedL2::new(cfg, 4);
+    l2.set_targets(&[16, 16, 16, 16]);
+    let mut line = 0u64;
+    g.bench_function("miss_partitioned", |b| {
+        b.iter(|| {
+            line = line.wrapping_add(1);
+            black_box(l2.access((line % 4) as usize, line * 64))
+        })
+    });
+    g.finish();
+}
+
+fn l1_access(c: &mut Criterion) {
+    let mut l1 = SetAssocCache::new(CacheConfig::new(8 * 1024, 4, 64));
+    l1.access(0);
+    c.bench_function("l1_hit", |b| b.iter(|| black_box(l1.access(0))));
+}
+
+fn umon_observe(c: &mut Criterion) {
+    let cfg = CacheConfig::new(1024 * 1024, 64, 64);
+    let mut m = UtilityMonitor::new(&cfg, 4, 4);
+    let mut line = 0u64;
+    c.bench_function("umon_observe", |b| {
+        b.iter(|| {
+            line = line.wrapping_add(97);
+            m.observe((line % 4) as usize, (line % 10_000) * 64);
+        })
+    });
+}
+
+fn zipf_sampling(c: &mut Criterion) {
+    let z = Zipf::new(16 * 1024, 0.7);
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    c.bench_function("zipf_sample", |b| b.iter(|| black_box(z.sample(&mut rng))));
+}
+
+fn spline_ops(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=16).map(|i| i as f64 * 4.0).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 20.0 / (1.0 + x / 8.0)).collect();
+    c.bench_function("spline_fit_16_knots", |b| {
+        b.iter(|| CubicSpline::fit(black_box(&xs), black_box(&ys)).unwrap())
+    });
+    let s = CubicSpline::fit(&xs, &ys).unwrap();
+    c.bench_function("spline_eval", |b| b.iter(|| black_box(s.eval(black_box(23.5)))));
+}
+
+fn model_update(c: &mut Criterion) {
+    c.bench_function("cpi_model_observe_refit", |b| {
+        b.iter_batched(
+            || {
+                let mut m = ThreadCpiModel::new();
+                for w in [8u32, 16, 24, 32, 48] {
+                    m.observe(w, 20.0 - w as f64 / 4.0);
+                }
+                m
+            },
+            |mut m| {
+                m.observe(40, 9.5);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn policy_decisions(c: &mut Criterion) {
+    use icp_cmp_sim::simulator::{IntervalReport, ThreadIntervalStats};
+    use icp_cmp_sim::stats::ThreadCounters;
+
+    let report = |cpis: &[f64], ways: &[u32]| -> IntervalReport {
+        IntervalReport {
+            index: 3,
+            threads: cpis
+                .iter()
+                .zip(ways)
+                .map(|(&cpi, &w)| ThreadIntervalStats {
+                    counters: ThreadCounters {
+                        instructions: 100_000,
+                        active_cycles: (cpi * 100_000.0) as u64,
+                        ..Default::default()
+                    },
+                    cpi,
+                    ways: w,
+                })
+                .collect(),
+            finished: false,
+            wall_cycles: 0,
+        }
+    };
+
+    c.bench_function("cpi_proportional_decision", |b| {
+        let mut p = CpiProportionalPolicy::new();
+        let r = report(&[8.0, 3.0, 5.0, 2.0], &[16; 4]);
+        b.iter(|| black_box(p.repartition(&r, 64)))
+    });
+
+    c.bench_function("model_based_decision_warm", |b| {
+        // Warm a policy with enough history that the hill-climb actually
+        // runs, then measure the per-boundary decision cost.
+        let mut p = ModelBasedPolicy::new();
+        let mut ways = vec![16u32; 4];
+        for i in 0..6 {
+            let cpis = [8.0 - i as f64 * 0.3, 3.0, 5.0, 2.0];
+            let r = report(&cpis, &ways);
+            if let icp_core::PartitionDecision::Partition(w) = p.repartition(&r, 64) {
+                ways = w;
+            }
+        }
+        let r = report(&[6.5, 3.1, 4.9, 2.1], &ways);
+        b.iter(|| black_box(p.repartition(&r, 64)))
+    });
+}
+
+fn whole_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("whole_run");
+    g.sample_size(10);
+    let cfg = SystemConfig::scaled_down();
+    g.bench_function("swim_model_based_test_scale", |b| {
+        b.iter(|| {
+            let bench = suite::swim();
+            let streams = bench.build_streams(&cfg, WorkloadScale::Test, 42);
+            let mut sim = Simulator::new(cfg, streams);
+            let mut rt = IntraAppRuntime::new(ModelBasedPolicy::new(), &cfg);
+            black_box(rt.execute(&mut sim).wall_cycles)
+        })
+    });
+    g.bench_function("stream_generation_only", |b| {
+        b.iter(|| {
+            let bench = suite::swim();
+            black_box(bench.build_streams(&cfg, WorkloadScale::Test, 42).len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    l2_access,
+    l1_access,
+    umon_observe,
+    zipf_sampling,
+    spline_ops,
+    model_update,
+    policy_decisions,
+    whole_simulation
+);
+criterion_main!(micro);

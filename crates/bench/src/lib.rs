@@ -1,0 +1,11 @@
+//! Support crate for the Criterion benchmark harness; the benchmarks
+//! themselves live in `benches/`:
+//!
+//! * `figures` — one bench per reproduced paper figure/table; each prints
+//!   the figure's rows once, so `cargo bench` output doubles as a
+//!   reproduction report,
+//! * `micro` — hot-path microbenchmarks (L2 access, UMON observe, Zipf
+//!   sampling, spline fitting, policy decisions),
+//! * `ablations` — design-choice sweeps called out in `DESIGN.md`
+//!   (interval length, curve family, Figure 13 termination rule, UMON
+//!   sampling stride).

@@ -1,0 +1,291 @@
+//! A plain set-associative LRU cache, used for the private L1s and as the
+//! building block for the UMON auxiliary tag directories.
+//!
+//! The model tracks only presence (tags + LRU ordering) — no data, no
+//! coherence — which is all a cache-partitioning study needs: the paper's
+//! policies observe hit/miss counters, not contents.
+
+use crate::config::CacheConfig;
+
+/// One cache line's bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    /// Global access timestamp for exact LRU; 0 = never used.
+    lru: u64,
+    valid: bool,
+    /// Set by stores; a dirty victim must be written back to the next
+    /// level.
+    dirty: bool,
+}
+
+const EMPTY: Line = Line { tag: 0, lru: 0, valid: false, dirty: false };
+
+/// Outcome of one read/write access to a [`SetAssocCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Line address (byte address of the line base) of an evicted dirty
+    /// line, which must be written back to the next level.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative cache with exact LRU replacement.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    /// `sets * ways` lines, row-major by set.
+    lines: Vec<Line>,
+    /// Monotonic access counter used as the LRU clock.
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let n = (cfg.num_sets() * cfg.ways as u64) as usize;
+        SetAssocCache { cfg, lines: vec![EMPTY; n], clock: 0, hits: 0, misses: 0 }
+    }
+
+    /// Geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Performs a read access: returns `true` on hit. On a miss the line
+    /// is allocated, evicting the set's LRU line if the set is full.
+    /// (Writeback information is discarded; use [`Self::access_rw`] when
+    /// modelling dirty traffic.)
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.access_rw(addr, false).hit
+    }
+
+    /// Performs a read or write access (write-allocate, write-back): on a
+    /// store the line is marked dirty; evicting a dirty line reports a
+    /// writeback to the next level.
+    pub fn access_rw(&mut self, addr: u64, write: bool) -> CacheAccess {
+        self.clock += 1;
+        let tag = self.cfg.tag(addr);
+        let set = self.cfg.set_index(addr) as usize;
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        let lines = &mut self.lines[base..base + ways];
+
+        // Hit path.
+        for line in lines.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.lru = self.clock;
+                line.dirty |= write;
+                self.hits += 1;
+                return CacheAccess { hit: true, writeback: None };
+            }
+        }
+        // Miss: fill an invalid way, else evict LRU.
+        self.misses += 1;
+        let victim = lines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("ways > 0");
+        let writeback = if lines[victim].valid && lines[victim].dirty {
+            Some(lines[victim].tag * self.cfg.line_bytes)
+        } else {
+            None
+        };
+        lines[victim] = Line { tag, lru: self.clock, valid: true, dirty: write };
+        CacheAccess { hit: false, writeback }
+    }
+
+    /// Invalidates the line holding `addr` if present (inclusive-hierarchy
+    /// back-invalidation). Returns `true` if the line was present and
+    /// dirty — its data is lost to this level and must be considered
+    /// written back by the caller.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let tag = self.cfg.tag(addr);
+        let set = self.cfg.set_index(addr) as usize;
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        for line in &mut self.lines[base..base + ways] {
+            if line.valid && line.tag == tag {
+                let was_dirty = line.dirty;
+                *line = EMPTY;
+                return was_dirty;
+            }
+        }
+        false
+    }
+
+    /// Checks presence without touching LRU state or counters.
+    pub fn probe(&self, addr: u64) -> bool {
+        let tag = self.cfg.tag(addr);
+        let set = self.cfg.set_index(addr) as usize;
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        self.lines[base..base + ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Total hits since construction (or the last [`Self::reset_counters`]).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses since construction (or the last [`Self::reset_counters`]).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Zeroes the hit/miss counters (contents are kept).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Invalidates every line and zeroes counters.
+    pub fn flush(&mut self) {
+        self.lines.fill(EMPTY);
+        self.clock = 0;
+        self.reset_counters();
+    }
+
+    /// Number of currently valid lines (for tests/diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways x 64B lines = 256B.
+        SetAssocCache::new(CacheConfig::new(256, 2, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(32)); // same line, different offset
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with even line numbers (2 sets).
+        let a = 0u64; // set 0
+        let b = 128; // set 0 (line 2)
+        let d = 256; // set 0 (line 4)
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is now MRU
+        c.access(d); // evicts b (LRU)
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0); // set 0
+        c.access(64); // set 1
+        c.access(128); // set 0
+        c.access(192); // set 1
+        // Both sets full; nothing evicted yet.
+        assert_eq!(c.occupancy(), 4);
+        assert!(c.probe(0) && c.probe(64) && c.probe(128) && c.probe(192));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(128);
+        // Probe the LRU line; it must still be the eviction victim.
+        assert!(c.probe(0));
+        c.access(256); // evicts line 0 despite the probe
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny();
+        // 6 distinct lines cycling through a 4-line cache, round robin:
+        // with true LRU every access misses.
+        for round in 0..10 {
+            for i in 0..6u64 {
+                let hit = c.access(i * 64);
+                if round > 0 {
+                    assert!(!hit, "unexpected hit on round {round} line {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_fitting_cache_all_hits_after_warmup() {
+        let mut c = tiny();
+        for _ in 0..3 {
+            for i in 0..4u64 {
+                c.access(i * 64);
+            }
+        }
+        assert_eq!(c.misses(), 4); // only compulsory misses
+        assert_eq!(c.hits(), 8);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access_rw(0, true); // store to set 0
+        c.access_rw(128, false);
+        // Two more misses in set 0 evict the dirty line 0 eventually.
+        let r1 = c.access_rw(256, false); // evicts line 0 (dirty LRU)
+        assert_eq!(r1.writeback, Some(0));
+        let r2 = c.access_rw(384, false); // evicts clean line 2
+        assert_eq!(r2.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_dirties_existing_line() {
+        let mut c = tiny();
+        c.access_rw(0, false);
+        c.access_rw(0, true); // hit-store
+        c.access_rw(128, false);
+        let r = c.access_rw(256, false); // evicts line 0
+        assert_eq!(r.writeback, Some(0));
+    }
+
+    #[test]
+    fn invalidate_removes_line_and_reports_dirtiness() {
+        let mut c = tiny();
+        c.access_rw(0, true);
+        c.access_rw(64, false);
+        assert!(c.invalidate(0)); // dirty
+        assert!(!c.invalidate(64)); // clean line: present but not dirty
+        assert!(!c.probe(0));
+        assert!(!c.probe(64));
+        assert!(!c.invalidate(512)); // absent
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.hits(), 0);
+        assert!(!c.access(0)); // compulsory miss again after flush
+    }
+}

@@ -1,0 +1,252 @@
+//! System configuration: cache geometries and latencies.
+//!
+//! Defaults mirror the paper's Figure 2 table: a 4-core CMP, 8 KB 4-way
+//! private L1s, a 1 MB 64-way shared L2, 64-byte lines.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line (block) size in bytes. Must be a power of two.
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Creates a config, validating that the geometry is realisable.
+    ///
+    /// # Panics
+    /// Panics if the line size is not a power of two, if the capacity is not
+    /// an exact multiple of `ways * line_bytes`, or if the resulting set
+    /// count is not a power of two (required for mask-based set indexing).
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways > 0, "cache needs at least one way");
+        let way_bytes = ways as u64 * line_bytes;
+        assert!(
+            size_bytes.is_multiple_of(way_bytes) && size_bytes > 0,
+            "capacity {size_bytes} not divisible into {ways} ways of {line_bytes}B lines"
+        );
+        let sets = size_bytes / way_bytes;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        CacheConfig { size_bytes, ways, line_bytes }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes)
+    }
+
+    /// Maps an address to its set index.
+    #[inline]
+    pub fn set_index(&self, addr: u64) -> u64 {
+        (addr / self.line_bytes) & (self.num_sets() - 1)
+    }
+
+    /// Maps an address to its tag (line address; set bits retained for
+    /// simplicity — uniqueness per set still holds).
+    #[inline]
+    pub fn tag(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+}
+
+/// Access latencies in core cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Latency of an L1 hit (total memory-instruction cost on a hit).
+    pub l1_hit: u64,
+    /// Additional latency when the access misses L1 but hits L2.
+    pub l2_hit: u64,
+    /// Additional latency when the access misses L2 and goes to memory.
+    pub memory: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        // Representative of a ~1 GHz in-order core of the paper's era
+        // (UltraSPARC III): fast L1, ~12-cycle L2, ~150-cycle DRAM. The
+        // DRAM figure is on the low side of that era to keep per-thread
+        // CPIs in the 3–12 band the paper reports (a blocking core model
+        // has no memory-level parallelism to hide latency behind).
+        LatencyConfig { l1_hit: 1, l2_hit: 12, memory: 150 }
+    }
+}
+
+/// Full system configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of cores (= application threads; one thread pinned per core).
+    pub cores: usize,
+    /// Private per-core L1 geometry.
+    pub l1: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// Hierarchy latencies.
+    pub latency: LatencyConfig,
+    /// Execution interval length in instructions, summed over all threads
+    /// (the paper uses 15 M-instruction intervals; tests and benches scale
+    /// this down — the paper reports little sensitivity to it, §VII).
+    pub interval_instructions: u64,
+    /// Enforce L1 ⊆ L2 inclusion: an L2 eviction back-invalidates the line
+    /// in every L1. Off by default (the paper does not specify the
+    /// hierarchy's inclusion policy; non-inclusive is the neutral choice).
+    pub inclusive: bool,
+    /// Write-invalidate coherence between the private L1s: a store
+    /// invalidates the line in every other L1 (MSI-style, modelled without
+    /// timing cost). Off by default; the synthetic workloads' shared data
+    /// is read-mostly so the paper's experiments are insensitive to it, but
+    /// the flag matters for write-heavy sharing studies.
+    pub coherence: bool,
+    /// Sequential L2 prefetch degree: on a demand miss to line `L`, lines
+    /// `L+1 ..= L+degree` are installed off the critical path. 0 (default)
+    /// disables prefetching. Prefetch fills obey the partition and can
+    /// pollute like demand fills — the `ablation_prefetch` bench measures
+    /// the interplay with partitioning.
+    pub prefetch_degree: u32,
+    /// Number of L2 banks (sets striped across banks). Concurrent accesses
+    /// to the same bank serialise: each demand access occupies its bank for
+    /// the L2-hit latency. 0 (default) models unlimited bank bandwidth.
+    /// Bank conflicts interact with the partitioning mechanism: set
+    /// partitioning confines threads to disjoint banks, way partitioning
+    /// does not.
+    pub l2_banks: u32,
+    /// Capacity (in lines) of a fully-associative victim cache behind the
+    /// L2 (Zhang & Asanović lineage, related work §II): L2 evictions land
+    /// there and an L2 miss that hits it is serviced at L2-hit latency.
+    /// 0 (default) disables it.
+    pub victim_cache_lines: u32,
+}
+
+impl SystemConfig {
+    /// The paper's Figure 2 configuration: 4 cores, 8 KB 4-way L1s,
+    /// 1 MB 64-way shared L2, 64 B lines, 15 M-instruction intervals.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            cores: 4,
+            l1: CacheConfig::new(8 * 1024, 4, 64),
+            l2: CacheConfig::new(1024 * 1024, 64, 64),
+            latency: LatencyConfig::default(),
+            interval_instructions: 15_000_000,
+            inclusive: false,
+            coherence: false,
+            prefetch_degree: 0,
+            l2_banks: 0,
+            victim_cache_lines: 0,
+        }
+    }
+
+    /// The 8-core sensitivity configuration (paper §VII-C, Figure 22):
+    /// 8 threads on 8 cores, same 1 MB shared L2.
+    pub fn paper_eight_core() -> Self {
+        SystemConfig { cores: 8, ..Self::paper_default() }
+    }
+
+    /// A scaled-down configuration for fast tests and benches: same shape
+    /// (4 cores, 64-way shared L2) with a smaller L2 and short intervals so
+    /// runs finish in milliseconds while exercising identical code paths.
+    pub fn scaled_down() -> Self {
+        SystemConfig {
+            cores: 4,
+            l1: CacheConfig::new(2 * 1024, 4, 64),
+            l2: CacheConfig::new(256 * 1024, 64, 64),
+            latency: LatencyConfig::default(),
+            interval_instructions: 200_000,
+            inclusive: false,
+            coherence: false,
+            prefetch_degree: 0,
+            l2_banks: 0,
+            victim_cache_lines: 0,
+        }
+    }
+
+    /// Validates cross-field invariants (panics on violation). Called by the
+    /// simulator constructor.
+    pub fn validate(&self) {
+        assert!(self.cores > 0, "need at least one core");
+        assert!(self.cores <= 64, "ownership bookkeeping supports up to 64 cores");
+        assert!(
+            self.l2.ways as usize >= self.cores,
+            "L2 must have at least one way per core"
+        );
+        assert_eq!(
+            self.l1.line_bytes, self.l2.line_bytes,
+            "L1/L2 line sizes must match"
+        );
+        assert!(self.interval_instructions > 0, "interval length must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_figure2() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l1.size_bytes, 8 * 1024);
+        assert_eq!(c.l1.ways, 4);
+        assert_eq!(c.l2.size_bytes, 1024 * 1024);
+        assert_eq!(c.l2.ways, 64);
+        assert_eq!(c.interval_instructions, 15_000_000);
+        c.validate();
+    }
+
+    #[test]
+    fn eight_core_config() {
+        let c = SystemConfig::paper_eight_core();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.l2.size_bytes, 1024 * 1024);
+        c.validate();
+    }
+
+    #[test]
+    fn set_counts() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.l1.num_sets(), 32); // 8KB / (4 * 64B)
+        assert_eq!(c.l2.num_sets(), 256); // 1MB / (64 * 64B)
+    }
+
+    #[test]
+    fn set_index_and_tag() {
+        let c = CacheConfig::new(1024 * 1024, 64, 64);
+        let sets = c.num_sets();
+        // Addresses one line apart land in consecutive sets.
+        assert_eq!(c.set_index(0), 0);
+        assert_eq!(c.set_index(64), 1);
+        assert_eq!(c.set_index(64 * sets), 0); // wraps
+        // Tags of distinct lines in the same set differ.
+        assert_ne!(c.tag(0), c.tag(64 * sets));
+        // Same line, different byte offsets: same tag and set.
+        assert_eq!(c.tag(7), c.tag(63));
+        assert_eq!(c.set_index(7), c.set_index(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        CacheConfig::new(8 * 1024, 4, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_bad_capacity() {
+        CacheConfig::new(1000, 4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way per core")]
+    fn rejects_fewer_ways_than_cores() {
+        let mut c = SystemConfig::paper_default();
+        c.l2 = CacheConfig::new(4 * 64 * 2, 2, 64);
+        c.validate();
+    }
+
+    #[test]
+    fn scaled_down_is_valid() {
+        SystemConfig::scaled_down().validate();
+    }
+}

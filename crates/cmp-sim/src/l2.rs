@@ -1,0 +1,1102 @@
+//! The shared L2 cache with replacement-based way partitioning.
+//!
+//! This implements the paper's §V hardware mechanism faithfully:
+//!
+//! * Each set keeps, per thread, a counter of how many of its ways currently
+//!   hold lines *brought in* by that thread (the "current assignment"
+//!   counters).
+//! * A global per-thread "target assignment" gives each thread its way
+//!   quota.
+//! * On a miss by thread `t`: if `t`'s current count in the set is below its
+//!   target, the victim is a line belonging to some *other* thread
+//!   (preferring threads over their own quota); otherwise the victim is
+//!   `t`'s own LRU line. The cache thus converges *gradually* toward the
+//!   target partition — there is no flush or reconfiguration.
+//! * Replacement among the candidate lines is least-recently-used, i.e.
+//!   "thread-wise LRU" in the paper's words.
+//! * Hits are never restricted: any thread may hit on any line, which is
+//!   what lets a partitioned shared cache keep the constructive sharing a
+//!   private-cache organisation loses (§IV-A2).
+//!
+//! The cache also classifies inter-thread interactions the way §IV-A2 does:
+//! an access is *inter-thread* if the previous access to that line came from
+//! a different thread; it is *constructive* if that access is a hit, and an
+//! eviction of another thread's line is the *destructive* form.
+
+use crate::config::CacheConfig;
+use crate::plru;
+use crate::stats::InteractionStats;
+use crate::ThreadId;
+
+/// Replacement policy underlying the partition enforcement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReplacementKind {
+    /// Exact least-recently-used ordering (the paper's assumption).
+    #[default]
+    TrueLru,
+    /// Tree pseudo-LRU — what real hardware implements at 64-way
+    /// associativity. Requires a power-of-two way count. The victim walk
+    /// is constrained to the partition-legal candidate ways, as in
+    /// hardware way-masking (Intel CAT style).
+    TreePlru,
+}
+
+/// How a new partition takes effect (paper §V discusses both options).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EnforcementKind {
+    /// The paper's choice: the partition phases in through replacement
+    /// decisions — no flush, no unavailability, gradual convergence.
+    #[default]
+    Replacement,
+    /// The reconfigurable-cache alternative the paper rejects: applying a
+    /// partition immediately *invalidates* every line of a thread that
+    /// holds more ways in a set than its new quota (oldest first). Instant
+    /// convergence, but "considerable loss of data during the
+    /// reconfiguration" — kept for the `ablation_enforcement` comparison.
+    Reconfigure,
+}
+
+/// Whether the L2 enforces way quotas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// Plain shared cache: global LRU, no eviction control (the paper's
+    /// "shared unpartitioned" baseline).
+    Unpartitioned,
+    /// Way quotas enforced via replacement (the paper's mechanism). The
+    /// quota vector lives in [`PartitionedL2::targets`].
+    Partitioned,
+    /// Set partitioning à la OS page coloring (Lin et al., Zhang et al. in
+    /// the paper's related work): each thread's accesses are folded into a
+    /// private range of sets sized proportionally to its quota. Perfect
+    /// isolation, but shared lines get *replicated* into every accessor's
+    /// range — the drawback the paper attributes to private caches.
+    SetPartitioned,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct L2Line {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+    /// Set by stores (or dirty L1 writebacks); a dirty victim is written
+    /// back to memory.
+    dirty: bool,
+    /// Thread that allocated (brought in) this line; partition bookkeeping
+    /// follows the allocator, not later sharers.
+    owner: u8,
+    /// Thread that last touched the line; used for interaction
+    /// classification.
+    last_accessor: u8,
+    /// Brought in by the prefetcher and not yet demand-referenced.
+    prefetched: bool,
+}
+
+const EMPTY: L2Line = L2Line {
+    tag: 0,
+    lru: 0,
+    valid: false,
+    dirty: false,
+    owner: 0,
+    last_accessor: 0,
+    prefetched: false,
+};
+
+/// Outcome of one L2 access, consumed by the simulator for timing and
+/// statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct L2AccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Hit on a line whose previous accessor was a different thread
+    /// (constructive inter-thread interaction).
+    pub inter_thread_hit: bool,
+    /// On a miss that evicted a valid line of a *different* thread, the
+    /// owner of the evicted line (destructive inter-thread interaction).
+    pub evicted_other: Option<ThreadId>,
+    /// Line (base byte address) of any valid line evicted by this access —
+    /// used by an inclusive hierarchy to back-invalidate the L1s.
+    pub evicted_line: Option<u64>,
+    /// The evicted line was dirty and was written back to memory.
+    pub wrote_back: bool,
+    /// The hit consumed a prefetched line (first demand reference after a
+    /// prefetch fill — a *useful* prefetch).
+    pub prefetched_hit: bool,
+}
+
+/// A shared, way-partitionable, set-associative L2 cache.
+///
+/// # Examples
+///
+/// ```
+/// use icp_cmp_sim::{CacheConfig, PartitionedL2};
+///
+/// // A 4-thread shared cache; give thread 0 half the ways.
+/// let mut l2 = PartitionedL2::new(CacheConfig::new(64 * 1024, 16, 64), 4);
+/// l2.set_targets(&[8, 4, 2, 2]);
+/// let miss = l2.access(0, 0x1000);
+/// assert!(!miss.hit); // cold
+/// assert!(l2.access(0, 0x1000).hit);
+/// assert!(l2.access(3, 0x1000).hit); // other threads may hit thread 0's line
+/// ```
+#[derive(Clone, Debug)]
+pub struct PartitionedL2 {
+    cfg: CacheConfig,
+    threads: usize,
+    mode: PartitionMode,
+    replacement: ReplacementKind,
+    enforcement: EnforcementKind,
+    /// One PLRU tree (u64 of node bits) per set; unused under `TrueLru`.
+    plru_bits: Vec<u64>,
+    lines: Vec<L2Line>,
+    /// Per-set per-thread current way counts: `sets * threads`, row-major by
+    /// set. These are the §V "current assignment" counters.
+    owned: Vec<u16>,
+    /// Per-thread target way quotas (the §V "target assignment" counters);
+    /// meaningful only in `Partitioned` mode. Always sums to `cfg.ways`.
+    targets: Vec<u32>,
+    /// Per-thread (start, len) set ranges; meaningful only in
+    /// `SetPartitioned` mode.
+    set_ranges: Vec<(u32, u32)>,
+    clock: u64,
+    hits: Vec<u64>,
+    misses: Vec<u64>,
+    /// Dirty evictions written back to memory, attributed to the line's
+    /// owner.
+    writebacks: Vec<u64>,
+    interactions: InteractionStats,
+}
+
+impl PartitionedL2 {
+    /// Creates an empty shared L2 for `threads` threads, initially
+    /// unpartitioned.
+    ///
+    /// # Panics
+    /// Panics if `threads` is 0, exceeds 256 (owner stored in a `u8`), or
+    /// exceeds the way count.
+    pub fn new(cfg: CacheConfig, threads: usize) -> Self {
+        assert!(threads > 0 && threads <= 256, "1..=256 threads supported");
+        assert!(
+            cfg.ways as usize >= threads,
+            "need at least one way per thread"
+        );
+        let n = (cfg.num_sets() * cfg.ways as u64) as usize;
+        let sets = cfg.num_sets() as usize;
+        PartitionedL2 {
+            cfg,
+            threads,
+            mode: PartitionMode::Unpartitioned,
+            replacement: ReplacementKind::TrueLru,
+            enforcement: EnforcementKind::Replacement,
+            plru_bits: vec![0; sets],
+            lines: vec![EMPTY; n],
+            owned: vec![0; sets * threads],
+            targets: equal_split(cfg.ways, threads),
+            set_ranges: Vec::new(),
+            clock: 0,
+            hits: vec![0; threads],
+            misses: vec![0; threads],
+            writebacks: vec![0; threads],
+            interactions: InteractionStats::default(),
+        }
+    }
+
+    /// Selects the replacement policy (builder style).
+    ///
+    /// # Panics
+    /// Panics if `TreePlru` is requested with a non-power-of-two way count
+    /// or more than 64 ways.
+    pub fn with_replacement(mut self, kind: ReplacementKind) -> Self {
+        self.set_replacement(kind);
+        self
+    }
+
+    /// Switches the replacement policy in place (PLRU state starts cold).
+    ///
+    /// # Panics
+    /// Same conditions as [`Self::with_replacement`].
+    pub fn set_replacement(&mut self, kind: ReplacementKind) {
+        if kind == ReplacementKind::TreePlru {
+            assert!(
+                self.cfg.ways.is_power_of_two() && self.cfg.ways <= 64,
+                "tree PLRU needs a power-of-two way count <= 64"
+            );
+        }
+        self.replacement = kind;
+    }
+
+    /// The replacement policy in use.
+    pub fn replacement(&self) -> ReplacementKind {
+        self.replacement
+    }
+
+    /// Selects how new partitions take effect (builder style).
+    pub fn with_enforcement(mut self, kind: EnforcementKind) -> Self {
+        self.enforcement = kind;
+        self
+    }
+
+    /// Switches the enforcement mode in place.
+    pub fn set_enforcement(&mut self, kind: EnforcementKind) {
+        self.enforcement = kind;
+    }
+
+    /// The enforcement mode in use.
+    pub fn enforcement(&self) -> EnforcementKind {
+        self.enforcement
+    }
+
+    /// Geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Number of threads sharing the cache.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Current partition mode.
+    pub fn mode(&self) -> PartitionMode {
+        self.mode
+    }
+
+    /// Switches to plain shared (global LRU) operation.
+    pub fn set_unpartitioned(&mut self) {
+        self.mode = PartitionMode::Unpartitioned;
+    }
+
+    /// Sets the per-thread way quotas and enables partitioned operation.
+    ///
+    /// The cache is *not* flushed: per §V the partition takes effect
+    /// gradually through replacement decisions.
+    ///
+    /// # Panics
+    /// Panics if `targets.len() != threads` or the quotas don't sum to the
+    /// way count.
+    pub fn set_targets(&mut self, targets: &[u32]) {
+        assert_eq!(targets.len(), self.threads, "one quota per thread");
+        let sum: u32 = targets.iter().sum();
+        assert_eq!(
+            sum, self.cfg.ways,
+            "quotas must sum to the way count ({} != {})",
+            sum, self.cfg.ways
+        );
+        self.targets.clear();
+        self.targets.extend_from_slice(targets);
+        self.mode = PartitionMode::Partitioned;
+        if self.enforcement == EnforcementKind::Reconfigure {
+            self.reconfigure_to_targets();
+        }
+    }
+
+    /// Instantly trims every thread to its quota in every set by
+    /// invalidating its oldest excess lines (the reconfigurable-cache data
+    /// loss §V warns about). Dirty victims count as writebacks.
+    fn reconfigure_to_targets(&mut self) {
+        let ways = self.cfg.ways as usize;
+        for set in 0..self.cfg.num_sets() as usize {
+            for t in 0..self.threads {
+                let quota = self.targets[t];
+                loop {
+                    let owned = self.owned[set * self.threads + t] as u32;
+                    if owned <= quota {
+                        break;
+                    }
+                    // Invalidate this thread's LRU line in the set.
+                    let base = set * ways;
+                    let victim = self.lines[base..base + ways]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, l)| l.valid && l.owner as usize == t)
+                        .min_by_key(|(_, l)| l.lru)
+                        .map(|(i, _)| i)
+                        .expect("owned counter says lines exist");
+                    if self.lines[base + victim].dirty {
+                        self.writebacks[t] += 1;
+                    }
+                    self.lines[base + victim] = EMPTY;
+                    self.owned[set * self.threads + t] -= 1;
+                }
+            }
+        }
+    }
+
+    /// The current per-thread way quotas.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Enables set partitioning (page-coloring style): thread `t` gets a
+    /// contiguous range of sets proportional to `quotas[t]` (same units as
+    /// way quotas, so policies are interchangeable) and all of its accesses
+    /// fold into that range. Contents are not flushed; stale lines in
+    /// foreign ranges age out naturally (they can no longer be referenced).
+    ///
+    /// # Panics
+    /// Same contract as [`Self::set_targets`]; additionally every thread
+    /// must receive at least one set.
+    pub fn set_set_partition(&mut self, quotas: &[u32]) {
+        assert_eq!(quotas.len(), self.threads, "one quota per thread");
+        let sum: u32 = quotas.iter().sum();
+        assert_eq!(
+            sum, self.cfg.ways,
+            "quotas must sum to the way count ({} != {})",
+            sum, self.cfg.ways
+        );
+        let sets = self.cfg.num_sets() as u32;
+        assert!(
+            sets >= self.threads as u32,
+            "need at least one set per thread"
+        );
+        // Largest-remainder apportionment of sets, 1-set floor.
+        let spare = sets - self.threads as u32;
+        let shares: Vec<f64> = quotas
+            .iter()
+            .map(|&q| q as f64 / sum as f64 * spare as f64)
+            .collect();
+        let mut lens: Vec<u32> = shares.iter().map(|s| 1 + s.floor() as u32).collect();
+        let mut leftover = sets - lens.iter().sum::<u32>();
+        let mut order: Vec<usize> = (0..self.threads).collect();
+        order.sort_by(|&a, &b| {
+            let ra = shares[a] - shares[a].floor();
+            let rb = shares[b] - shares[b].floor();
+            rb.partial_cmp(&ra).expect("finite").then(a.cmp(&b))
+        });
+        let mut i = 0;
+        while leftover > 0 {
+            lens[order[i % self.threads]] += 1;
+            leftover -= 1;
+            i += 1;
+        }
+        let mut start = 0u32;
+        self.set_ranges = lens
+            .iter()
+            .map(|&len| {
+                let r = (start, len);
+                start += len;
+                r
+            })
+            .collect();
+        self.targets.clear();
+        self.targets.extend_from_slice(quotas);
+        self.mode = PartitionMode::SetPartitioned;
+    }
+
+    /// The per-thread set ranges (empty unless set-partitioned).
+    pub fn set_ranges(&self) -> &[(u32, u32)] {
+        &self.set_ranges
+    }
+
+    /// Performs a read access by `thread` to `addr`.
+    pub fn access(&mut self, thread: ThreadId, addr: u64) -> L2AccessResult {
+        self.access_rw(thread, addr, false)
+    }
+
+    /// Performs a read or write access by `thread` to `addr`
+    /// (write-allocate, write-back).
+    pub fn access_rw(&mut self, thread: ThreadId, addr: u64, write: bool) -> L2AccessResult {
+        debug_assert!(thread < self.threads);
+        self.clock += 1;
+        let tag = self.cfg.tag(addr);
+        let set = match self.mode {
+            PartitionMode::SetPartitioned => {
+                // Fold the natural set index into the accessor's range:
+                // the page-coloring constraint on physical placement.
+                let (start, len) = self.set_ranges[thread];
+                (start + (self.cfg.set_index(addr) as u32 % len)) as usize
+            }
+            _ => self.cfg.set_index(addr) as usize,
+        };
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        self.interactions.total_accesses += 1;
+
+        // Hit path: any thread can hit on any line.
+        for (w, line) in self.lines[base..base + ways].iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                line.lru = self.clock;
+                line.dirty |= write;
+                if self.replacement == ReplacementKind::TreePlru {
+                    plru::touch(&mut self.plru_bits[set], ways as u32, w as u32);
+                }
+                let inter = line.last_accessor as usize != thread;
+                line.last_accessor = thread as u8;
+                let prefetched_hit = line.prefetched;
+                line.prefetched = false;
+                self.hits[thread] += 1;
+                if inter {
+                    self.interactions.inter_thread_hits += 1;
+                }
+                return L2AccessResult {
+                    hit: true,
+                    inter_thread_hit: inter,
+                    evicted_other: None,
+                    evicted_line: None,
+                    wrote_back: false,
+                    prefetched_hit,
+                };
+            }
+        }
+
+        // Miss path.
+        self.misses[thread] += 1;
+        let victim = self.choose_victim(set, thread);
+        let (evicted_other, evicted_line, wrote_back) = {
+            let v = &self.lines[base + victim];
+            if v.valid {
+                let prev_owner = v.owner as usize;
+                self.owned[set * self.threads + prev_owner] -= 1;
+                if v.dirty {
+                    self.writebacks[prev_owner] += 1;
+                }
+                let inter = if prev_owner != thread {
+                    self.interactions.inter_thread_evictions += 1;
+                    Some(prev_owner)
+                } else {
+                    None
+                };
+                (inter, Some(v.tag * self.cfg.line_bytes), v.dirty)
+            } else {
+                (None, None, false)
+            }
+        };
+        self.lines[base + victim] = L2Line {
+            tag,
+            lru: self.clock,
+            valid: true,
+            dirty: write,
+            owner: thread as u8,
+            last_accessor: thread as u8,
+            prefetched: false,
+        };
+        if self.replacement == ReplacementKind::TreePlru {
+            plru::touch(&mut self.plru_bits[set], ways as u32, victim as u32);
+        }
+        self.owned[set * self.threads + thread] += 1;
+        L2AccessResult {
+            hit: false,
+            inter_thread_hit: false,
+            evicted_other,
+            evicted_line,
+            wrote_back,
+            prefetched_hit: false,
+        }
+    }
+
+    /// Installs `addr`'s line on behalf of `thread`'s prefetcher. Does
+    /// nothing if the line is already resident. The fill follows the same
+    /// victim-selection rules as a demand miss (prefetches respect the
+    /// partition and can pollute exactly like demand fills), but does not
+    /// touch the demand hit/miss or interaction counters. Returns the
+    /// evicted line (for inclusive back-invalidation) and whether the fill
+    /// displaced another thread's line.
+    pub fn prefetch_fill(&mut self, thread: ThreadId, addr: u64) -> L2AccessResult {
+        debug_assert!(thread < self.threads);
+        let tag = self.cfg.tag(addr);
+        let set = match self.mode {
+            PartitionMode::SetPartitioned => {
+                let (start, len) = self.set_ranges[thread];
+                (start + (self.cfg.set_index(addr) as u32 % len)) as usize
+            }
+            _ => self.cfg.set_index(addr) as usize,
+        };
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        if self.lines[base..base + ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+        {
+            return L2AccessResult {
+                hit: true,
+                inter_thread_hit: false,
+                evicted_other: None,
+                evicted_line: None,
+                wrote_back: false,
+                prefetched_hit: false,
+            };
+        }
+        self.clock += 1;
+        let victim = self.choose_victim(set, thread);
+        let (evicted_other, evicted_line, wrote_back) = {
+            let v = &self.lines[base + victim];
+            if v.valid {
+                let prev_owner = v.owner as usize;
+                self.owned[set * self.threads + prev_owner] -= 1;
+                if v.dirty {
+                    self.writebacks[prev_owner] += 1;
+                }
+                let inter = if prev_owner != thread {
+                    self.interactions.inter_thread_evictions += 1;
+                    Some(prev_owner)
+                } else {
+                    None
+                };
+                (inter, Some(v.tag * self.cfg.line_bytes), v.dirty)
+            } else {
+                (None, None, false)
+            }
+        };
+        // Prefetched lines are inserted at LRU-adjacent priority (half a
+        // clock behind MRU would need fractions; inserting with the current
+        // clock is the common simplification).
+        self.lines[base + victim] = L2Line {
+            tag,
+            lru: self.clock,
+            valid: true,
+            dirty: false,
+            owner: thread as u8,
+            last_accessor: thread as u8,
+            prefetched: true,
+        };
+        if self.replacement == ReplacementKind::TreePlru {
+            plru::touch(&mut self.plru_bits[set], ways as u32, victim as u32);
+        }
+        self.owned[set * self.threads + thread] += 1;
+        L2AccessResult {
+            hit: false,
+            inter_thread_hit: false,
+            evicted_other,
+            evicted_line,
+            wrote_back,
+            prefetched_hit: false,
+        }
+    }
+
+    /// Picks a victim way in `set` for a miss by `thread`, per §V.
+    fn choose_victim(&self, set: usize, thread: ThreadId) -> usize {
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        let lines = &self.lines[base..base + ways];
+
+        // Free way first: no eviction needed.
+        if let Some(i) = lines.iter().position(|l| !l.valid) {
+            return i;
+        }
+
+        if self.mode != PartitionMode::Partitioned {
+            // Unpartitioned: global LRU. Set-partitioned: the range is
+            // exclusively the accessor's, so plain LRU within the set is
+            // already isolation.
+            return self.victim_among(set, |_| true).expect("set is full");
+        }
+
+        let owned_here = |t: usize| self.owned[set * self.threads + t] as u32;
+        if owned_here(thread) < self.targets[thread] {
+            // Under quota: take a way from another thread. Prefer victims
+            // whose owners are over their own quota so the set converges to
+            // the target; fall back to any other thread's (P)LRU line.
+            let over_quota = self.victim_among(set, |l| {
+                let o = l.owner as usize;
+                o != thread && owned_here(o) > self.targets[o]
+            });
+            if let Some(i) = over_quota {
+                return i;
+            }
+            if let Some(i) = self.victim_among(set, |l| l.owner as usize != thread) {
+                return i;
+            }
+            // Every line is ours already (can only happen with inconsistent
+            // quotas); fall through to self-eviction.
+        }
+        // At/over quota: evict our own (P)LRU line ("thread-wise LRU"). If
+        // we own nothing in this set yet, steal the set-global victim — a
+        // thread must always be able to make progress.
+        self.victim_among(set, |l| l.owner as usize == thread)
+            .or_else(|| self.victim_among(set, |_| true))
+            .expect("set is full")
+    }
+
+    /// The replacement policy's victim among the valid lines of `set`
+    /// satisfying `pred`: exact LRU ordering or a masked PLRU tree walk.
+    fn victim_among<F: Fn(&L2Line) -> bool>(&self, set: usize, pred: F) -> Option<usize> {
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        let lines = &self.lines[base..base + ways];
+        match self.replacement {
+            ReplacementKind::TrueLru => lru_of(lines, pred),
+            ReplacementKind::TreePlru => {
+                let mut mask = 0u64;
+                for (w, l) in lines.iter().enumerate() {
+                    if l.valid && pred(l) {
+                        mask |= 1 << w;
+                    }
+                }
+                plru::victim(self.plru_bits[set], ways as u32, mask).map(|w| w as usize)
+            }
+        }
+    }
+
+    /// Per-thread hit counters.
+    pub fn hits(&self) -> &[u64] {
+        &self.hits
+    }
+
+    /// Per-thread miss counters.
+    pub fn misses(&self) -> &[u64] {
+        &self.misses
+    }
+
+    /// Per-thread memory writeback counters (dirty evictions, attributed
+    /// to the line owner).
+    pub fn writebacks(&self) -> &[u64] {
+        &self.writebacks
+    }
+
+    /// Inter-thread interaction statistics.
+    pub fn interactions(&self) -> &InteractionStats {
+        &self.interactions
+    }
+
+    /// Total ways currently owned by `thread` across all sets.
+    pub fn ways_owned(&self, thread: ThreadId) -> u64 {
+        (0..self.cfg.num_sets() as usize)
+            .map(|s| self.owned[s * self.threads + thread] as u64)
+            .sum()
+    }
+
+    /// Ways owned by `thread` in one set (tests/diagnostics).
+    pub fn ways_owned_in_set(&self, set: usize, thread: ThreadId) -> u32 {
+        self.owned[set * self.threads + thread] as u32
+    }
+
+    /// Zeroes hit/miss/interaction counters; contents and quotas persist.
+    pub fn reset_counters(&mut self) {
+        self.hits.fill(0);
+        self.misses.fill(0);
+        self.writebacks.fill(0);
+        self.interactions = InteractionStats::default();
+    }
+
+    /// Verifies internal consistency: ownership counters match line owners.
+    /// O(cache size); intended for tests and debug assertions.
+    pub fn check_invariants(&self) {
+        let ways = self.cfg.ways as usize;
+        for set in 0..self.cfg.num_sets() as usize {
+            let mut counts = vec![0u16; self.threads];
+            for line in &self.lines[set * ways..(set + 1) * ways] {
+                if line.valid {
+                    counts[line.owner as usize] += 1;
+                }
+            }
+            for (t, &count) in counts.iter().enumerate() {
+                assert_eq!(
+                    count,
+                    self.owned[set * self.threads + t],
+                    "ownership counter mismatch: set {set} thread {t}"
+                );
+            }
+        }
+    }
+}
+
+/// Splits `ways` into `threads` near-equal integer quotas summing exactly.
+pub fn equal_split(ways: u32, threads: usize) -> Vec<u32> {
+    let base = ways / threads as u32;
+    let extra = (ways as usize % threads) as u32;
+    (0..threads as u32)
+        .map(|t| base + if t < extra { 1 } else { 0 })
+        .collect()
+}
+
+/// Index of the LRU line among those satisfying `pred`, or `None`.
+fn lru_of<F: Fn(&L2Line) -> bool>(lines: &[L2Line], pred: F) -> Option<usize> {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.valid && pred(l))
+        .min_by_key(|(_, l)| l.lru)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1 set x 8 ways cache: makes quota interactions easy to reason about.
+    fn one_set() -> PartitionedL2 {
+        PartitionedL2::new(CacheConfig::new(8 * 64, 8, 64), 4)
+    }
+
+    /// Address of distinct line `i` (all map to set 0 in `one_set`).
+    fn line(i: u64) -> u64 {
+        i * 64
+    }
+
+    #[test]
+    fn equal_split_sums() {
+        assert_eq!(equal_split(64, 4), vec![16, 16, 16, 16]);
+        assert_eq!(equal_split(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(equal_split(64, 8), vec![8; 8]);
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut l2 = one_set();
+        assert!(!l2.access(0, line(1)).hit);
+        assert!(l2.access(0, line(1)).hit);
+        assert!(l2.access(1, line(1)).hit); // cross-thread hit allowed
+        assert_eq!(l2.hits(), &[1, 1, 0, 0]);
+        assert_eq!(l2.misses(), &[1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cross_thread_hit_is_constructive_interaction() {
+        let mut l2 = one_set();
+        l2.access(0, line(1));
+        let r = l2.access(1, line(1));
+        assert!(r.hit && r.inter_thread_hit);
+        // Same thread again: now intra-thread.
+        let r = l2.access(1, line(1));
+        assert!(r.hit && !r.inter_thread_hit);
+        assert_eq!(l2.interactions().inter_thread_hits, 1);
+    }
+
+    #[test]
+    fn unpartitioned_uses_global_lru() {
+        let mut l2 = one_set();
+        for i in 0..8 {
+            l2.access(0, line(i));
+        }
+        // Thread 1 misses: evicts the globally-LRU line 0 despite thread 0
+        // owning everything.
+        let r = l2.access(1, line(100));
+        assert_eq!(r.evicted_other, Some(0));
+        assert!(!l2.access(0, line(0)).hit); // line 0 is gone
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn partitioned_blocks_cross_thread_eviction_when_at_quota() {
+        let mut l2 = one_set();
+        l2.set_targets(&[2, 2, 2, 2]);
+        // Thread 0 fills its quota of 2 and keeps missing: it must now evict
+        // only its own lines, never other threads'.
+        l2.access(1, line(50));
+        l2.access(1, line(51));
+        for i in 0..20 {
+            let r = l2.access(0, line(i));
+            assert!(
+                r.evicted_other.is_none(),
+                "thread 0 evicted another thread's line at i={i}"
+            );
+        }
+        // Thread 1's lines survived thread 0's thrashing.
+        assert!(l2.access(1, line(50)).hit);
+        assert!(l2.access(1, line(51)).hit);
+        // Thread 0 legitimately filled the 6 free ways (eviction control
+        // only restricts *evictions*, not allocation into invalid ways) and
+        // then recycled its own lines.
+        assert_eq!(l2.ways_owned_in_set(0, 0), 6);
+        assert_eq!(l2.ways_owned_in_set(0, 1), 2);
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn under_quota_thread_takes_from_over_quota_thread() {
+        let mut l2 = one_set();
+        // Unpartitioned warm-up: thread 0 grabs all 8 ways.
+        for i in 0..8 {
+            l2.access(0, line(i));
+        }
+        // Now partition 4/4 between threads 0 and 1 (others 0... quotas must
+        // sum to 8 with 4 threads; give mins elsewhere).
+        l2.set_targets(&[3, 3, 1, 1]);
+        // Thread 1 misses: must evict thread 0's lines (over quota).
+        for i in 0..3 {
+            let r = l2.access(1, line(20 + i));
+            assert_eq!(r.evicted_other, Some(0), "miss {i}");
+        }
+        assert_eq!(l2.ways_owned_in_set(0, 1), 3);
+        assert_eq!(l2.ways_owned_in_set(0, 0), 5);
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn gradual_convergence_to_targets() {
+        let mut l2 = one_set();
+        l2.set_targets(&[5, 1, 1, 1]);
+        // All four threads continuously miss over disjoint line pools.
+        for round in 0..50u64 {
+            for t in 0..4usize {
+                l2.access(t, line(1000 * (t as u64 + 1) + round));
+            }
+        }
+        // Converged to the target partition.
+        assert_eq!(l2.ways_owned_in_set(0, 0), 5);
+        assert_eq!(l2.ways_owned_in_set(0, 1), 1);
+        assert_eq!(l2.ways_owned_in_set(0, 2), 1);
+        assert_eq!(l2.ways_owned_in_set(0, 3), 1);
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn repartition_shifts_ownership_without_flush() {
+        let mut l2 = one_set();
+        l2.set_targets(&[5, 1, 1, 1]);
+        for round in 0..50u64 {
+            for t in 0..4usize {
+                l2.access(t, line(1000 * (t as u64 + 1) + round));
+            }
+        }
+        let occupied_before: u64 = (0..4).map(|t| l2.ways_owned(t)).sum();
+        // Flip the partition; keep streaming.
+        l2.set_targets(&[1, 5, 1, 1]);
+        for round in 50..120u64 {
+            for t in 0..4usize {
+                l2.access(t, line(1000 * (t as u64 + 1) + round));
+            }
+        }
+        assert_eq!(l2.ways_owned_in_set(0, 0), 1);
+        assert_eq!(l2.ways_owned_in_set(0, 1), 5);
+        // No lines were lost in the transition.
+        let occupied_after: u64 = (0..4).map(|t| l2.ways_owned(t)).sum();
+        assert_eq!(occupied_before, occupied_after);
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn destructive_evictions_counted() {
+        let mut l2 = one_set();
+        for i in 0..8 {
+            l2.access(0, line(i));
+        }
+        l2.access(1, line(100)); // evicts a thread-0 line
+        assert_eq!(l2.interactions().inter_thread_evictions, 1);
+        // Self-eviction is not inter-thread: pin thread 1 at quota 1 (it
+        // already owns exactly one line) and let it thrash against itself.
+        let before = l2.interactions().inter_thread_evictions;
+        l2.set_targets(&[7, 1, 0, 0]);
+        for i in 200..210 {
+            l2.access(1, line(i));
+        }
+        assert_eq!(l2.interactions().inter_thread_evictions, before);
+        l2.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the way count")]
+    fn bad_targets_rejected() {
+        one_set().set_targets(&[1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one quota per thread")]
+    fn wrong_target_len_rejected() {
+        one_set().set_targets(&[4, 4]);
+    }
+
+    #[test]
+    fn multi_set_cache_partitions_each_set() {
+        // 4 sets x 4 ways, 2 threads.
+        let mut l2 = PartitionedL2::new(CacheConfig::new(16 * 64, 4, 64), 2);
+        l2.set_targets(&[3, 1]);
+        // Both threads stream over many lines in all sets.
+        for i in 0..400u64 {
+            l2.access(0, i * 64);
+            l2.access(1, (1000 + i) * 64);
+        }
+        for set in 0..4 {
+            assert_eq!(l2.ways_owned_in_set(set, 0), 3, "set {set}");
+            assert_eq!(l2.ways_owned_in_set(set, 1), 1, "set {set}");
+        }
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn reset_counters_keeps_contents() {
+        let mut l2 = one_set();
+        l2.access(0, line(1));
+        l2.reset_counters();
+        assert_eq!(l2.hits(), &[0, 0, 0, 0]);
+        assert!(l2.access(0, line(1)).hit); // still cached
+    }
+
+    #[test]
+    fn plru_partitioning_enforces_quotas() {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 64, 8, 64), 4)
+            .with_replacement(ReplacementKind::TreePlru);
+        l2.set_targets(&[5, 1, 1, 1]);
+        for round in 0..50u64 {
+            for t in 0..4usize {
+                l2.access(t, line(1000 * (t as u64 + 1) + round));
+            }
+        }
+        assert_eq!(l2.ways_owned_in_set(0, 0), 5);
+        assert_eq!(l2.ways_owned_in_set(0, 1), 1);
+        assert_eq!(l2.ways_owned_in_set(0, 2), 1);
+        assert_eq!(l2.ways_owned_in_set(0, 3), 1);
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn plru_blocks_cross_thread_eviction_at_quota() {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 64, 8, 64), 4)
+            .with_replacement(ReplacementKind::TreePlru);
+        l2.set_targets(&[2, 2, 2, 2]);
+        l2.access(1, line(50));
+        l2.access(1, line(51));
+        for i in 0..20 {
+            let r = l2.access(0, line(i));
+            assert!(r.evicted_other.is_none(), "i={i}");
+        }
+        assert!(l2.access(1, line(50)).hit);
+        assert!(l2.access(1, line(51)).hit);
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn plru_hit_rate_close_to_lru_for_looping_thread(){
+        // A loop fitting in the ways: after warmup both policies hit 100%.
+        for kind in [ReplacementKind::TrueLru, ReplacementKind::TreePlru] {
+            let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 64, 8, 64), 1)
+                .with_replacement(kind);
+            for _ in 0..10 {
+                for i in 0..8 {
+                    l2.access(0, line(i));
+                }
+            }
+            assert_eq!(l2.misses()[0], 8, "{kind:?}: only compulsory misses");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn plru_rejects_non_power_of_two_ways() {
+        // 3-way cache: PLRU cannot be used.
+        let _ = PartitionedL2::new(CacheConfig::new(2 * 3 * 64, 3, 64), 2)
+            .with_replacement(ReplacementKind::TreePlru);
+    }
+
+    #[test]
+    fn reconfigure_enforcement_trims_instantly() {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 64, 8, 64), 4)
+            .with_enforcement(EnforcementKind::Reconfigure);
+        // Thread 0 fills the whole set.
+        for i in 0..8 {
+            l2.access(0, line(i));
+        }
+        assert_eq!(l2.ways_owned_in_set(0, 0), 8);
+        // Applying a 2/2/2/2 partition instantly drops thread 0 to 2 lines.
+        l2.set_targets(&[2, 2, 2, 2]);
+        assert_eq!(l2.ways_owned_in_set(0, 0), 2);
+        l2.check_invariants();
+        // The data is gone: the most recent two lines survive, the rest
+        // miss on re-access.
+        assert!(l2.access(0, line(7)).hit);
+        assert!(l2.access(0, line(6)).hit);
+        assert!(!l2.access(0, line(0)).hit);
+    }
+
+    #[test]
+    fn reconfigure_writes_back_dirty_victims() {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 64, 8, 64), 2)
+            .with_enforcement(EnforcementKind::Reconfigure);
+        for i in 0..4 {
+            l2.access_rw(0, line(i), true); // dirty lines
+        }
+        l2.set_targets(&[1, 7]);
+        assert_eq!(l2.ways_owned_in_set(0, 0), 1);
+        assert_eq!(l2.writebacks()[0], 3);
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn replacement_enforcement_keeps_data() {
+        // Contrast case: the default mechanism keeps all lines resident
+        // when the partition is applied.
+        let mut l2 = one_set();
+        for i in 0..8 {
+            l2.access(0, line(i));
+        }
+        l2.set_targets(&[2, 2, 2, 2]);
+        assert_eq!(l2.ways_owned_in_set(0, 0), 8); // nothing dropped yet
+        for i in 0..8 {
+            assert!(l2.access(0, line(i)).hit, "line {i} must survive");
+        }
+    }
+
+    #[test]
+    fn set_partition_ranges_cover_all_sets() {
+        // 8 sets x 8 ways, 4 threads.
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 8 * 64, 8, 64), 4);
+        l2.set_set_partition(&[4, 2, 1, 1]);
+        let ranges = l2.set_ranges().to_vec();
+        assert_eq!(ranges.len(), 4);
+        let total: u32 = ranges.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 8);
+        // Contiguous and ordered.
+        let mut next = 0;
+        for (start, len) in ranges {
+            assert_eq!(start, next);
+            assert!(len >= 1);
+            next = start + len;
+        }
+        // Proportionality: thread 0 (half the quota) gets the biggest range.
+        assert!(l2.set_ranges()[0].1 >= l2.set_ranges()[1].1);
+    }
+
+    #[test]
+    fn set_partition_isolates_threads_completely() {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 8 * 64, 8, 64), 2);
+        l2.set_set_partition(&[4, 4]);
+        // Thread 0 warms lines; thread 1 thrashes over a huge pool. Thread
+        // 0's lines must be untouchable.
+        for i in 0..16 {
+            l2.access(0, line(i));
+        }
+        let misses_before = l2.misses()[0];
+        for i in 0..500 {
+            l2.access(1, line(1000 + i));
+        }
+        for i in 0..16 {
+            l2.access(0, line(i));
+        }
+        // Thread 0's second pass: all hits (its range holds 4 sets x 8
+        // ways = 32 lines >= 16).
+        assert_eq!(l2.misses()[0], misses_before);
+        assert_eq!(l2.interactions().inter_thread_evictions, 0);
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn set_partition_replicates_shared_lines() {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 8 * 64, 8, 64), 2);
+        l2.set_set_partition(&[4, 4]);
+        // Both threads access the same address: each misses once (the line
+        // is replicated into both ranges) — no constructive sharing, the
+        // private-cache drawback the paper describes.
+        assert!(!l2.access(0, line(7)).hit);
+        assert!(!l2.access(1, line(7)).hit);
+        assert!(l2.access(0, line(7)).hit);
+        assert!(l2.access(1, line(7)).hit);
+        l2.check_invariants();
+    }
+
+    #[test]
+    fn way_partition_shares_where_set_partition_replicates() {
+        // The contrast case: way partitioning lets thread 1 hit thread 0's
+        // line.
+        let mut l2 = one_set();
+        l2.set_targets(&[2, 2, 2, 2]);
+        assert!(!l2.access(0, line(7)).hit);
+        assert!(l2.access(1, line(7)).hit); // constructive sharing survives
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the way count")]
+    fn set_partition_validates_quotas() {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 8 * 64, 8, 64), 2);
+        l2.set_set_partition(&[3, 3]);
+    }
+
+    #[test]
+    fn zero_quota_thread_still_progresses() {
+        let mut l2 = one_set();
+        l2.set_targets(&[8, 0, 0, 0]);
+        // Thread 1 has quota 0 but must still be able to allocate (it evicts
+        // its own lines once it has any; the first allocation steals LRU).
+        assert!(!l2.access(1, line(1)).hit);
+        assert!(l2.access(1, line(1)).hit);
+        l2.check_invariants();
+    }
+}

@@ -1,0 +1,185 @@
+//! Tree pseudo-LRU (PLRU) replacement state.
+//!
+//! The paper's simulated L2 is 64-way associative with LRU replacement;
+//! real hardware at that associativity uses tree PLRU (one bit per internal
+//! node of a binary tree over the ways) because exact LRU state is too
+//! expensive. This module provides the PLRU machinery so the simulator can
+//! answer a practical question the paper leaves open: does replacement-based
+//! way partitioning still work when the underlying policy is the hardware's
+//! approximation rather than exact LRU? (See the `ablation_replacement`
+//! bench.)
+//!
+//! State per set fits in a `u64` for up to 64 ways: internal node `n`
+//! (heap-indexed from 1) holds one bit; 0 = the *left* subtree is older
+//! (victim side), 1 = the right subtree is. Touching a way flips the bits
+//! on its root path to point away from it; the victim walk follows the
+//! bits, constrained to a candidate mask (the partition-enforcement rules
+//! restrict which ways are evictable).
+
+/// Marks `way` as most-recently-used: all bits on its root path point away
+/// from it.
+///
+/// `ways` must be a power of two, `way < ways <= 64`.
+#[inline]
+pub fn touch(bits: &mut u64, ways: u32, way: u32) {
+    debug_assert!(ways.is_power_of_two() && ways <= 64 && way < ways);
+    let mut node = 1u32;
+    let mut lo = 0u32;
+    let mut hi = ways;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if way < mid {
+            // Accessed way lives left: point the bit right (older side).
+            *bits |= 1 << node;
+            node *= 2;
+            hi = mid;
+        } else {
+            *bits &= !(1 << node);
+            node = 2 * node + 1;
+            lo = mid;
+        }
+    }
+}
+
+/// Walks the tree toward the pseudo-least-recently-used way, restricted to
+/// the ways set in `mask`. Returns `None` if the mask is empty.
+///
+/// At each node the walk follows the bit's direction unless that subtree
+/// contains no candidate, in which case it takes the other side — the same
+/// masked-victim walk hardware way-partitioning (e.g. Intel CAT) performs.
+#[inline]
+pub fn victim(bits: u64, ways: u32, mask: u64) -> Option<u32> {
+    debug_assert!(ways.is_power_of_two() && ways <= 64);
+    let full = if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 };
+    let mask = mask & full;
+    if mask == 0 {
+        return None;
+    }
+    let mut node = 1u32;
+    let mut lo = 0u32;
+    let mut hi = ways;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let left_mask = submask(mask, lo, mid);
+        let right_mask = submask(mask, mid, hi);
+        let go_right = if (bits >> node) & 1 == 1 {
+            // Bit points right (right is older) — go right if possible.
+            right_mask != 0
+        } else {
+            // Bit points left — go left unless empty.
+            left_mask == 0
+        };
+        if go_right {
+            node = 2 * node + 1;
+            lo = mid;
+        } else {
+            node *= 2;
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// The bits of `mask` covering ways `[lo, hi)`.
+#[inline]
+fn submask(mask: u64, lo: u32, hi: u32) -> u64 {
+    let width = hi - lo;
+    let field = if width == 64 { u64::MAX } else { ((1u64 << width) - 1) << lo };
+    mask & field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_respects_mask() {
+        let bits = 0u64;
+        for ways in [2u32, 4, 8, 16, 64] {
+            for way in 0..ways.min(16) {
+                let v = victim(bits, ways, 1 << way).unwrap();
+                assert_eq!(v, way, "single-candidate mask must return it");
+            }
+        }
+        assert_eq!(victim(bits, 8, 0), None);
+    }
+
+    #[test]
+    fn untouched_tree_picks_way_zero() {
+        assert_eq!(victim(0, 8, u64::MAX), Some(0));
+    }
+
+    #[test]
+    fn touched_way_is_not_the_next_victim() {
+        let ways = 8;
+        let mut bits = 0u64;
+        for way in 0..ways {
+            touch(&mut bits, ways, way);
+            let v = victim(bits, ways, u64::MAX).unwrap();
+            assert_ne!(v, way, "just-touched way must be protected");
+        }
+    }
+
+    #[test]
+    fn sequential_touches_approximate_lru() {
+        // Touch 0..8 in order: the PLRU victim must be one of the earliest
+        // touched ways (exact LRU would say 0; tree PLRU guarantees the
+        // victim is in the "older half" at every level, so way < 4 here...
+        // in fact for a full in-order pass the victim is exactly way 0).
+        let ways = 8;
+        let mut bits = 0u64;
+        for way in 0..ways {
+            touch(&mut bits, ways, way);
+        }
+        assert_eq!(victim(bits, ways, u64::MAX), Some(0));
+    }
+
+    #[test]
+    fn repeated_hits_cycle_through_all_ways() {
+        // Fill 4 ways, then keep touching the victim: every way must get
+        // evicted eventually (no starvation).
+        let ways = 4;
+        let mut bits = 0u64;
+        let mut seen = [false; 4];
+        for _ in 0..32 {
+            let v = victim(bits, ways, u64::MAX).unwrap();
+            seen[v as usize] = true;
+            touch(&mut bits, ways, v);
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn masked_walk_redirects_when_preferred_side_empty() {
+        let ways = 8;
+        let mut bits = 0u64;
+        // Touch everything in the left half so the tree points right.
+        for way in 0..4 {
+            touch(&mut bits, ways, way);
+        }
+        // But mask only allows left-half ways: the walk must redirect.
+        let v = victim(bits, ways, 0b0000_1111).unwrap();
+        assert!(v < 4, "victim {v} outside mask");
+    }
+
+    #[test]
+    fn works_at_64_ways() {
+        let ways = 64;
+        let mut bits = 0u64;
+        for way in 0..64 {
+            touch(&mut bits, ways, way);
+        }
+        let v = victim(bits, ways, u64::MAX).unwrap();
+        assert_eq!(v, 0);
+        // Mask out the low half.
+        let v = victim(bits, ways, !0u64 << 32).unwrap();
+        assert!(v >= 32);
+    }
+
+    #[test]
+    fn submask_extracts_range() {
+        assert_eq!(submask(0b1111_0000, 4, 8), 0b1111_0000);
+        assert_eq!(submask(0b1111_0000, 0, 4), 0);
+        assert_eq!(submask(u64::MAX, 0, 64), u64::MAX);
+    }
+}

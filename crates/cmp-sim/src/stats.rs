@@ -1,0 +1,243 @@
+//! Performance counters: per-thread execution statistics and inter-thread
+//! cache interaction tracking.
+//!
+//! These are the software analogue of the hardware performance monitors the
+//! paper's runtime system reads at each execution interval (§VI-C): cycle
+//! counts, instruction counts, hits and misses per thread, plus the
+//! interaction classification used for Figures 8 and 9.
+
+use crate::ThreadId;
+
+/// Inter-thread cache interaction counters (paper §IV-A2).
+///
+/// An access is an *inter-thread interaction* when the previous access to
+/// the same cache line came from a different thread. The constructive form
+/// is a cross-thread **hit** (data one thread brought in serving another);
+/// the destructive form is a cross-thread **eviction**.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InteractionStats {
+    /// All L2 accesses observed.
+    pub total_accesses: u64,
+    /// Hits on a line last touched by a different thread (constructive).
+    pub inter_thread_hits: u64,
+    /// Evictions of a line owned by a different thread (destructive).
+    pub inter_thread_evictions: u64,
+}
+
+impl InteractionStats {
+    /// Fraction of all interactions that are inter-thread (Figure 8).
+    pub fn inter_thread_fraction(&self) -> f64 {
+        if self.total_accesses == 0 {
+            return 0.0;
+        }
+        (self.inter_thread_hits + self.inter_thread_evictions) as f64
+            / self.total_accesses as f64
+    }
+
+    /// Fraction of inter-thread interactions that are constructive
+    /// (Figure 9).
+    pub fn constructive_fraction(&self) -> f64 {
+        let inter = self.inter_thread_hits + self.inter_thread_evictions;
+        if inter == 0 {
+            return 0.0;
+        }
+        self.inter_thread_hits as f64 / inter as f64
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &InteractionStats) {
+        self.total_accesses += other.total_accesses;
+        self.inter_thread_hits += other.inter_thread_hits;
+        self.inter_thread_evictions += other.inter_thread_evictions;
+    }
+}
+
+/// Cumulative per-thread execution counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadCounters {
+    /// Instructions retired (memory and non-memory).
+    pub instructions: u64,
+    /// Cycles spent executing (excludes barrier-wait stalls).
+    pub active_cycles: u64,
+    /// Cycles spent stalled at barriers waiting for slower threads — the
+    /// paper's "slack time".
+    pub barrier_stall_cycles: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L1 misses (these proceed to the L2).
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (these go to memory).
+    pub l2_misses: u64,
+    /// Dirty L1 victims written back into the L2.
+    pub l1_writebacks: u64,
+    /// Dirty L2 victims written back to memory (attributed to the line
+    /// owner).
+    pub l2_writebacks: u64,
+    /// Peer-L1 lines invalidated by this thread's stores (write-invalidate
+    /// coherence; 0 unless [`crate::SystemConfig::coherence`] is on).
+    pub coherence_invalidations: u64,
+    /// L2 lines installed by this thread's prefetcher (0 unless
+    /// [`crate::SystemConfig::prefetch_degree`] > 0).
+    pub prefetch_fills: u64,
+    /// Demand hits on lines the prefetcher installed (useful prefetches).
+    pub prefetch_hits: u64,
+    /// L2 misses serviced by the victim cache (0 unless
+    /// [`crate::SystemConfig::victim_cache_lines`] > 0).
+    pub victim_hits: u64,
+}
+
+impl ThreadCounters {
+    /// Cycles-per-instruction over the *active* (non-stalled) execution —
+    /// the metric the paper's policies use to find the critical path thread.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.active_cycles as f64 / self.instructions as f64
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &ThreadCounters) {
+        self.instructions += other.instructions;
+        self.active_cycles += other.active_cycles;
+        self.barrier_stall_cycles += other.barrier_stall_cycles;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.l1_writebacks += other.l1_writebacks;
+        self.l2_writebacks += other.l2_writebacks;
+        self.coherence_invalidations += other.coherence_invalidations;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetch_hits += other.prefetch_hits;
+        self.victim_hits += other.victim_hits;
+    }
+
+    /// Element-wise difference (`self - earlier`); used to derive interval
+    /// deltas from cumulative counters.
+    pub fn delta_since(&self, earlier: &ThreadCounters) -> ThreadCounters {
+        ThreadCounters {
+            instructions: self.instructions - earlier.instructions,
+            active_cycles: self.active_cycles - earlier.active_cycles,
+            barrier_stall_cycles: self.barrier_stall_cycles - earlier.barrier_stall_cycles,
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            l1_writebacks: self.l1_writebacks - earlier.l1_writebacks,
+            l2_writebacks: self.l2_writebacks - earlier.l2_writebacks,
+            coherence_invalidations: self.coherence_invalidations
+                - earlier.coherence_invalidations,
+            prefetch_fills: self.prefetch_fills - earlier.prefetch_fills,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            victim_hits: self.victim_hits - earlier.victim_hits,
+        }
+    }
+}
+
+/// Whole-run statistics for all threads.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalStats {
+    /// Cumulative per-thread counters.
+    pub threads: Vec<ThreadCounters>,
+    /// Cumulative interaction stats.
+    pub interactions: InteractionStats,
+}
+
+impl GlobalStats {
+    /// Creates zeroed stats for `n` threads.
+    pub fn new(n: usize) -> Self {
+        GlobalStats { threads: vec![ThreadCounters::default(); n], interactions: InteractionStats::default() }
+    }
+
+    /// Counters of one thread.
+    pub fn thread(&self, t: ThreadId) -> &ThreadCounters {
+        &self.threads[t]
+    }
+
+    /// Total instructions retired across all threads.
+    pub fn total_instructions(&self) -> u64 {
+        self.threads.iter().map(|t| t.instructions).sum()
+    }
+
+    /// Application-level CPI: total cycles (max thread wall time) would
+    /// require the scheduler's view; this helper gives the aggregate
+    /// instruction-weighted CPI the paper's Figure 18 reports as "overall
+    /// CPI" — total active cycles over total instructions.
+    pub fn overall_cpi(&self) -> f64 {
+        let insts = self.total_instructions();
+        if insts == 0 {
+            return 0.0;
+        }
+        let cycles: u64 = self.threads.iter().map(|t| t.active_cycles).sum();
+        cycles as f64 / insts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_basic() {
+        let c = ThreadCounters { instructions: 100, active_cycles: 450, ..Default::default() };
+        assert!((c.cpi() - 4.5).abs() < 1e-12);
+        assert_eq!(ThreadCounters::default().cpi(), 0.0);
+    }
+
+    #[test]
+    fn delta_since() {
+        let a = ThreadCounters {
+            instructions: 100,
+            active_cycles: 400,
+            l2_misses: 10,
+            ..Default::default()
+        };
+        let b = ThreadCounters {
+            instructions: 250,
+            active_cycles: 900,
+            l2_misses: 25,
+            ..Default::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.instructions, 150);
+        assert_eq!(d.active_cycles, 500);
+        assert_eq!(d.l2_misses, 15);
+    }
+
+    #[test]
+    fn interaction_fractions() {
+        let i = InteractionStats {
+            total_accesses: 200,
+            inter_thread_hits: 15,
+            inter_thread_evictions: 5,
+        };
+        assert!((i.inter_thread_fraction() - 0.1).abs() < 1e-12);
+        assert!((i.constructive_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(InteractionStats::default().inter_thread_fraction(), 0.0);
+        assert_eq!(InteractionStats::default().constructive_fraction(), 0.0);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut a = ThreadCounters { instructions: 10, ..Default::default() };
+        a.add(&ThreadCounters { instructions: 5, l1_hits: 3, ..Default::default() });
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.l1_hits, 3);
+
+        let mut i = InteractionStats::default();
+        i.add(&InteractionStats { total_accesses: 7, inter_thread_hits: 2, inter_thread_evictions: 1 });
+        assert_eq!(i.total_accesses, 7);
+    }
+
+    #[test]
+    fn overall_cpi_weights_by_instructions() {
+        let mut g = GlobalStats::new(2);
+        g.threads[0] = ThreadCounters { instructions: 100, active_cycles: 100, ..Default::default() };
+        g.threads[1] = ThreadCounters { instructions: 100, active_cycles: 300, ..Default::default() };
+        assert!((g.overall_cpi() - 2.0).abs() < 1e-12);
+        assert_eq!(g.total_instructions(), 200);
+    }
+}

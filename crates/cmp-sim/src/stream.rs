@@ -1,0 +1,118 @@
+//! The interface between workloads and the simulator.
+//!
+//! A thread's execution is abstracted as a stream of [`ThreadEvent`]s:
+//! memory accesses separated by runs of non-memory instructions, barrier
+//! arrivals delimiting parallel sections (§III-B), and termination. The
+//! `icp-workloads` crate provides synthetic generators; traces or other
+//! sources can implement [`AccessStream`] too.
+
+/// One event in a thread's instruction stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadEvent {
+    /// `gap` non-memory instructions followed by one memory access to
+    /// byte address `addr`.
+    Access {
+        /// Non-memory instructions retired before the access (1 cycle each).
+        gap: u32,
+        /// Byte address accessed.
+        addr: u64,
+        /// Whether the access is a store. Timing treats loads and stores
+        /// identically (no write-buffer model); the flag exists so stream
+        /// implementations can carry it and future models can use it.
+        write: bool,
+        /// Memory-level parallelism of this access, in tenths (10 = no
+        /// overlap). On an L2 miss the DRAM portion of the latency is
+        /// divided by `mlp_tenths / 10`: streaming/prefetchable access
+        /// patterns overlap their misses (high MLP, cheap per-miss stall)
+        /// while dependent pointer-chasing misses serialise (MLP 1.0).
+        /// This is what lets a polluter thread insert lines at a high rate
+        /// without its CPI exploding — the behaviour behind the paper's
+        /// "threads with not so good cache behavior occupying most of the
+        /// shared cache with very little performance gain" (§I).
+        mlp_tenths: u16,
+    },
+    /// The thread arrived at a barrier ending the current parallel section.
+    /// It stalls until every unfinished thread arrives.
+    Barrier,
+    /// The thread has retired all of its work.
+    Finished,
+}
+
+impl ThreadEvent {
+    /// A plain read access with no miss overlap (MLP 1.0) — the common
+    /// case in tests and traces.
+    pub fn access(gap: u32, addr: u64) -> Self {
+        ThreadEvent::Access { gap, addr, write: false, mlp_tenths: 10 }
+    }
+}
+
+/// A per-thread instruction/access stream consumed by the simulator.
+pub trait AccessStream {
+    /// Returns the next event. After returning [`ThreadEvent::Finished`]
+    /// the stream will not be polled again.
+    fn next_event(&mut self) -> ThreadEvent;
+}
+
+/// Blanket impl so closures can serve as streams in tests.
+impl<F: FnMut() -> ThreadEvent> AccessStream for F {
+    fn next_event(&mut self) -> ThreadEvent {
+        self()
+    }
+}
+
+/// A stream replaying a fixed event sequence, then `Finished`. Useful in
+/// tests and for trace-driven simulation.
+#[derive(Clone, Debug)]
+pub struct ReplayStream {
+    events: Vec<ThreadEvent>,
+    pos: usize,
+}
+
+impl ReplayStream {
+    /// Creates a stream that yields `events` in order, then `Finished`
+    /// forever.
+    pub fn new(events: Vec<ThreadEvent>) -> Self {
+        ReplayStream { events, pos: 0 }
+    }
+}
+
+impl AccessStream for ReplayStream {
+    fn next_event(&mut self) -> ThreadEvent {
+        let e = self.events.get(self.pos).copied().unwrap_or(ThreadEvent::Finished);
+        self.pos += 1;
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_yields_then_finishes() {
+        let mut s = ReplayStream::new(vec![
+            ThreadEvent::access(2, 64),
+            ThreadEvent::Barrier,
+        ]);
+        assert_eq!(s.next_event(), ThreadEvent::access(2, 64));
+        assert_eq!(s.next_event(), ThreadEvent::Barrier);
+        assert_eq!(s.next_event(), ThreadEvent::Finished);
+        assert_eq!(s.next_event(), ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn closure_stream() {
+        let mut n = 0u32;
+        let mut s = move || {
+            n += 1;
+            if n <= 2 {
+                ThreadEvent::access(0, 0)
+            } else {
+                ThreadEvent::Finished
+            }
+        };
+        assert!(matches!(AccessStream::next_event(&mut s), ThreadEvent::Access { .. }));
+        assert!(matches!(AccessStream::next_event(&mut s), ThreadEvent::Access { .. }));
+        assert!(matches!(AccessStream::next_event(&mut s), ThreadEvent::Finished));
+    }
+}

@@ -1,0 +1,326 @@
+//! Trace recording and replay.
+//!
+//! The paper drives its simulator from full-system execution; this module
+//! provides the equivalent decoupling for this library: any
+//! [`AccessStream`] can be captured into a [`Trace`], serialised to a
+//! compact binary format, and replayed later — enabling
+//! record-once/simulate-many experiments (e.g. sweeping partitioning
+//! schemes over the exact same access sequence) and interchange with
+//! external trace producers.
+//!
+//! ## Binary format
+//!
+//! Little-endian, versioned:
+//!
+//! ```text
+//! magic  u32  = 0x49435054 ("ICPT")
+//! version u32 = 1
+//! count  u64  = number of events
+//! event* :
+//!   tag   u8   (0 = access, 1 = barrier, 2 = finished)
+//!   access payload (tag 0 only):
+//!     gap        u32
+//!     addr       u64
+//!     flags      u8   (bit 0 = write)
+//!     mlp_tenths u16
+//! ```
+
+use crate::stream::{AccessStream, ThreadEvent};
+
+const MAGIC: u32 = 0x4943_5054;
+const VERSION: u32 = 1;
+
+/// Errors from trace decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// Wrong magic number — not a trace file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Input ended mid-event or the declared count doesn't match.
+    Truncated,
+    /// Unknown event tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not an ICP trace (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::BadTag(t) => write!(f, "unknown event tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A recorded single-thread event sequence.
+///
+/// # Examples
+///
+/// ```
+/// use icp_cmp_sim::{Trace, ThreadEvent};
+///
+/// let trace = Trace::from_events(vec![
+///     ThreadEvent::access(3, 0x40),
+///     ThreadEvent::Barrier,
+/// ]);
+/// let bytes = trace.to_bytes();
+/// assert_eq!(Trace::from_bytes(&bytes).unwrap(), trace);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<ThreadEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Wraps an explicit event sequence.
+    pub fn from_events(events: Vec<ThreadEvent>) -> Self {
+        Trace { events }
+    }
+
+    /// Drains `stream` until it finishes (or `max_events` is hit) and
+    /// records everything. The trailing `Finished` is not stored — replay
+    /// re-synthesises it.
+    pub fn record<S: AccessStream>(stream: &mut S, max_events: usize) -> Self {
+        let mut events = Vec::new();
+        while events.len() < max_events {
+            match stream.next_event() {
+                ThreadEvent::Finished => break,
+                e => events.push(e),
+            }
+        }
+        Trace { events }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[ThreadEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total instructions the trace retires when replayed.
+    pub fn instructions(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                ThreadEvent::Access { gap, .. } => *gap as u64 + 1,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Serialises to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.events.len() * 16);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for e in &self.events {
+            match e {
+                ThreadEvent::Access { gap, addr, write, mlp_tenths } => {
+                    out.push(0);
+                    out.extend_from_slice(&gap.to_le_bytes());
+                    out.extend_from_slice(&addr.to_le_bytes());
+                    out.push(u8::from(*write));
+                    out.extend_from_slice(&mlp_tenths.to_le_bytes());
+                }
+                ThreadEvent::Barrier => out.push(1),
+                ThreadEvent::Finished => out.push(2),
+            }
+        }
+        out
+    }
+
+    /// Parses the binary format back into a trace.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TraceError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.u32()? != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(TraceError::BadVersion(version));
+        }
+        let count = r.u64()? as usize;
+        let mut events = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let tag = r.u8()?;
+            let e = match tag {
+                0 => {
+                    let gap = r.u32()?;
+                    let addr = r.u64()?;
+                    let flags = r.u8()?;
+                    let mlp_tenths = r.u16()?;
+                    ThreadEvent::Access { gap, addr, write: flags & 1 == 1, mlp_tenths }
+                }
+                1 => ThreadEvent::Barrier,
+                2 => ThreadEvent::Finished,
+                t => return Err(TraceError::BadTag(t)),
+            };
+            events.push(e);
+        }
+        Ok(Trace { events })
+    }
+
+    /// Consumes the trace into a replayable stream (yields the events,
+    /// then `Finished` forever).
+    pub fn into_stream(self) -> crate::stream::ReplayStream {
+        crate::stream::ReplayStream::new(self.events)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], TraceError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(TraceError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ReplayStream;
+
+    fn sample_events() -> Vec<ThreadEvent> {
+        vec![
+            ThreadEvent::Access { gap: 3, addr: 0x1234_5678_9abc, write: false, mlp_tenths: 10 },
+            ThreadEvent::Access { gap: 0, addr: 64, write: true, mlp_tenths: 60 },
+            ThreadEvent::Barrier,
+            ThreadEvent::Access { gap: 7, addr: 128, write: false, mlp_tenths: 10 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_events() {
+        let t = Trace::from_events(sample_events());
+        let bytes = t.to_bytes();
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn record_stops_at_finished() {
+        let mut s = ReplayStream::new(sample_events());
+        let t = Trace::record(&mut s, 1000);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.instructions(), 4 + 1 + 8);
+    }
+
+    #[test]
+    fn record_honours_limit() {
+        let mut s = ReplayStream::new(sample_events());
+        let t = Trace::record(&mut s, 2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn replay_matches_original() {
+        let t = Trace::from_events(sample_events());
+        let mut s = t.clone().into_stream();
+        for e in t.events() {
+            assert_eq!(s.next_event(), *e);
+        }
+        assert_eq!(s.next_event(), ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Trace::from_bytes(b"nope"), Err(TraceError::BadMagic));
+        assert_eq!(Trace::from_bytes(b"no"), Err(TraceError::Truncated));
+        assert_eq!(
+            Trace::from_bytes(&0u32.to_le_bytes().repeat(4)),
+            Err(TraceError::BadMagic)
+        );
+        // Valid magic, bad version.
+        let mut b = MAGIC.to_le_bytes().to_vec();
+        b.extend_from_slice(&99u32.to_le_bytes());
+        b.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(Trace::from_bytes(&b), Err(TraceError::BadVersion(99)));
+        // Truncated payload.
+        let t = Trace::from_events(sample_events());
+        let bytes = t.to_bytes();
+        assert_eq!(Trace::from_bytes(&bytes[..bytes.len() - 1]), Err(TraceError::Truncated));
+        // Bad tag.
+        let mut b = MAGIC.to_le_bytes().to_vec();
+        b.extend_from_slice(&VERSION.to_le_bytes());
+        b.extend_from_slice(&1u64.to_le_bytes());
+        b.push(7);
+        assert_eq!(Trace::from_bytes(&b), Err(TraceError::BadTag(7)));
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        let back = Trace::from_bytes(&t.to_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn simulation_from_recorded_trace_is_identical() {
+        use crate::config::SystemConfig;
+        use crate::simulator::Simulator;
+
+        // Record a synthetic-ish stream, then run the simulator twice: once
+        // from a fresh replay of the recording, once from another replay.
+        let events: Vec<ThreadEvent> = (0..200)
+            .map(|i| ThreadEvent::Access {
+                gap: (i % 5) as u32,
+                addr: ((i * 37) % 512) * 64,
+                write: i % 3 == 0,
+                mlp_tenths: 10,
+            })
+            .collect();
+        let mut cfg = SystemConfig::scaled_down();
+        cfg.cores = 1;
+        cfg.interval_instructions = 100;
+        let run = |events: Vec<ThreadEvent>| {
+            let tr = Trace::from_events(events);
+            let mut sim = Simulator::new(cfg, vec![Box::new(tr.into_stream())]);
+            while sim.run_interval().is_some() {}
+            (sim.wall_cycles(), sim.stats().threads[0])
+        };
+        let (w1, c1) = run(events.clone());
+        let (w2, c2) = run(events);
+        assert_eq!(w1, w2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,284 @@
+//! Utility monitors (UMON): per-thread way-utility profiling via sampled
+//! auxiliary tag directories.
+//!
+//! The throughput-oriented baseline the paper compares against (§IV-B,
+//! Figure 21) descends from Suh et al. / UCP-style schemes, which need to
+//! know how many hits each thread would get *as a function of allocated
+//! ways*. The standard hardware for that is an auxiliary tag directory
+//! (ATD): for a sample of cache sets, each thread gets a private, full-width
+//! LRU tag stack that behaves as if the thread owned the whole cache. A hit
+//! at LRU stack position `d` means "this access hits iff the thread has at
+//! least `d+1` ways", so a histogram of hit positions yields the whole
+//! hits-vs-ways curve at once (the LRU *inclusion* property).
+//!
+//! This module is also exposed as a public profiling API: the `icp-core`
+//! runtime does not need it (the paper's scheme learns CPI curves from
+//! observed behaviour instead), but the UCP baseline and the ablation
+//! benches do.
+
+use crate::config::CacheConfig;
+use crate::ThreadId;
+
+/// A sampled-set, per-thread auxiliary tag directory with LRU stack-position
+/// hit counters.
+///
+/// # Examples
+///
+/// ```
+/// use icp_cmp_sim::{CacheConfig, UtilityMonitor};
+///
+/// let l2 = CacheConfig::new(64 * 1024, 16, 64);
+/// let mut umon = UtilityMonitor::new(&l2, 2, 1);
+/// // Thread 0 loops over two lines: one extra way doubles its hits.
+/// for _ in 0..10 {
+///     umon.observe(0, 0x000);
+///     umon.observe(0, 0x40_000); // same set, different tag
+/// }
+/// assert!(umon.hits_with_ways(0, 2) > umon.hits_with_ways(0, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UtilityMonitor {
+    ways: usize,
+    threads: usize,
+    set_mask: u64,
+    sample_every: u64,
+    line_bytes: u64,
+    num_sets: u64,
+    /// `threads * sampled_sets` MRU-first tag stacks (each at most `ways`
+    /// long).
+    stacks: Vec<Vec<u64>>,
+    /// `threads * ways` hit counters by stack position.
+    way_hits: Vec<u64>,
+    /// Per-thread ATD misses (would miss even with all ways).
+    atd_misses: Vec<u64>,
+}
+
+impl UtilityMonitor {
+    /// Creates a monitor for the given L2 geometry, sampling one in
+    /// `sample_every` sets (must divide the set count and be a power of
+    /// two; pass 1 to sample every set).
+    pub fn new(l2: &CacheConfig, threads: usize, sample_every: u64) -> Self {
+        assert!(threads > 0);
+        assert!(sample_every.is_power_of_two(), "sampling stride must be a power of two");
+        let num_sets = l2.num_sets();
+        assert!(sample_every <= num_sets, "stride exceeds set count");
+        let sampled = (num_sets / sample_every) as usize;
+        UtilityMonitor {
+            ways: l2.ways as usize,
+            threads,
+            set_mask: num_sets - 1,
+            sample_every,
+            line_bytes: l2.line_bytes,
+            num_sets,
+            stacks: vec![Vec::new(); threads * sampled],
+            way_hits: vec![0; threads * l2.ways as usize],
+            atd_misses: vec![0; threads],
+        }
+    }
+
+    /// Number of sampled sets.
+    pub fn sampled_sets(&self) -> usize {
+        (self.num_sets / self.sample_every) as usize
+    }
+
+    /// Number of profiled threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Way count of the monitored cache.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Feeds one access into the monitor. Non-sampled sets are ignored, so
+    /// this is cheap to call for every access.
+    pub fn observe(&mut self, thread: ThreadId, addr: u64) {
+        debug_assert!(thread < self.threads);
+        let set = (addr / self.line_bytes) & self.set_mask;
+        if !set.is_multiple_of(self.sample_every) {
+            return;
+        }
+        let tag = addr / self.line_bytes;
+        let sampled_idx = (set / self.sample_every) as usize;
+        let sampled = (self.num_sets / self.sample_every) as usize;
+        let stack = &mut self.stacks[thread * sampled + sampled_idx];
+        if let Some(pos) = stack.iter().position(|&t| t == tag) {
+            // Hit at stack distance `pos`: counts toward every allocation of
+            // more than `pos` ways. Move to MRU.
+            self.way_hits[thread * self.ways + pos] += 1;
+            stack.remove(pos);
+            stack.insert(0, tag);
+        } else {
+            self.atd_misses[thread] += 1;
+            if stack.len() == self.ways {
+                stack.pop();
+            }
+            stack.insert(0, tag);
+        }
+    }
+
+    /// Hits `thread` would have received with an allocation of `ways` ways
+    /// (over the sampled sets), by the LRU inclusion property.
+    pub fn hits_with_ways(&self, thread: ThreadId, ways: u32) -> u64 {
+        let w = (ways as usize).min(self.ways);
+        self.way_hits[thread * self.ways..thread * self.ways + w]
+            .iter()
+            .sum()
+    }
+
+    /// The full per-way marginal hit histogram for `thread` (index `d` =
+    /// hits at stack distance `d`).
+    pub fn way_histogram(&self, thread: ThreadId) -> &[u64] {
+        &self.way_hits[thread * self.ways..(thread + 1) * self.ways]
+    }
+
+    /// Misses `thread` would incur even with the full cache (sampled sets).
+    pub fn compulsory_capacity_misses(&self, thread: ThreadId) -> u64 {
+        self.atd_misses[thread]
+    }
+
+    /// Misses `thread` would incur with `ways` ways: ATD misses plus all
+    /// hits beyond the allocation.
+    pub fn misses_with_ways(&self, thread: ThreadId, ways: u32) -> u64 {
+        let total_hits: u64 = self.way_histogram(thread).iter().sum();
+        self.atd_misses[thread] + (total_hits - self.hits_with_ways(thread, ways))
+    }
+
+    /// Zeroes the counters (tag stacks persist, mirroring hardware UMONs
+    /// which age rather than flush; good enough at interval granularity).
+    pub fn reset_counters(&mut self) {
+        self.way_hits.fill(0);
+        self.atd_misses.fill(0);
+    }
+
+    /// Halves the counters — the exponential-decay aging UCP hardware uses
+    /// between repartition points. Compared to a hard reset this keeps a
+    /// window of history, damping oscillation when a thread is
+    /// barrier-stalled (and hence silent) for a whole interval.
+    pub fn decay_counters(&mut self) {
+        for c in &mut self.way_hits {
+            *c /= 2;
+        }
+        for c in &mut self.atd_misses {
+            *c /= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mon() -> UtilityMonitor {
+        // 4 sets x 8 ways, sample every set.
+        UtilityMonitor::new(&CacheConfig::new(4 * 8 * 64, 8, 64), 2, 1)
+    }
+
+    /// Address for line `i` of set `s` (4 sets).
+    fn addr(s: u64, i: u64) -> u64 {
+        (i * 4 + s) * 64
+    }
+
+    #[test]
+    fn repeated_access_hits_at_mru() {
+        let mut m = mon();
+        m.observe(0, addr(0, 0));
+        m.observe(0, addr(0, 0));
+        m.observe(0, addr(0, 0));
+        assert_eq!(m.way_histogram(0)[0], 2);
+        assert_eq!(m.compulsory_capacity_misses(0), 1);
+        // One way suffices for this pattern.
+        assert_eq!(m.hits_with_ways(0, 1), 2);
+        assert_eq!(m.misses_with_ways(0, 1), 1);
+    }
+
+    #[test]
+    fn stack_distance_reflects_reuse_distance() {
+        let mut m = mon();
+        // Access lines a, b, a: the second 'a' has stack distance 1.
+        m.observe(0, addr(0, 0));
+        m.observe(0, addr(0, 1));
+        m.observe(0, addr(0, 0));
+        assert_eq!(m.way_histogram(0)[1], 1);
+        // With only 1 way the re-access of 'a' would have missed.
+        assert_eq!(m.hits_with_ways(0, 1), 0);
+        assert_eq!(m.hits_with_ways(0, 2), 1);
+    }
+
+    #[test]
+    fn inclusion_property_monotone_hits() {
+        let mut m = mon();
+        // A loop over 6 lines of one set, repeated: distances spread out.
+        for _ in 0..5 {
+            for i in 0..6 {
+                m.observe(0, addr(1, i));
+            }
+        }
+        let mut prev = 0;
+        for w in 1..=8 {
+            let h = m.hits_with_ways(0, w);
+            assert!(h >= prev, "hits must be non-decreasing in ways");
+            prev = h;
+        }
+        // 6-line loop under true LRU: needs all 6 ways to hit at all.
+        assert_eq!(m.hits_with_ways(0, 5), 0);
+        assert!(m.hits_with_ways(0, 6) > 0);
+    }
+
+    #[test]
+    fn threads_profiled_independently() {
+        let mut m = mon();
+        // Both threads hammer the same set; each ATD is private, so neither
+        // pollutes the other.
+        for _ in 0..10 {
+            m.observe(0, addr(0, 0));
+            m.observe(1, addr(0, 1));
+        }
+        assert_eq!(m.hits_with_ways(0, 1), 9);
+        assert_eq!(m.hits_with_ways(1, 1), 9);
+        assert_eq!(m.compulsory_capacity_misses(0), 1);
+        assert_eq!(m.compulsory_capacity_misses(1), 1);
+    }
+
+    #[test]
+    fn sampling_skips_unsampled_sets() {
+        // Sample every 2nd set of 4.
+        let mut m = UtilityMonitor::new(&CacheConfig::new(4 * 8 * 64, 8, 64), 1, 2);
+        assert_eq!(m.sampled_sets(), 2);
+        m.observe(0, addr(1, 0)); // set 1: not sampled
+        m.observe(0, addr(1, 0));
+        assert_eq!(m.compulsory_capacity_misses(0), 0);
+        assert_eq!(m.hits_with_ways(0, 8), 0);
+        m.observe(0, addr(0, 0)); // set 0: sampled
+        m.observe(0, addr(0, 0));
+        assert_eq!(m.hits_with_ways(0, 8), 1);
+    }
+
+    #[test]
+    fn atd_capacity_bounded_by_ways() {
+        let mut m = mon();
+        // Stream 20 distinct lines through one set twice: all ATD misses
+        // (20 > 8 ways), stack stays at 8 entries.
+        for _ in 0..2 {
+            for i in 0..20 {
+                m.observe(0, addr(0, i));
+            }
+        }
+        assert_eq!(m.compulsory_capacity_misses(0), 40);
+        assert_eq!(m.hits_with_ways(0, 8), 0);
+    }
+
+    #[test]
+    fn reset_counters() {
+        let mut m = mon();
+        m.observe(0, addr(0, 0));
+        m.observe(0, addr(0, 0));
+        m.reset_counters();
+        assert_eq!(m.hits_with_ways(0, 8), 0);
+        assert_eq!(m.compulsory_capacity_misses(0), 0);
+        // Tags persist: next access is a hit counted fresh.
+        m.observe(0, addr(0, 0));
+        assert_eq!(m.hits_with_ways(0, 8), 1);
+    }
+}

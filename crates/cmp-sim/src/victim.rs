@@ -1,0 +1,119 @@
+//! A small fully-associative victim cache behind the shared L2.
+//!
+//! Zhang & Asanović ("Victim replication", cited in the paper's related
+//! work §II) motivate small victim structures next to shared CMP caches.
+//! This module provides the classic Jouppi-style victim cache: L2 evictions
+//! land here; an L2 miss that hits the victim cache is serviced at near-L2
+//! latency instead of going to memory. It is an *alternative* mitigation
+//! for inter-thread conflict evictions — the `ablation_victim` bench asks
+//! how much of the partitioning win a victim cache can capture on its own.
+//!
+//! Off by default ([`crate::SystemConfig::victim_cache_lines`] = 0).
+
+/// A fully-associative LRU victim cache over line addresses.
+#[derive(Clone, Debug)]
+pub struct VictimCache {
+    /// `(line_addr, owner)` entries, most recently inserted/refreshed last.
+    entries: Vec<(u64, usize)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl VictimCache {
+    /// Creates a victim cache holding `capacity` lines.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` (use the config flag to disable instead).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "empty victim cache: disable it instead");
+        VictimCache { entries: Vec::with_capacity(capacity), hits: 0, misses: 0, capacity }
+    }
+
+    /// Number of lines currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an evicted line (LRU entry is dropped at capacity). Reinsert
+    /// of a present line just refreshes its position.
+    pub fn insert(&mut self, line_addr: u64, owner: usize) {
+        if let Some(pos) = self.entries.iter().position(|(a, _)| *a == line_addr) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((line_addr, owner));
+    }
+
+    /// Looks up (and removes — the line moves back into the L2) a line.
+    /// Returns the owner recorded at eviction time.
+    pub fn take(&mut self, line_addr: u64) -> Option<usize> {
+        if let Some(pos) = self.entries.iter().position(|(a, _)| *a == line_addr) {
+            self.hits += 1;
+            Some(self.entries.remove(pos).1)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_take() {
+        let mut v = VictimCache::new(4);
+        v.insert(0x1000, 2);
+        assert_eq!(v.take(0x1000), Some(2));
+        assert_eq!(v.take(0x1000), None); // removed on hit
+        assert_eq!(v.hits(), 1);
+        assert_eq!(v.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut v = VictimCache::new(2);
+        v.insert(0x40, 0);
+        v.insert(0x80, 0);
+        v.insert(0xc0, 0); // drops 0x40
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.take(0x40), None);
+        assert_eq!(v.take(0x80), Some(0));
+        assert_eq!(v.take(0xc0), Some(0));
+    }
+
+    #[test]
+    fn reinsert_refreshes_position() {
+        let mut v = VictimCache::new(2);
+        v.insert(0x40, 0);
+        v.insert(0x80, 1);
+        v.insert(0x40, 0); // refresh: 0x80 is now oldest
+        v.insert(0xc0, 2); // drops 0x80
+        assert_eq!(v.take(0x80), None);
+        assert_eq!(v.take(0x40), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "disable it instead")]
+    fn zero_capacity_rejected() {
+        VictimCache::new(0);
+    }
+}

@@ -1,0 +1,111 @@
+//! CPI-proportional partitioning (paper §VI-A, Figure 12).
+//!
+//! At the end of each interval, each thread's next-interval way quota is
+//! proportional to its CPI over the interval just ended:
+//!
+//! ```text
+//! partition_t = CPI_t / Σ CPI_i × TotalCacheWays
+//! ```
+//!
+//! The slowest (critical path) thread therefore receives the largest share.
+//! The paper notes this scheme's naivete — it assumes giving ways to a
+//! high-CPI thread always helps, i.e. it has no notion of cache
+//! *sensitivity* — and the model-based scheme (§VI-B) supersedes it; both
+//! are kept for comparison (and the model-based policy bootstraps with this
+//! one).
+
+use icp_cmp_sim::simulator::IntervalReport;
+
+use crate::policy::{proportional_allocation, PartitionDecision, Partitioner};
+
+/// The §VI-A CPI-proportional policy.
+#[derive(Clone, Debug)]
+pub struct CpiProportionalPolicy {
+    /// Every thread keeps at least this many ways (progress guarantee).
+    min_ways: u32,
+}
+
+impl CpiProportionalPolicy {
+    /// Creates the policy with a 1-way floor per thread.
+    pub fn new() -> Self {
+        CpiProportionalPolicy { min_ways: 1 }
+    }
+
+    /// Overrides the per-thread way floor.
+    pub fn with_min_ways(min_ways: u32) -> Self {
+        CpiProportionalPolicy { min_ways }
+    }
+}
+
+impl Default for CpiProportionalPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Partitioner for CpiProportionalPolicy {
+    fn name(&self) -> &'static str {
+        "cpi-proportional"
+    }
+
+    fn repartition(&mut self, report: &IntervalReport, total_ways: u32) -> PartitionDecision {
+        let cpis: Vec<f64> = report.threads.iter().map(|t| t.cpi).collect();
+        PartitionDecision::Partition(proportional_allocation(&cpis, total_ways, self.min_ways))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(cpis: &[f64], ways: &[u32]) -> icp_cmp_sim::simulator::IntervalReport {
+        crate::testutil::fake_report(0, cpis, ways)
+    }
+
+    #[test]
+    fn slowest_thread_gets_most_ways() {
+        let mut p = CpiProportionalPolicy::new();
+        let r = fake_report(&[8.0, 2.0, 2.0, 2.0], &[16; 4]);
+        let PartitionDecision::Partition(ways) = p.repartition(&r, 64) else {
+            panic!("expected partition");
+        };
+        assert_eq!(ways.iter().sum::<u32>(), 64);
+        assert!(ways[0] > ways[1] && ways[0] > ways[2] && ways[0] > ways[3]);
+        // 8/(8+2+2+2) of the spare 60 + 1 floor = 35 ways for thread 0.
+        assert!(ways[0] >= 30, "{ways:?}");
+    }
+
+    #[test]
+    fn equal_cpis_give_equal_split() {
+        let mut p = CpiProportionalPolicy::new();
+        let r = fake_report(&[4.0; 4], &[16; 4]);
+        let PartitionDecision::Partition(ways) = p.repartition(&r, 64) else {
+            panic!("expected partition");
+        };
+        assert_eq!(ways, vec![16; 4]);
+    }
+
+    #[test]
+    fn respects_min_ways_floor() {
+        let mut p = CpiProportionalPolicy::with_min_ways(4);
+        let r = fake_report(&[100.0, 0.1, 0.1, 0.1], &[16; 4]);
+        let PartitionDecision::Partition(ways) = p.repartition(&r, 64) else {
+            panic!("expected partition");
+        };
+        assert!(ways[1] >= 4 && ways[2] >= 4 && ways[3] >= 4, "{ways:?}");
+        assert_eq!(ways.iter().sum::<u32>(), 64);
+    }
+
+    #[test]
+    fn matches_paper_formula_modulo_rounding() {
+        // CPIs 3.06, 2.96, 6.35, 2.95 (the paper's CG snapshot after
+        // interval 1): thread 2 (0-based) must receive the dominant share.
+        let mut p = CpiProportionalPolicy::new();
+        let r = fake_report(&[3.06, 2.96, 6.35, 2.95], &[16; 4]);
+        let PartitionDecision::Partition(ways) = p.repartition(&r, 64) else {
+            panic!("expected partition");
+        };
+        let expect_t2 = 6.35 / (3.06 + 2.96 + 6.35 + 2.95) * 60.0 + 1.0;
+        assert!((ways[2] as f64 - expect_t2).abs() <= 1.0, "{ways:?} vs {expect_t2}");
+    }
+}

@@ -1,0 +1,287 @@
+//! Hierarchical cache partitioning (paper §VI-C, Figure 16).
+//!
+//! The paper envisions a two-level system: the **OS** partitions the shared
+//! cache *between applications*, and each application's **runtime system**
+//! partitions its share *among its own threads*. [`HierarchicalPolicy`]
+//! implements exactly that composition: a thread→application grouping, a
+//! per-application way budget (the OS decision), and one inner
+//! [`Partitioner`] per application making the intra-application decision
+//! within its budget.
+//!
+//! The OS budget can be static, or re-balanced at interval granularity in
+//! proportion to each application's critical-path CPI
+//! ([`BudgetPolicy::CriticalCpiProportional`]) — the paper's intra-app idea
+//! lifted one level up.
+
+use icp_cmp_sim::simulator::IntervalReport;
+use icp_cmp_sim::umon::UtilityMonitor;
+
+use crate::policy::{proportional_allocation, PartitionDecision, Partitioner};
+
+/// How the OS level assigns way budgets to applications.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BudgetPolicy {
+    /// Budgets fixed at construction (the default; the paper treats the
+    /// inter-application split as the OS's business).
+    Static,
+    /// Budgets re-proportioned each interval to the applications'
+    /// critical-path (max-thread) CPIs, with a floor of one way per thread.
+    CriticalCpiProportional,
+}
+
+/// Two-level partitioner: OS budgets across applications, an inner policy
+/// within each.
+///
+/// # Examples
+///
+/// ```
+/// use icp_core::{HierarchicalPolicy, ModelBasedPolicy, PartitionDecision, Partitioner};
+///
+/// let mut policy = HierarchicalPolicy::new(
+///     vec![vec![0, 1], vec![2, 3]], // two 2-thread applications
+///     vec![40, 24],                 // the OS budget split of 64 ways
+///     vec![Box::new(ModelBasedPolicy::new()), Box::new(ModelBasedPolicy::new())],
+/// );
+/// match policy.initial(4, 64) {
+///     PartitionDecision::Partition(w) => assert_eq!(w[0] + w[1], 40),
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub struct HierarchicalPolicy {
+    /// `groups[a]` = global thread ids belonging to application `a`.
+    groups: Vec<Vec<usize>>,
+    /// Current OS-assigned way budget per application.
+    budgets: Vec<u32>,
+    budget_policy: BudgetPolicy,
+    inner: Vec<Box<dyn Partitioner + Send>>,
+}
+
+impl HierarchicalPolicy {
+    /// Creates a hierarchical policy with static `budgets` (must sum to the
+    /// L2 way count — checked when first applied) and one inner policy per
+    /// group.
+    ///
+    /// # Panics
+    /// Panics if the group/budget/policy counts disagree, a group is empty,
+    /// a budget is smaller than its group (each thread needs ≥ 1 way), or
+    /// the groups overlap.
+    pub fn new(
+        groups: Vec<Vec<usize>>,
+        budgets: Vec<u32>,
+        inner: Vec<Box<dyn Partitioner + Send>>,
+    ) -> Self {
+        assert_eq!(groups.len(), budgets.len(), "one budget per application");
+        assert_eq!(groups.len(), inner.len(), "one inner policy per application");
+        assert!(!groups.is_empty(), "need at least one application");
+        let mut seen = std::collections::BTreeSet::new();
+        for (g, b) in groups.iter().zip(&budgets) {
+            assert!(!g.is_empty(), "empty application group");
+            assert!(
+                *b >= g.len() as u32,
+                "budget {b} smaller than group of {} threads",
+                g.len()
+            );
+            for t in g {
+                assert!(seen.insert(*t), "thread {t} appears in two applications");
+            }
+        }
+        HierarchicalPolicy { groups, budgets, budget_policy: BudgetPolicy::Static, inner }
+    }
+
+    /// Enables dynamic OS-level budget re-balancing.
+    pub fn with_budget_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.budget_policy = policy;
+        self
+    }
+
+    /// The current per-application budgets.
+    pub fn budgets(&self) -> &[u32] {
+        &self.budgets
+    }
+
+    /// The thread grouping.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Recomputes budgets per [`BudgetPolicy`].
+    fn rebalance(&mut self, report: &IntervalReport, total_ways: u32) {
+        if self.budget_policy != BudgetPolicy::CriticalCpiProportional {
+            return;
+        }
+        // Each application's weight is its critical-path CPI this interval
+        // (idle threads excluded).
+        let weights: Vec<f64> = self
+            .groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|&t| report.threads[t].cpi)
+                    .fold(0.0_f64, f64::max)
+            })
+            .collect();
+        // Floor: every application keeps one way per thread.
+        let floors: Vec<u32> = self.groups.iter().map(|g| g.len() as u32).collect();
+        let reserved: u32 = floors.iter().sum();
+        assert!(total_ways >= reserved, "fewer ways than threads");
+        let alloc = proportional_allocation(&weights, total_ways - reserved, 0);
+        self.budgets = alloc.iter().zip(&floors).map(|(a, f)| a + f).collect();
+    }
+
+    /// Assembles the global partition from per-application decisions.
+    fn assemble(&mut self, report: Option<&IntervalReport>, threads: usize) -> Vec<u32> {
+        let mut ways = vec![0u32; threads];
+        for ((group, budget), policy) in
+            self.groups.iter().zip(&self.budgets).zip(&mut self.inner)
+        {
+            let decision = match report {
+                None => policy.initial(group.len(), *budget),
+                Some(r) => {
+                    let sub = IntervalReport {
+                        index: r.index,
+                        threads: group.iter().map(|&t| r.threads[t]).collect(),
+                        finished: r.finished,
+                        wall_cycles: r.wall_cycles,
+                    };
+                    policy.repartition(&sub, *budget)
+                }
+            };
+            let sub_ways = match decision {
+                PartitionDecision::Partition(w) => w,
+                // Inner policies asking for Keep/Unpartitioned get an equal
+                // split of their budget: group-level LRU cannot be expressed
+                // within a global way partition.
+                _ => icp_cmp_sim::l2::equal_split(*budget, group.len()),
+            };
+            debug_assert_eq!(sub_ways.iter().sum::<u32>(), *budget);
+            for (t, w) in group.iter().zip(sub_ways) {
+                ways[*t] = w;
+            }
+        }
+        ways
+    }
+}
+
+impl Partitioner for HierarchicalPolicy {
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+
+    fn initial(&mut self, threads: usize, total_ways: u32) -> PartitionDecision {
+        let covered: usize = self.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(covered, threads, "groups must cover every thread exactly once");
+        assert_eq!(
+            self.budgets.iter().sum::<u32>(),
+            total_ways,
+            "application budgets must sum to the way count"
+        );
+        PartitionDecision::Partition(self.assemble(None, threads))
+    }
+
+    fn repartition(&mut self, report: &IntervalReport, total_ways: u32) -> PartitionDecision {
+        self.rebalance(report, total_ways);
+        PartitionDecision::Partition(self.assemble(Some(report), report.threads.len()))
+    }
+
+    fn wants_umon(&self) -> bool {
+        self.inner.iter().any(|p| p.wants_umon())
+    }
+
+    fn observe_umon(&mut self, umon: &UtilityMonitor) {
+        // The UMON profiles global thread ids; inner policies that want it
+        // see the whole monitor (their repartition only reads their own
+        // threads' curves is not guaranteed, so this is a conservative
+        // broadcast).
+        for p in &mut self.inner {
+            if p.wants_umon() {
+                p.observe_umon(umon);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fake_report;
+    use crate::ModelBasedPolicy;
+
+    fn two_apps() -> HierarchicalPolicy {
+        HierarchicalPolicy::new(
+            vec![vec![0, 1], vec![2, 3]],
+            vec![40, 24],
+            vec![Box::new(ModelBasedPolicy::new()), Box::new(ModelBasedPolicy::new())],
+        )
+    }
+
+    #[test]
+    fn initial_respects_budgets() {
+        let mut p = two_apps();
+        let PartitionDecision::Partition(w) = p.initial(4, 64) else { panic!() };
+        assert_eq!(w[0] + w[1], 40);
+        assert_eq!(w[2] + w[3], 24);
+        assert_eq!(w, vec![20, 20, 12, 12]); // equal within budgets
+    }
+
+    #[test]
+    fn repartition_keeps_budget_boundaries() {
+        let mut p = two_apps();
+        let _ = p.initial(4, 64);
+        // App A: thread 0 much slower; app B: thread 3 slower.
+        for i in 0..5 {
+            let r = fake_report(i, &[9.0, 2.0, 3.0, 6.0], &[20, 20, 12, 12]);
+            let PartitionDecision::Partition(w) = p.repartition(&r, 64) else { panic!() };
+            assert_eq!(w[0] + w[1], 40, "app A budget violated: {w:?}");
+            assert_eq!(w[2] + w[3], 24, "app B budget violated: {w:?}");
+            assert!(w.iter().all(|&x| x >= 1));
+        }
+        // The slower thread of each app ends up with its app's bigger share.
+        let r = fake_report(9, &[9.0, 2.0, 3.0, 6.0], &[20, 20, 12, 12]);
+        let PartitionDecision::Partition(w) = p.repartition(&r, 64) else { panic!() };
+        assert!(w[0] > w[1], "{w:?}");
+        assert!(w[3] > w[2], "{w:?}");
+    }
+
+    #[test]
+    fn dynamic_budget_follows_critical_app() {
+        let mut p = two_apps().with_budget_policy(BudgetPolicy::CriticalCpiProportional);
+        let _ = p.initial(4, 64);
+        // App B's critical thread is far slower than anything in app A.
+        let r = fake_report(0, &[2.0, 2.0, 2.0, 10.0], &[20, 20, 12, 12]);
+        let _ = p.repartition(&r, 64);
+        assert!(p.budgets()[1] > p.budgets()[0], "budgets {:?}", p.budgets());
+        assert_eq!(p.budgets().iter().sum::<u32>(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "two applications")]
+    fn overlapping_groups_rejected() {
+        HierarchicalPolicy::new(
+            vec![vec![0, 1], vec![1, 2]],
+            vec![32, 32],
+            vec![Box::new(ModelBasedPolicy::new()), Box::new(ModelBasedPolicy::new())],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "budgets must sum")]
+    fn bad_budget_sum_rejected() {
+        let mut p = HierarchicalPolicy::new(
+            vec![vec![0, 1], vec![2, 3]],
+            vec![40, 10],
+            vec![Box::new(ModelBasedPolicy::new()), Box::new(ModelBasedPolicy::new())],
+        );
+        let _ = p.initial(4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every thread")]
+    fn incomplete_groups_rejected() {
+        let mut p = HierarchicalPolicy::new(
+            vec![vec![0, 1]],
+            vec![64],
+            vec![Box::new(ModelBasedPolicy::new())],
+        );
+        let _ = p.initial(4, 64);
+    }
+}

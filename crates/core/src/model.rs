@@ -1,0 +1,320 @@
+//! Runtime per-thread CPI models (paper §VI-B, Figure 15).
+//!
+//! The model-based partitioner learns, for each thread, how CPI depends on
+//! the number of allocated cache ways, purely from observations: at every
+//! interval boundary it records the `(ways, CPI)` pair the interval
+//! produced, and fits a natural cubic spline through the accumulated
+//! points. Observations at the same way count are blended with an
+//! exponentially weighted moving average, and knots that have not been
+//! refreshed for a configurable number of intervals are dropped, so the
+//! model tracks phase changes ("these models are updated after each
+//! execution interval … dynamic variations in thread behavior are taken
+//! into account") instead of trusting stale evidence — e.g. a cold-cache
+//! CPI measured at some allocation long ago.
+
+use std::collections::BTreeMap;
+
+use icp_numeric::{CubicSpline, Pchip};
+
+/// Floor for predicted CPI: a thread can never be faster than 1 cycle per
+/// instruction in the simulated in-order core, and clamping keeps spline
+/// wiggle from producing nonsense.
+const CPI_FLOOR: f64 = 1.0;
+
+/// Default number of observations after which an un-refreshed knot is
+/// discarded.
+const DEFAULT_MAX_AGE: u64 = 12;
+
+#[derive(Clone, Copy, Debug)]
+struct Knot {
+    cpi: f64,
+    last_update: u64,
+}
+
+/// The curve family used to interpolate the observed `(ways, CPI)` points.
+///
+/// The paper uses cubic splines but notes "the choice of the curve fitting
+/// algorithm used is independent of the partitioning scheme" (§VI-B); the
+/// `ablation_model` bench compares these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ModelKind {
+    /// Natural cubic spline (the paper's choice).
+    #[default]
+    Spline,
+    /// Monotone piecewise-cubic Hermite (no overshoot).
+    Pchip,
+    /// Ordinary least-squares line.
+    Linear,
+}
+
+#[derive(Clone, Debug)]
+enum Fitted {
+    None,
+    Spline(CubicSpline),
+    Pchip(Pchip),
+    Linear { slope: f64, intercept: f64 },
+}
+
+/// A runtime-learned CPI-vs-ways curve for one thread.
+///
+/// # Examples
+///
+/// ```
+/// use icp_core::ThreadCpiModel;
+///
+/// let mut m = ThreadCpiModel::new();
+/// m.observe(16, 8.0);
+/// m.observe(32, 5.0);
+/// let predicted = m.predict(24).unwrap();
+/// assert!(predicted > 5.0 && predicted < 8.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThreadCpiModel {
+    /// EWMA of observed CPI keyed by way allocation.
+    points: BTreeMap<u32, Knot>,
+    /// EWMA weight of a new observation.
+    alpha: f64,
+    /// Knots older than this many observations are pruned.
+    max_age: u64,
+    /// Observation counter (the model's notion of time).
+    now: u64,
+    /// Curve family to fit.
+    kind: ModelKind,
+    /// Fitted curve; rebuilt after each observation once two or more
+    /// distinct way counts are live.
+    fitted: Fitted,
+}
+
+impl ThreadCpiModel {
+    /// Creates an empty model with EWMA weight 0.5 (new evidence counts as
+    /// much as all history — responsive to phase changes without being
+    /// noise-driven) and the default knot age limit.
+    pub fn new() -> Self {
+        Self::with_alpha(0.5)
+    }
+
+    /// Creates an empty model with a custom EWMA weight in `(0, 1]`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        ThreadCpiModel {
+            points: BTreeMap::new(),
+            alpha,
+            max_age: DEFAULT_MAX_AGE,
+            now: 0,
+            kind: ModelKind::Spline,
+            fitted: Fitted::None,
+        }
+    }
+
+    /// Overrides the knot age limit (in observations). `u64::MAX`
+    /// effectively disables pruning.
+    pub fn with_max_age(mut self, max_age: u64) -> Self {
+        assert!(max_age > 0);
+        self.max_age = max_age;
+        self
+    }
+
+    /// Selects the curve family (ablation knob; default cubic spline).
+    pub fn with_kind(mut self, kind: ModelKind) -> Self {
+        self.kind = kind;
+        self.refit();
+        self
+    }
+
+    /// Records that the thread ran at `cpi` with `ways` allocated ways.
+    /// Non-positive or non-finite CPIs (idle intervals) are ignored —
+    /// including for aging, so barrier-heavy threads don't forget faster.
+    pub fn observe(&mut self, ways: u32, cpi: f64) {
+        if !cpi.is_finite() || cpi <= 0.0 {
+            return;
+        }
+        self.now += 1;
+        let now = self.now;
+        self.points
+            .entry(ways)
+            .and_modify(|k| {
+                k.cpi = self.alpha * cpi + (1.0 - self.alpha) * k.cpi;
+                k.last_update = now;
+            })
+            .or_insert(Knot { cpi, last_update: now });
+        // Drop knots that have gone stale — their evidence predates the
+        // thread's current behaviour.
+        let horizon = now.saturating_sub(self.max_age);
+        self.points.retain(|_, k| k.last_update > horizon || k.last_update == now);
+        self.refit();
+    }
+
+    /// Number of distinct way counts currently live.
+    pub fn distinct_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The model's knots as `(ways, ewma_cpi)` pairs, ascending in ways.
+    pub fn knots(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.points.iter().map(|(&w, k)| (w, k.cpi))
+    }
+
+    /// Predicted CPI at `ways` ways, or `None` until two distinct way
+    /// counts are live. Predictions are clamped to at least [`CPI_FLOOR`].
+    pub fn predict(&self, ways: u32) -> Option<f64> {
+        let x = ways as f64;
+        let raw = match &self.fitted {
+            Fitted::None => return None,
+            Fitted::Spline(s) => s.eval(x),
+            Fitted::Pchip(p) => p.eval(x),
+            Fitted::Linear { slope, intercept } => slope * x + intercept,
+        };
+        Some(raw.max(CPI_FLOOR))
+    }
+
+    /// Samples the fitted curve at every way count in `1..=max_ways`
+    /// (used to dump the paper's Figure 15 models). Empty until the model
+    /// is fitted.
+    pub fn curve(&self, max_ways: u32) -> Vec<(u32, f64)> {
+        if matches!(self.fitted, Fitted::None) {
+            return Vec::new();
+        }
+        (1..=max_ways)
+            .map(|w| (w, self.predict(w).expect("curve fitted")))
+            .collect()
+    }
+
+    fn refit(&mut self) {
+        if self.points.len() < 2 {
+            self.fitted = Fitted::None;
+            return;
+        }
+        let xs: Vec<f64> = self.points.keys().map(|&w| w as f64).collect();
+        let ys: Vec<f64> = self.points.values().map(|k| k.cpi).collect();
+        self.fitted = match self.kind {
+            ModelKind::Spline => Fitted::Spline(
+                CubicSpline::fit(&xs, &ys)
+                    .expect("BTreeMap keys are strictly increasing and values finite"),
+            ),
+            ModelKind::Pchip => Fitted::Pchip(
+                Pchip::fit(&xs, &ys)
+                    .expect("BTreeMap keys are strictly increasing and values finite"),
+            ),
+            ModelKind::Linear => {
+                let fit = icp_numeric::stats::linear_fit(&xs, &ys)
+                    .expect("two+ distinct x values");
+                Fitted::Linear { slope: fit.slope, intercept: fit.intercept }
+            }
+        };
+    }
+}
+
+impl Default for ThreadCpiModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prediction_until_two_points() {
+        let mut m = ThreadCpiModel::new();
+        assert!(m.predict(8).is_none());
+        m.observe(16, 5.0);
+        assert!(m.predict(8).is_none());
+        m.observe(32, 3.0);
+        assert!(m.predict(8).is_some());
+        assert_eq!(m.distinct_points(), 2);
+    }
+
+    #[test]
+    fn interpolates_observations() {
+        let mut m = ThreadCpiModel::new();
+        m.observe(8, 9.0);
+        m.observe(16, 6.0);
+        m.observe(32, 4.0);
+        assert!((m.predict(8).unwrap() - 9.0).abs() < 1e-9);
+        assert!((m.predict(16).unwrap() - 6.0).abs() < 1e-9);
+        // Between knots: between the adjacent values for this convex data.
+        let mid = m.predict(24).unwrap();
+        assert!(mid > 3.5 && mid < 6.5, "mid {mid}");
+    }
+
+    #[test]
+    fn ewma_blends_repeated_observations() {
+        let mut m = ThreadCpiModel::with_alpha(0.5);
+        m.observe(16, 8.0);
+        m.observe(16, 4.0); // EWMA: 0.5*4 + 0.5*8 = 6
+        m.observe(32, 3.0);
+        assert!((m.predict(16).unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ignores_bogus_cpi() {
+        let mut m = ThreadCpiModel::new();
+        m.observe(16, 0.0);
+        m.observe(16, f64::NAN);
+        m.observe(16, -3.0);
+        assert_eq!(m.distinct_points(), 0);
+    }
+
+    #[test]
+    fn prediction_clamped_to_floor() {
+        let mut m = ThreadCpiModel::new();
+        // Steeply decreasing: linear extrapolation beyond 32 would go
+        // negative without the clamp.
+        m.observe(8, 20.0);
+        m.observe(16, 10.0);
+        m.observe(32, 2.0);
+        let p = m.predict(64).unwrap();
+        assert!(p >= 1.0, "clamped prediction {p}");
+    }
+
+    #[test]
+    fn curve_covers_all_ways() {
+        let mut m = ThreadCpiModel::new();
+        assert!(m.curve(8).is_empty());
+        m.observe(2, 9.0);
+        m.observe(6, 5.0);
+        let c = m.curve(8);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c[0].0, 1);
+        assert_eq!(c[7].0, 8);
+        assert!(c.iter().all(|(_, v)| v.is_finite() && *v >= 1.0));
+    }
+
+    #[test]
+    fn adapts_to_phase_change() {
+        let mut m = ThreadCpiModel::with_alpha(0.5);
+        m.observe(16, 10.0);
+        m.observe(32, 8.0);
+        // New phase: the thread becomes much faster at 16 ways. Repeated
+        // observations pull the model toward the new level.
+        for _ in 0..6 {
+            m.observe(16, 2.0);
+        }
+        assert!(m.predict(16).unwrap() < 2.5);
+    }
+
+    #[test]
+    fn stale_knots_are_pruned() {
+        let mut m = ThreadCpiModel::new().with_max_age(4);
+        // A cold-start observation at 20 ways claiming a terrible CPI.
+        m.observe(20, 30.0);
+        // Then the thread settles at 28 ways and is only observed there.
+        for _ in 0..6 {
+            m.observe(28, 4.0);
+        }
+        // The stale knot must be gone: only the live allocation remains.
+        let knots: Vec<u32> = m.knots().map(|(w, _)| w).collect();
+        assert_eq!(knots, vec![28]);
+        assert!(m.predict(20).is_none(), "model should admit it no longer knows");
+    }
+
+    #[test]
+    fn fresh_knots_survive_pruning() {
+        let mut m = ThreadCpiModel::new().with_max_age(4);
+        for i in 0..10 {
+            m.observe(16 + (i % 2), 5.0); // alternate 16/17: both stay fresh
+        }
+        assert_eq!(m.distinct_points(), 2);
+    }
+}

@@ -1,0 +1,391 @@
+//! The dynamic model-based partitioner (paper §VI-B, Figure 13).
+//!
+//! Operation:
+//!
+//! 1. Interval 1 runs with equal partitions (the runtime's default start).
+//! 2. The first two interval boundaries use CPI-proportional partitioning
+//!    (§VI-A) — this both makes a reasonable early decision and collects
+//!    distinct `(ways, CPI)` data points for the models.
+//! 3. From then on, each boundary fits per-thread CPI-vs-ways splines
+//!    ([`ThreadCpiModel`]) and runs the hill-climb of Figure 13:
+//!    repeatedly move one way from the lowest-predicted-CPI thread to the
+//!    highest-predicted-CPI thread, re-evaluating the models after each
+//!    move; when the *identity* of the highest-CPI thread changes, undo the
+//!    last move and stop. Minimising the predicted maximum CPI is
+//!    minimising the predicted critical path.
+//!
+//! Threads whose model cannot predict yet (fewer than two distinct way
+//! counts observed) fall back to their last observed CPI as a constant
+//! model, and the whole decision falls back to CPI-proportional while *any*
+//! thread is still unmodelled.
+
+use icp_cmp_sim::simulator::IntervalReport;
+
+use crate::cpi_prop::CpiProportionalPolicy;
+use crate::model::{ModelKind, ThreadCpiModel};
+use crate::policy::{PartitionDecision, Partitioner};
+
+/// The §VI-B curve-fitting dynamic partitioner.
+///
+/// # Examples
+///
+/// ```
+/// use icp_core::{IntraAppRuntime, ModelBasedPolicy};
+/// use icp_cmp_sim::stream::ReplayStream;
+/// use icp_cmp_sim::{Simulator, SystemConfig, ThreadEvent};
+///
+/// let mut cfg = SystemConfig::scaled_down();
+/// cfg.cores = 2;
+/// cfg.interval_instructions = 500;
+/// let walk = |stride: u64| -> ReplayStream {
+///     ReplayStream::new((0..500).map(|i| ThreadEvent::access(2, i * stride * 64)).collect())
+/// };
+/// let mut sim = Simulator::new(cfg, vec![Box::new(walk(1)), Box::new(walk(3))]);
+/// let mut rt = IntraAppRuntime::new(ModelBasedPolicy::new(), &cfg);
+/// let outcome = rt.execute(&mut sim);
+/// assert!(outcome.intervals() > 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModelBasedPolicy {
+    models: Vec<ThreadCpiModel>,
+    bootstrap: CpiProportionalPolicy,
+    min_ways: u32,
+    intervals_seen: usize,
+    /// Safety cap on hill-climb iterations (see [`Self::hill_climb`]).
+    max_steps: usize,
+    /// Strict Figure 13 termination: revert-and-exit on *any* change of the
+    /// critical thread, even when the move lowered the predicted maximum.
+    /// Kept for the `strict_figure13` ablation; default off.
+    strict_termination: bool,
+    /// Curve family for the per-thread models (ablation knob).
+    model_kind: ModelKind,
+    /// Phase-change detection: when the observed CPI at the current
+    /// allocation deviates from the model's prediction by more than this
+    /// relative factor, the thread's model is discarded and re-learned
+    /// (None = disabled). Extension motivated by §IV-A1's phase behaviour:
+    /// EWMA blending adapts within a few intervals, an explicit reset
+    /// adapts immediately.
+    phase_reset_threshold: Option<f64>,
+}
+
+impl ModelBasedPolicy {
+    /// Creates the policy with a 1-way per-thread floor.
+    pub fn new() -> Self {
+        ModelBasedPolicy {
+            models: Vec::new(),
+            bootstrap: CpiProportionalPolicy::new(),
+            min_ways: 1,
+            intervals_seen: 0,
+            max_steps: 4096,
+            strict_termination: false,
+            model_kind: ModelKind::Spline,
+            phase_reset_threshold: None,
+        }
+    }
+
+    /// Enables phase-change detection: a thread whose observed CPI differs
+    /// from its model's prediction by more than `threshold` (relative,
+    /// e.g. 0.5 = 50%) has its model reset and re-learned.
+    pub fn with_phase_detection(threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        ModelBasedPolicy { phase_reset_threshold: Some(threshold), ..Self::new() }
+    }
+
+    /// Selects the curve family used for the runtime models (the paper
+    /// uses cubic splines; see [`ModelKind`]).
+    pub fn with_model_kind(kind: ModelKind) -> Self {
+        ModelBasedPolicy { model_kind: kind, ..Self::new() }
+    }
+
+    /// Overrides the per-thread way floor.
+    pub fn with_min_ways(min_ways: u32) -> Self {
+        ModelBasedPolicy { min_ways, bootstrap: CpiProportionalPolicy::with_min_ways(min_ways), ..Self::new() }
+    }
+
+    /// Enables the strict Figure 13 termination rule (ablation; see the
+    /// field documentation).
+    pub fn with_strict_termination() -> Self {
+        ModelBasedPolicy { strict_termination: true, ..Self::new() }
+    }
+
+    /// The learned per-thread models (for Figure 15 dumps and diagnostics).
+    pub fn models(&self) -> &[ThreadCpiModel] {
+        &self.models
+    }
+
+    /// Number of interval boundaries processed.
+    pub fn intervals_seen(&self) -> usize {
+        self.intervals_seen
+    }
+
+    /// Predicted CPI of thread `t` at `ways`, falling back to the last
+    /// observation when the spline is not ready.
+    fn predict(&self, t: usize, ways: u32, observed: f64) -> f64 {
+        self.models[t].predict(ways).unwrap_or(observed)
+    }
+
+    /// The Figure 13 hill-climb. `start` is the allocation in force during
+    /// the interval that just ended; `observed` its measured CPIs.
+    fn hill_climb(&self, start: &[u32], observed: &[f64], total_ways: u32) -> Vec<u32> {
+        let n = start.len();
+        // The starting allocation normally sums to the budget, but a
+        // caller may change the budget between intervals (the hierarchical
+        // OS level does); rescale proportionally before climbing.
+        let mut ways: Vec<u32> = if start.iter().sum::<u32>() == total_ways {
+            start.to_vec()
+        } else {
+            crate::policy::proportional_allocation(
+                &start.iter().map(|&w| w as f64).collect::<Vec<_>>(),
+                total_ways,
+                self.min_ways,
+            )
+        };
+        let mut pred: Vec<f64> = (0..n).map(|t| self.predict(t, ways[t], observed[t])).collect();
+
+        let argmax = |pred: &[f64]| -> usize {
+            pred.iter()
+                .enumerate()
+                .max_by(|(i, a), (j, b)| a.partial_cmp(b).expect("finite").then(j.cmp(i)))
+                .map(|(i, _)| i)
+                .expect("threads exist")
+        };
+
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > self.max_steps {
+                break;
+            }
+            let tmax = argmax(&pred);
+            let current_max = pred[tmax];
+            // Donor: the lowest-predicted-CPI thread that can still give a
+            // way up (above the floor), excluding the receiver.
+            let tmin = pred
+                .iter()
+                .enumerate()
+                .filter(|&(t, _)| t != tmax && ways[t] > self.min_ways)
+                .min_by(|(i, a), (j, b)| a.partial_cmp(b).expect("finite").then(i.cmp(j)))
+                .map(|(t, _)| t);
+            let Some(tmin) = tmin else {
+                break; // nobody can donate
+            };
+            ways[tmax] += 1;
+            ways[tmin] -= 1;
+            pred[tmax] = self.predict(tmax, ways[tmax], observed[tmax]);
+            pred[tmin] = self.predict(tmin, ways[tmin], observed[tmin]);
+            let new_tmax = argmax(&pred);
+            if new_tmax != tmax && (self.strict_termination || pred[new_tmax] >= current_max - 1e-9) {
+                // Some other thread became critical *without* lowering the
+                // predicted critical-path CPI: revert one step and stop
+                // (Figure 13's termination rule). When the flip *does*
+                // lower the max — e.g. a 1-way thread whose CPI curve is
+                // steep — the move is kept and the climb continues with the
+                // new critical thread; a strict reading of Figure 13 would
+                // stop even then and can wedge the partition permanently
+                // (see the `strict_figure13` ablation bench).
+                ways[tmax] -= 1;
+                ways[tmin] += 1;
+                break;
+            }
+        }
+        debug_assert_eq!(ways.iter().sum::<u32>(), total_ways);
+        ways
+    }
+}
+
+impl Default for ModelBasedPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Partitioner for ModelBasedPolicy {
+    fn name(&self) -> &'static str {
+        "model-based"
+    }
+
+    fn repartition(&mut self, report: &IntervalReport, total_ways: u32) -> PartitionDecision {
+        let n = report.threads.len();
+        if self.models.len() != n {
+            self.models =
+                vec![ThreadCpiModel::new().with_kind(self.model_kind); n];
+        }
+        // Feed the interval's (ways, CPI) observation into each model — but
+        // not the very first interval: its CPIs are dominated by compulsory
+        // (cold-cache) misses and would poison the models with pessimistic
+        // knots (the paper likewise warms the caches before measuring,
+        // §VII).
+        if self.intervals_seen > 0 {
+            for (t, ts) in report.threads.iter().enumerate() {
+                if ts.counters.instructions == 0 {
+                    continue;
+                }
+                // Phase-change detection: a large model-vs-reality gap at
+                // the *current* allocation means the thread's behaviour
+                // changed; stale knots at other allocations are now lies.
+                if let Some(threshold) = self.phase_reset_threshold {
+                    if let Some(pred) = self.models[t].predict(ts.ways) {
+                        let rel = (ts.cpi - pred).abs() / pred.max(1e-9);
+                        if rel > threshold {
+                            self.models[t] =
+                                ThreadCpiModel::new().with_kind(self.model_kind);
+                        }
+                    }
+                }
+                self.models[t].observe(ts.ways, ts.cpi);
+            }
+        }
+        self.intervals_seen += 1;
+
+        let all_modelled = self.models.iter().all(|m| m.distinct_points() >= 2);
+        if self.intervals_seen <= 2 || !all_modelled {
+            return self.bootstrap.repartition(report, total_ways);
+        }
+
+        let start: Vec<u32> = report.threads.iter().map(|t| t.ways).collect();
+        let observed: Vec<f64> = report.threads.iter().map(|t| t.cpi).collect();
+        PartitionDecision::Partition(self.hill_climb(&start, &observed, total_ways))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fake_report;
+
+    /// Feeds a report and unwraps the partition decision.
+    fn decide(p: &mut ModelBasedPolicy, idx: usize, cpis: &[f64], ways: &[u32], total: u32) -> Vec<u32> {
+        match p.repartition(&fake_report(idx, cpis, ways), total) {
+            PartitionDecision::Partition(w) => w,
+            other => panic!("expected partition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bootstraps_with_cpi_proportional() {
+        let mut p = ModelBasedPolicy::new();
+        // First boundary: CPI-proportional, so the slow thread dominates.
+        let w = decide(&mut p, 0, &[8.0, 2.0, 2.0, 2.0], &[16; 4], 64);
+        assert!(w[0] > 30, "{w:?}");
+        assert_eq!(w.iter().sum::<u32>(), 64);
+    }
+
+    #[test]
+    fn switches_to_hill_climb_once_modelled() {
+        let mut p = ModelBasedPolicy::new();
+        // Interval 0: equal ways, thread 0 slow.
+        let w1 = decide(&mut p, 0, &[8.0, 2.0, 2.0, 2.0], &[16; 4], 64);
+        // Interval 1: ran with w1; thread 0 sped up a bit with more ways.
+        let w2 = decide(&mut p, 1, &[6.0, 2.4, 2.4, 2.4], &w1, 64);
+        // Interval 2: models now have 2+ distinct points per thread.
+        let w3 = decide(&mut p, 2, &[5.0, 2.6, 2.6, 2.6], &w2, 64);
+        assert!(p.models().iter().all(|m| m.distinct_points() >= 2));
+        assert_eq!(w3.iter().sum::<u32>(), 64);
+        // The critical thread keeps the lion's share.
+        assert!(w3[0] >= w3[1] && w3[0] >= w3[2] && w3[0] >= w3[3], "{w3:?}");
+    }
+
+    #[test]
+    fn hill_climb_stops_when_critical_thread_changes() {
+        // Build models directly: thread 0 is slow but *sensitive* (CPI
+        // drops fast with ways); thread 1 slightly fast and *insensitive*.
+        let mut p = ModelBasedPolicy::new();
+        p.models = vec![ThreadCpiModel::new(), ThreadCpiModel::new()];
+        p.models[0].observe(4, 10.0);
+        p.models[0].observe(8, 6.0);
+        p.models[0].observe(12, 4.0);
+        p.models[1].observe(4, 5.0);
+        p.models[1].observe(8, 5.0);
+        p.models[1].observe(12, 5.0);
+        let ways = p.hill_climb(&[8, 8], &[6.0, 5.0], 16);
+        assert_eq!(ways.iter().sum::<u32>(), 16);
+        // Thread 0 receives ways until its predicted CPI dips to thread
+        // 1's flat 5.0 (at ~10 ways), then one-step revert.
+        assert!(ways[0] > 8 && ways[0] <= 12, "{ways:?}");
+    }
+
+    #[test]
+    fn hill_climb_respects_floor() {
+        let mut p = ModelBasedPolicy::with_min_ways(2);
+        p.models = vec![ThreadCpiModel::new(), ThreadCpiModel::new()];
+        // Thread 0's CPI never stops improving; thread 1 is flat and fast:
+        // the climb drains thread 1 down to the floor, then stops.
+        p.models[0].observe(4, 40.0);
+        p.models[0].observe(16, 10.0);
+        p.models[1].observe(4, 2.0);
+        p.models[1].observe(16, 2.0);
+        let ways = p.hill_climb(&[8, 8], &[30.0, 2.0], 16);
+        assert_eq!(ways, vec![14, 2]);
+    }
+
+    #[test]
+    fn hill_climb_keeps_total_constant() {
+        let mut p = ModelBasedPolicy::new();
+        p.models = (0..4)
+            .map(|t| {
+                let mut m = ThreadCpiModel::new();
+                m.observe(8, 4.0 + t as f64);
+                m.observe(24, 3.0 + t as f64 * 0.5);
+                m
+            })
+            .collect();
+        let ways = p.hill_climb(&[16; 4], &[4.0, 5.0, 6.0, 7.0], 64);
+        assert_eq!(ways.iter().sum::<u32>(), 64);
+        assert!(ways.iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn equal_flat_models_change_nothing_much() {
+        // All threads identical and insensitive: the first move already
+        // fails to change the argmax? No — with flat models the receiver
+        // stays argmax, so the climb drains donors to the floor. Verify the
+        // *observed* guard: identical CPIs mean argmax is thread 0 and the
+        // climb moves ways there; this documents that behaviour.
+        let mut p = ModelBasedPolicy::new();
+        p.models = (0..2)
+            .map(|_| {
+                let mut m = ThreadCpiModel::new();
+                m.observe(8, 3.0);
+                m.observe(24, 3.0);
+                m
+            })
+            .collect();
+        let ways = p.hill_climb(&[16, 16], &[3.0, 3.0], 32);
+        assert_eq!(ways.iter().sum::<u32>(), 32);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(ModelBasedPolicy::new().name(), "model-based");
+    }
+
+    #[test]
+    fn phase_detection_resets_a_lying_model() {
+        let mut p = ModelBasedPolicy::with_phase_detection(0.5);
+        // Boundary 0 is warm-up; boundaries 1-2 teach the model that 16
+        // ways ≈ CPI 4.
+        let _ = p.repartition(&fake_report(0, &[4.0, 4.0], &[8, 8]), 16);
+        let _ = p.repartition(&fake_report(1, &[4.0, 4.0], &[8, 8]), 16);
+        let _ = p.repartition(&fake_report(2, &[4.1, 4.0], &[9, 7]), 16);
+        let knots_before = p.models()[0].distinct_points();
+        assert!(knots_before >= 2);
+        // Phase change: thread 0's CPI at the same allocation doubles.
+        let _ = p.repartition(&fake_report(3, &[9.0, 4.0], &[9, 7]), 16);
+        // The model was reset and now holds only the fresh observation.
+        assert_eq!(p.models()[0].distinct_points(), 1);
+        // Thread 1, unchanged, keeps its history.
+        assert!(p.models()[1].distinct_points() >= 2);
+    }
+
+    #[test]
+    fn phase_detection_tolerates_small_drift() {
+        let mut p = ModelBasedPolicy::with_phase_detection(0.5);
+        let _ = p.repartition(&fake_report(0, &[4.0, 4.0], &[8, 8]), 16);
+        let _ = p.repartition(&fake_report(1, &[4.0, 4.0], &[8, 8]), 16);
+        let _ = p.repartition(&fake_report(2, &[4.1, 4.0], &[9, 7]), 16);
+        let knots = p.models()[0].distinct_points();
+        // 20% drift: below the 50% threshold, model kept.
+        let _ = p.repartition(&fake_report(3, &[4.9, 4.0], &[9, 7]), 16);
+        assert!(p.models()[0].distinct_points() >= knots);
+    }
+}

@@ -1,0 +1,222 @@
+//! The partitioner interface and shared allocation arithmetic.
+
+use icp_cmp_sim::simulator::IntervalReport;
+use icp_cmp_sim::umon::UtilityMonitor;
+
+/// What a policy wants done to the L2 for the next interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionDecision {
+    /// Leave the current mode/quotas untouched.
+    Keep,
+    /// Apply these per-thread way quotas (must sum to the L2 way count).
+    Partition(Vec<u32>),
+    /// Apply these quotas as a *set* partition (page-coloring style; same
+    /// units, so any way-quota policy can be adapted — see
+    /// `icp_baselines::SetPartitionAdapter`).
+    SetPartition(Vec<u32>),
+    /// Run unpartitioned (global LRU).
+    Unpartitioned,
+}
+
+/// A cache partitioning policy driven at interval granularity.
+///
+/// The runtime calls [`Partitioner::initial`] once before execution starts
+/// and [`Partitioner::repartition`] at every interval boundary with the
+/// interval's per-thread counters.
+pub trait Partitioner {
+    /// Human-readable scheme name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Partition to apply before the first interval. The paper's dynamic
+    /// schemes start from equal partitions; baselines may differ.
+    fn initial(&mut self, threads: usize, total_ways: u32) -> PartitionDecision {
+        PartitionDecision::Partition(icp_cmp_sim::l2::equal_split(total_ways, threads))
+    }
+
+    /// Decision for the next interval given the one that just ended.
+    fn repartition(&mut self, report: &IntervalReport, total_ways: u32) -> PartitionDecision;
+
+    /// Whether this policy needs utility-monitor profiling. The runtime
+    /// enables a UMON on the simulator and feeds it via
+    /// [`Partitioner::observe_umon`] before each repartition call.
+    /// The paper's own policies learn from CPI alone and return `false`;
+    /// UCP-style throughput baselines return `true`.
+    fn wants_umon(&self) -> bool {
+        false
+    }
+
+    /// Receives the interval's utility-monitor state (way-hit histograms)
+    /// when [`Partitioner::wants_umon`] is `true`. Called immediately
+    /// before [`Partitioner::repartition`] at each boundary; the monitor's
+    /// counters are reset afterwards by the runtime.
+    fn observe_umon(&mut self, _umon: &UtilityMonitor) {}
+}
+
+impl Partitioner for Box<dyn Partitioner + Send> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn initial(&mut self, threads: usize, total_ways: u32) -> PartitionDecision {
+        (**self).initial(threads, total_ways)
+    }
+    fn repartition(&mut self, report: &IntervalReport, total_ways: u32) -> PartitionDecision {
+        (**self).repartition(report, total_ways)
+    }
+    fn wants_umon(&self) -> bool {
+        (**self).wants_umon()
+    }
+    fn observe_umon(&mut self, umon: &UtilityMonitor) {
+        (**self).observe_umon(umon)
+    }
+}
+
+/// Allocates `total` ways proportionally to non-negative `weights`, giving
+/// every thread at least `min_per` ways, with largest-remainder rounding so
+/// the result sums to exactly `total`.
+///
+/// This is the arithmetic behind the paper's §VI-A formula
+/// `partition_t = CPI_t / ΣCPI_i × TotalCacheWays` (the paper leaves
+/// rounding unspecified; largest-remainder is the canonical choice and a
+/// 1-way floor keeps every thread able to make progress).
+///
+/// # Examples
+///
+/// ```
+/// use icp_core::proportional_allocation;
+///
+/// // The paper's CG snapshot CPIs: thread 2 is critical.
+/// let ways = proportional_allocation(&[3.06, 2.96, 6.35, 2.95], 64, 1);
+/// assert_eq!(ways.iter().sum::<u32>(), 64);
+/// assert!(ways[2] > ways[0] && ways[2] > ways[1] && ways[2] > ways[3]);
+/// ```
+///
+/// # Panics
+/// Panics if `weights` is empty, any weight is negative/NaN, or
+/// `total < min_per * weights.len()`.
+pub fn proportional_allocation(weights: &[f64], total: u32, min_per: u32) -> Vec<u32> {
+    let n = weights.len();
+    assert!(n > 0, "no threads");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let reserved = min_per
+        .checked_mul(n as u32)
+        .expect("min allocation overflow");
+    assert!(
+        total >= reserved,
+        "cannot give {n} threads {min_per} ways each out of {total}"
+    );
+    let spare = (total - reserved) as f64;
+    let sum: f64 = weights.iter().sum();
+    // Degenerate weights: fall back to an equal split of the spare ways.
+    let shares: Vec<f64> = if sum <= 0.0 {
+        vec![spare / n as f64; n]
+    } else {
+        weights.iter().map(|w| w / sum * spare).collect()
+    };
+    let mut alloc: Vec<u32> = shares.iter().map(|s| min_per + s.floor() as u32).collect();
+    let assigned: u32 = alloc.iter().sum();
+    let mut leftover = total - assigned;
+    // Largest remainders get the leftover ways; ties to lower thread ids.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ra = shares[a] - shares[a].floor();
+        let rb = shares[b] - shares[b].floor();
+        rb.partial_cmp(&ra).expect("finite").then(a.cmp(&b))
+    });
+    let mut i = 0;
+    while leftover > 0 {
+        alloc[order[i % n]] += 1;
+        leftover -= 1;
+        i += 1;
+    }
+    debug_assert_eq!(alloc.iter().sum::<u32>(), total);
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_to_total() {
+        for (weights, total) in [
+            (vec![1.0, 1.0, 1.0, 1.0], 64u32),
+            (vec![5.0, 1.0, 1.0, 1.0], 64),
+            (vec![3.3, 2.2, 1.1], 7),
+            (vec![0.0, 0.0], 8),
+            (vec![1e-9, 1.0], 16),
+        ] {
+            let a = proportional_allocation(&weights, total, 1);
+            assert_eq!(a.iter().sum::<u32>(), total, "{weights:?}");
+            assert!(a.iter().all(|&w| w >= 1));
+        }
+    }
+
+    #[test]
+    fn proportionality_respected() {
+        let a = proportional_allocation(&[9.0, 3.0, 3.0, 3.0], 18, 0);
+        assert_eq!(a, vec![9, 3, 3, 3]);
+    }
+
+    #[test]
+    fn heavier_weight_never_gets_fewer_ways() {
+        let a = proportional_allocation(&[10.0, 7.0, 2.0, 1.0], 64, 1);
+        assert!(a[0] >= a[1] && a[1] >= a[2] && a[2] >= a[3], "{a:?}");
+    }
+
+    #[test]
+    fn equal_weights_near_equal_split() {
+        let a = proportional_allocation(&[2.0; 4], 10, 1);
+        assert_eq!(a.iter().sum::<u32>(), 10);
+        assert!(a.iter().all(|&w| w == 2 || w == 3));
+    }
+
+    #[test]
+    fn min_floor_enforced_for_tiny_weights() {
+        let a = proportional_allocation(&[1000.0, 0.0001, 0.0001, 0.0001], 64, 2);
+        assert!(a[1] >= 2 && a[2] >= 2 && a[3] >= 2);
+        assert_eq!(a.iter().sum::<u32>(), 64);
+        assert!(a[0] > 50);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_equal() {
+        let a = proportional_allocation(&[0.0; 4], 64, 1);
+        assert_eq!(a, vec![16; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot give")]
+    fn rejects_infeasible_min() {
+        proportional_allocation(&[1.0; 8], 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weight() {
+        proportional_allocation(&[1.0, -1.0], 8, 1);
+    }
+
+    #[test]
+    fn default_initial_is_equal_partition() {
+        struct P;
+        impl Partitioner for P {
+            fn name(&self) -> &'static str {
+                "p"
+            }
+            fn repartition(
+                &mut self,
+                _: &IntervalReport,
+                _: u32,
+            ) -> PartitionDecision {
+                PartitionDecision::Keep
+            }
+        }
+        assert_eq!(
+            P.initial(4, 64),
+            PartitionDecision::Partition(vec![16, 16, 16, 16])
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared helpers for this crate's unit tests.
+
+use icp_cmp_sim::simulator::{IntervalReport, ThreadIntervalStats};
+use icp_cmp_sim::stats::ThreadCounters;
+
+/// Builds a synthetic interval report with the given per-thread CPIs and
+/// the way quotas in force during the interval.
+pub(crate) fn fake_report(index: usize, cpis: &[f64], ways: &[u32]) -> IntervalReport {
+    assert_eq!(cpis.len(), ways.len());
+    let threads = cpis
+        .iter()
+        .zip(ways.iter())
+        .map(|(&cpi, &w)| {
+            let instructions = 1_000u64;
+            let counters = ThreadCounters {
+                instructions,
+                active_cycles: (cpi * instructions as f64) as u64,
+                ..Default::default()
+            };
+            ThreadIntervalStats { counters, cpi, ways: w }
+        })
+        .collect();
+    IntervalReport { index, threads, finished: false, wall_cycles: 0 }
+}

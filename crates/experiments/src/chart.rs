@@ -1,0 +1,286 @@
+//! Terminal chart rendering for figure reproductions.
+//!
+//! The paper's figures are bar charts and line plots; [`crate::table::Table`]
+//! carries the exact numbers, and this module draws the *shape* — horizontal
+//! bar charts for the per-benchmark comparisons (Figures 3, 8, 19–22) and
+//! multi-series line charts for the time series and models (Figures 6, 7,
+//! 10, 15) — using plain Unicode, no dependencies.
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart.
+///
+/// # Examples
+///
+/// ```
+/// use icp_experiments::chart::BarChart;
+///
+/// let mut c = BarChart::new("Speedups").unit("%");
+/// c.bar("swim", 12.9).bar("mg", 2.5);
+/// assert!(c.render().contains("12.9%"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    title: String,
+    rows: Vec<(String, f64)>,
+    /// Width of the bar area in characters.
+    width: usize,
+    /// Unit suffix rendered after each value.
+    unit: &'static str,
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        BarChart { title: title.into(), rows: Vec::new(), width: 46, unit: "" }
+    }
+
+    /// Sets the value suffix (e.g. `"%"`).
+    pub fn unit(mut self, unit: &'static str) -> Self {
+        self.unit = unit;
+        self
+    }
+
+    /// Sets the bar-area width in characters.
+    pub fn width(mut self, width: usize) -> Self {
+        assert!(width >= 8, "bars need some room");
+        self.width = width;
+        self
+    }
+
+    /// Appends a labelled value.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        assert!(value.is_finite(), "bar values must be finite");
+        self.rows.push((label.into(), value));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the chart. Negative values grow leftward from the zero
+    /// column, positive values rightward, so regressions are visually
+    /// distinct from improvements.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        if self.rows.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max_pos = self.rows.iter().map(|(_, v)| v.max(0.0)).fold(0.0, f64::max);
+        let max_neg = self.rows.iter().map(|(_, v)| (-v).max(0.0)).fold(0.0, f64::max);
+        let span = (max_pos + max_neg).max(1e-12);
+        let neg_cols = ((max_neg / span) * self.width as f64).round() as usize;
+        for (label, value) in &self.rows {
+            let cols = ((value.abs() / span) * self.width as f64).round() as usize;
+            let mut bar = String::new();
+            if *value < 0.0 {
+                bar.push_str(&" ".repeat(neg_cols.saturating_sub(cols)));
+                bar.push_str(&"▒".repeat(cols));
+                bar.push('|');
+            } else {
+                bar.push_str(&" ".repeat(neg_cols));
+                bar.push('|');
+                bar.push_str(&"█".repeat(cols));
+            }
+            let _ = writeln!(
+                out,
+                "{label:>label_w$} {bar:<bar_w$} {value:.1}{unit}",
+                label_w = label_w,
+                bar_w = self.width + neg_cols + 1,
+                unit = self.unit
+            );
+        }
+        out
+    }
+}
+
+/// A multi-series line chart rendered as a character raster.
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    title: String,
+    series: Vec<(String, Vec<f64>)>,
+    height: usize,
+    width: usize,
+    xlabel: String,
+}
+
+/// Glyph per series, cycled.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+impl LineChart {
+    /// Creates an empty chart with a default 16×72 raster.
+    pub fn new(title: impl Into<String>) -> Self {
+        LineChart {
+            title: title.into(),
+            series: Vec::new(),
+            height: 16,
+            width: 72,
+            xlabel: "interval index".into(),
+        }
+    }
+
+    /// Sets the x-axis label (default "interval index").
+    pub fn xlabel(mut self, label: impl Into<String>) -> Self {
+        self.xlabel = label.into();
+        self
+    }
+
+    /// Sets the raster size.
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 10 && height >= 4, "raster too small");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Adds a named series (x = index).
+    pub fn series(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "series values must be finite"
+        );
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no series have been added.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders the raster with a y-axis scale and a legend.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let n = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        if n == 0 {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let lo = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().cloned())
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().cloned())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+        let mut raster = vec![vec![' '; self.width]; self.height];
+        for (si, (_, values)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (i, v) in values.iter().enumerate() {
+                let x = if n == 1 { 0 } else { i * (self.width - 1) / (n - 1) };
+                let yf = (v - lo) / span;
+                let y = ((1.0 - yf) * (self.height - 1) as f64).round() as usize;
+                raster[y.min(self.height - 1)][x.min(self.width - 1)] = glyph;
+            }
+        }
+        for (row, line) in raster.iter().enumerate() {
+            let y_val = hi - span * row as f64 / (self.height - 1) as f64;
+            let axis = if row == 0 || row == self.height - 1 || row == self.height / 2 {
+                format!("{y_val:>8.1} |")
+            } else {
+                format!("{:>8} |", "")
+            };
+            let _ = writeln!(out, "{axis}{}", line.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{:>9}+{}", "", "-".repeat(self.width));
+        let _ = writeln!(out, "{:>10}0 .. {} ({})", "", n - 1, self.xlabel);
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+            .collect();
+        let _ = writeln!(out, "{:>10}{}", "", legend.join("   "));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_renders_all_rows() {
+        let mut c = BarChart::new("Demo").unit("%");
+        c.bar("applu", 7.3).bar("swim", 11.1).bar("mg", 0.4);
+        let s = c.render();
+        assert!(s.contains("applu"));
+        assert!(s.contains("11.1%"));
+        assert_eq!(c.len(), 3);
+        // The biggest value gets the longest bar.
+        let lens: Vec<usize> = s
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|&ch| ch == '█').count())
+            .collect();
+        assert!(lens[1] > lens[0] && lens[0] > lens[2], "{lens:?}");
+    }
+
+    #[test]
+    fn bar_chart_negative_values_point_left() {
+        let mut c = BarChart::new("Mixed");
+        c.bar("gain", 10.0).bar("loss", -5.0);
+        let s = c.render();
+        assert!(s.contains('▒'), "negative bar glyph missing:\n{s}");
+        assert!(s.contains('█'));
+    }
+
+    #[test]
+    fn bar_chart_empty() {
+        assert!(BarChart::new("x").render().contains("(no data)"));
+    }
+
+    #[test]
+    fn line_chart_raster_shape() {
+        let mut c = LineChart::new("cpi over time").size(40, 8);
+        c.series("t0", (0..50).map(|i| 10.0 - i as f64 * 0.1).collect());
+        c.series("t1", vec![3.0; 50]);
+        let s = c.render();
+        // 8 raster rows + axis + label + legend.
+        assert_eq!(s.lines().count(), 1 + 8 + 3);
+        assert!(s.contains("* t0"));
+        assert!(s.contains("o t1"));
+        // The decreasing series starts in the top row; the flat series at
+        // the global minimum occupies the bottom row.
+        let rows: Vec<&str> = s.lines().skip(1).take(8).collect();
+        assert!(rows[0].contains('*'));
+        assert!(rows[7].contains('o'));
+        // The decreasing series spans multiple raster rows.
+        let star_rows = rows.iter().filter(|r| r.contains('*')).count();
+        assert!(star_rows >= 4, "{star_rows}");
+    }
+
+    #[test]
+    fn line_chart_single_point() {
+        let mut c = LineChart::new("one");
+        c.series("s", vec![5.0]);
+        let s = c.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        BarChart::new("x").bar("bad", f64::NAN);
+    }
+}

@@ -1,0 +1,73 @@
+//! Calibration diagnostics: a per-benchmark dump of the raw quantities the
+//! paper's motivation section relies on (per-thread CPIs, miss rates,
+//! interaction fractions, scheme comparison), used while tuning the
+//! synthetic suite and kept as a first-line diagnostic.
+
+use crate::runner::ExperimentConfig;
+use crate::table::{f2, pct, Table};
+
+/// Runs every benchmark under the four principal schemes and dumps the
+/// headline quantities.
+pub fn calibration_report(cfg: &ExperimentConfig) -> Table {
+    calibration_report_from(&crate::figures::SuiteData::collect(cfg))
+}
+
+/// Builds the calibration table from an existing suite collection.
+pub fn calibration_report_from(data: &crate::figures::SuiteData) -> Table {
+    let mut t = Table::new(
+        "Calibration: per-benchmark raw behaviour",
+        &[
+            "bench", "cpi:t0", "cpi:t1", "cpi:t2", "cpi:t3", "l2mr", "inter%", "constr%",
+            "dyn/shared", "dyn/equal", "dyn/ucp",
+        ],
+    );
+    for (i, b) in data.benches.iter().enumerate() {
+        let (shared, equal, dynp, ucp) =
+            (&data.shared[i], &data.equal[i], &data.dynamic[i], &data.ucp[i]);
+        let cpis: Vec<f64> = shared
+            .thread_totals
+            .iter()
+            .map(|c| c.cpi())
+            .take(4)
+            .collect();
+        let l2_accesses: u64 = shared
+            .thread_totals
+            .iter()
+            .map(|c| c.l2_hits + c.l2_misses)
+            .sum();
+        let l2_misses: u64 = shared.thread_totals.iter().map(|c| c.l2_misses).sum();
+        let l2mr = if l2_accesses == 0 { 0.0 } else { l2_misses as f64 / l2_accesses as f64 };
+        let mut row = vec![b.name.to_string()];
+        for i in 0..4 {
+            row.push(f2(cpis.get(i).copied().unwrap_or(0.0)));
+        }
+        row.push(f2(l2mr));
+        row.push(pct(shared.interactions.inter_thread_fraction() * 100.0));
+        row.push(pct(shared.interactions.constructive_fraction() * 100.0));
+        row.push(pct(dynp.improvement_percent_over(shared)));
+        row.push(pct(dynp.improvement_percent_over(equal)));
+        row.push(pct(dynp.improvement_percent_over(ucp)));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_rows_parse() {
+        let t = calibration_report_from(crate::figures::context::test_data());
+        assert_eq!(t.len(), 9);
+        for line in t.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            assert_eq!(cells.len(), 11);
+            // CPI columns are positive numbers.
+            for c in &cells[1..5] {
+                let v: f64 = c.parse().unwrap();
+                assert!(v > 0.0, "{line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 2: the system configuration table.
+
+use icp_cmp_sim::SystemConfig;
+
+use crate::table::Table;
+
+/// Renders a system configuration in the paper's Figure 2 format.
+pub fn fig02_config(cfg: &SystemConfig) -> Table {
+    let mut t = Table::new("Figure 2: system configuration", &["parameter", "value"]);
+    t.row(vec!["Number of cores".into(), cfg.cores.to_string()]);
+    t.row(vec!["Number of threads".into(), cfg.cores.to_string()]);
+    t.row(vec![
+        "L1 cache size".into(),
+        format!("{} KB", cfg.l1.size_bytes / 1024),
+    ]);
+    t.row(vec!["L1 cache associativity".into(), cfg.l1.ways.to_string()]);
+    t.row(vec!["L2 cache type".into(), "Shared".into()]);
+    t.row(vec![
+        "L2 cache size".into(),
+        format!("{} KB", cfg.l2.size_bytes / 1024),
+    ]);
+    t.row(vec!["L2 cache associativity".into(), cfg.l2.ways.to_string()]);
+    t.row(vec![
+        "Line size".into(),
+        format!("{} B", cfg.l2.line_bytes),
+    ]);
+    t.row(vec![
+        "L1 hit / L2 hit / memory latency".into(),
+        format!(
+            "{} / {} / {} cycles",
+            cfg.latency.l1_hit,
+            cfg.latency.l1_hit + cfg.latency.l2_hit,
+            cfg.latency.l1_hit + cfg.latency.l2_hit + cfg.latency.memory
+        ),
+    ]);
+    t.row(vec![
+        "Execution interval".into(),
+        format!("{} instructions", cfg.interval_instructions),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_renders_figure2_values() {
+        let t = fig02_config(&SystemConfig::paper_default());
+        let s = t.render();
+        assert!(s.contains("8 KB"));
+        assert!(s.contains("1024 KB"));
+        assert!(s.contains("15000000 instructions"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared experiment context: the (benchmark × scheme) outcome matrix most
+//! figures mine. Collected once, in parallel, and reused.
+
+use icp_core::ExecutionOutcome;
+use icp_workloads::{suite, BenchmarkSpec};
+
+use crate::parallel::parallel_map;
+use crate::runner::{ExperimentConfig, Scheme};
+
+/// Outcomes of the whole suite under the four principal schemes.
+pub struct SuiteData {
+    /// The benchmarks, in figure order.
+    pub benches: Vec<BenchmarkSpec>,
+    /// Shared unpartitioned cache runs.
+    pub shared: Vec<ExecutionOutcome>,
+    /// Static equal partition (private cache) runs.
+    pub equal: Vec<ExecutionOutcome>,
+    /// The paper's model-based dynamic scheme.
+    pub dynamic: Vec<ExecutionOutcome>,
+    /// UCP-style throughput-oriented scheme.
+    pub ucp: Vec<ExecutionOutcome>,
+}
+
+impl SuiteData {
+    /// Runs all 9 benchmarks under all 4 principal schemes (36 simulations,
+    /// parallel across OS threads).
+    pub fn collect(cfg: &ExperimentConfig) -> SuiteData {
+        let benches = suite::all();
+        let schemes = [
+            Scheme::Shared,
+            Scheme::StaticEqual,
+            Scheme::ModelBased,
+            Scheme::UcpThroughput,
+        ];
+        let jobs: Vec<(usize, Scheme)> = benches
+            .iter()
+            .enumerate()
+            .flat_map(|(i, _)| schemes.iter().cloned().map(move |s| (i, s)))
+            .collect();
+        let outs = parallel_map(jobs, |(i, s)| cfg.run(&benches[*i], s));
+        let mut shared = Vec::new();
+        let mut equal = Vec::new();
+        let mut dynamic = Vec::new();
+        let mut ucp = Vec::new();
+        for (j, out) in outs.into_iter().enumerate() {
+            match j % 4 {
+                0 => shared.push(out),
+                1 => equal.push(out),
+                2 => dynamic.push(out),
+                _ => ucp.push(out),
+            }
+        }
+        SuiteData { benches, shared, equal, dynamic, ucp }
+    }
+
+    /// Benchmark names in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.benches.iter().map(|b| b.name).collect()
+    }
+}
+
+/// Shared test fixture: one suite collection at test scale for the whole
+/// crate's test binary (collection is by far the most expensive step).
+#[cfg(test)]
+pub(crate) fn test_data() -> &'static SuiteData {
+    use std::sync::OnceLock;
+    static DATA: OnceLock<SuiteData> = OnceLock::new();
+    DATA.get_or_init(|| SuiteData::collect(&ExperimentConfig::test()))
+}

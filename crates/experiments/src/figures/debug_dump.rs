@@ -1,0 +1,61 @@
+//! Per-interval execution dump for one (benchmark, scheme) pair —
+//! diagnostic tooling used while calibrating the suite; also handy for
+//! users exploring policy behaviour.
+
+use icp_workloads::suite;
+
+use crate::runner::{ExperimentConfig, Scheme};
+use crate::table::{f2, Table};
+
+/// Dumps per-interval ways/CPIs/misses for `bench` under `scheme`.
+pub fn interval_dump(cfg: &ExperimentConfig, bench_name: &str, scheme: &Scheme) -> Table {
+    let bench = suite::by_name(bench_name).unwrap_or_else(|| panic!("unknown benchmark {bench_name}"));
+    let out = cfg.run(&bench, scheme);
+    let threads = out.thread_totals.len();
+    let mut headers: Vec<String> = vec!["ivl".into()];
+    for t in 0..threads {
+        headers.push(format!("w{t}"));
+    }
+    for t in 0..threads {
+        headers.push(format!("cpi{t}"));
+    }
+    for t in 0..threads {
+        headers.push(format!("m{t}"));
+    }
+    headers.push("overall".into());
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        format!("Interval dump: {bench_name} under {} (wall={})", scheme.label(), out.wall_cycles),
+        &hdr_refs,
+    );
+    for r in &out.records {
+        let mut row = vec![r.index.to_string()];
+        row.extend(r.ways.iter().map(|w| w.to_string()));
+        row.extend(r.cpi.iter().map(|c| f2(*c)));
+        row.extend(r.l2_misses.iter().map(|m| m.to_string()));
+        row.push(f2(r.overall_cpi));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_covers_every_interval() {
+        let cfg = ExperimentConfig::test();
+        let t = interval_dump(&cfg, "ft", &Scheme::StaticEqual);
+        assert!(t.len() >= 5);
+        // 1 + ways + cpi + misses + overall columns for 4 threads = 14.
+        assert_eq!(t.to_csv().lines().next().unwrap().split(',').count(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn dump_rejects_unknown_benchmark() {
+        let cfg = ExperimentConfig::test();
+        let _ = interval_dump(&cfg, "nope", &Scheme::Shared);
+    }
+}

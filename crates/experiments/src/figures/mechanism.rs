@@ -1,0 +1,120 @@
+//! Mechanism comparison: way partitioning (the paper's §V hardware) vs
+//! OS-style set partitioning (page coloring, the software alternative from
+//! the related work), both driven by the *same* model-based policy.
+//!
+//! Expected shape: set partitioning gives the same isolation but loses
+//! cross-thread hits (shared lines replicate into every accessor's range),
+//! so way partitioning should win most clearly on the high-sharing
+//! benchmarks (cg, ft, equake) and be roughly even where sharing is low.
+
+use icp_numeric::stats;
+use icp_workloads::suite;
+
+use crate::runner::{ExperimentConfig, Scheme};
+use crate::table::{pct, Table};
+
+/// Per-benchmark comparison of way- vs set-partitioned dynamic schemes
+/// (positive = way partitioning faster).
+pub fn mechanism_table(cfg: &ExperimentConfig) -> Table {
+    let mut t = Table::new(
+        "Mechanism: way partitioning vs set partitioning (same dynamic policy)",
+        &["bench", "way vs shared", "set vs shared", "way vs set"],
+    );
+    let mut deltas = Vec::new();
+    for b in suite::all() {
+        let outs = cfg.run_schemes(
+            &b,
+            &[Scheme::Shared, Scheme::ModelBased, Scheme::SetPartitionDynamic],
+        );
+        let (shared, way, set) = (&outs[0], &outs[1], &outs[2]);
+        let way_vs_set = way.improvement_percent_over(set);
+        deltas.push(way_vs_set);
+        t.row(vec![
+            b.name.to_string(),
+            pct(way.improvement_percent_over(shared)),
+            pct(set.improvement_percent_over(shared)),
+            pct(way_vs_set),
+        ]);
+    }
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        pct(stats::mean(&deltas)),
+    ]);
+    t
+}
+
+/// The same comparison on a *banked* L2 (bank conflicts serialise
+/// accesses): set partitioning confines each thread to its own banks,
+/// which claws back some of its sharing losses.
+pub fn mechanism_banked_table(cfg: &ExperimentConfig, banks: u32) -> Table {
+    let mut banked = cfg.clone();
+    banked.system.l2_banks = banks;
+    let mut t = Table::new(
+        format!("Mechanism on a {banks}-bank L2: way vs set partitioning"),
+        &["bench", "way vs shared", "set vs shared", "way vs set"],
+    );
+    let mut deltas = Vec::new();
+    for b in suite::all() {
+        let outs = banked.run_schemes(
+            &b,
+            &[Scheme::Shared, Scheme::ModelBased, Scheme::SetPartitionDynamic],
+        );
+        let (shared, way, set) = (&outs[0], &outs[1], &outs[2]);
+        let d = way.improvement_percent_over(set);
+        deltas.push(d);
+        t.row(vec![
+            b.name.to_string(),
+            pct(way.improvement_percent_over(shared)),
+            pct(set.improvement_percent_over(shared)),
+            pct(d),
+        ]);
+    }
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        pct(stats::mean(&deltas)),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_partitioned_runs_complete() {
+        let cfg = ExperimentConfig::test();
+        for bench in [suite::cg(), suite::mg()] {
+            let out = cfg.run(&bench, &Scheme::SetPartitionDynamic);
+            assert!(out.wall_cycles > 0, "{}", bench.name);
+            assert!(out.intervals() > 0, "{}", bench.name);
+        }
+    }
+
+    #[test]
+    fn banked_comparison_runs() {
+        let cfg = ExperimentConfig::test();
+        let mut banked = cfg.clone();
+        banked.system.l2_banks = 8;
+        let out = banked.run(&suite::swim(), &Scheme::SetPartitionDynamic);
+        assert!(out.wall_cycles > 0);
+    }
+
+    #[test]
+    fn way_partitioning_wins_on_average() {
+        // The paper's argument for partitioned *sharing*: preserving
+        // cross-thread hits should make way partitioning at least as good
+        // as hard set isolation on this sharing-heavy suite.
+        let cfg = ExperimentConfig::test();
+        let mut deltas = Vec::new();
+        for b in [suite::cg(), suite::ft(), suite::swim()] {
+            let outs = cfg.run_schemes(&b, &[Scheme::ModelBased, Scheme::SetPartitionDynamic]);
+            deltas.push(outs[0].improvement_percent_over(&outs[1]));
+        }
+        let avg = icp_numeric::stats::mean(&deltas);
+        assert!(avg > -2.0, "way vs set average {avg} ({deltas:?})");
+    }
+}

@@ -1,0 +1,212 @@
+//! Motivation-section figures (paper §IV): Figures 3, 4, 5, 8 and 9.
+//!
+//! All of these observe the suite running on a plain **shared** cache —
+//! they quantify the heterogeneity and interference that motivate
+//! intra-application partitioning.
+
+use icp_numeric::stats;
+
+use crate::figures::context::SuiteData;
+use crate::table::{f2, f3, pct, Table};
+
+/// Figure 3: per-thread performance (inverse of per-thread execution time),
+/// normalized to the fastest thread of each benchmark. The lowest value in
+/// each row is the critical path thread.
+pub fn fig03_thread_performance(data: &SuiteData) -> Table {
+    let threads = data.shared[0].thread_totals.len();
+    let mut headers = vec!["bench".to_string()];
+    headers.extend((0..threads).map(|t| format!("t{t}")));
+    headers.push("critical".into());
+    let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Figure 3: per-thread performance normalized to the fastest thread (shared L2)",
+        &hdr,
+    );
+    for (b, out) in data.benches.iter().zip(&data.shared) {
+        // A thread's execution time is the active cycles it needed for its
+        // (equal) share of work; performance is its inverse.
+        let perf: Vec<f64> = out
+            .thread_totals
+            .iter()
+            .map(|c| if c.active_cycles == 0 { 0.0 } else { 1.0 / c.active_cycles as f64 })
+            .collect();
+        let norm = stats::normalize_to_max(&perf);
+        let critical = norm
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("threads");
+        let mut row = vec![b.name.to_string()];
+        row.extend(norm.iter().map(|v| f2(*v)));
+        row.push(format!("t{critical}"));
+        table.row(row);
+    }
+    table
+}
+
+/// Figure 4: per-thread L2 misses normalized to the thread with the most
+/// misses. Compare with Figure 3: slow threads are the high-miss threads.
+pub fn fig04_thread_misses(data: &SuiteData) -> Table {
+    let threads = data.shared[0].thread_totals.len();
+    let mut headers = vec!["bench".to_string()];
+    headers.extend((0..threads).map(|t| format!("t{t}")));
+    let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Figure 4: per-thread L2 misses normalized to the highest-miss thread (shared L2)",
+        &hdr,
+    );
+    for (b, out) in data.benches.iter().zip(&data.shared) {
+        let misses: Vec<f64> = out.thread_totals.iter().map(|c| c.l2_misses as f64).collect();
+        let norm = stats::normalize_to_max(&misses);
+        let mut row = vec![b.name.to_string()];
+        row.extend(norm.iter().map(|v| f2(*v)));
+        table.row(row);
+    }
+    table
+}
+
+/// Figure 5: Pearson correlation between per-interval CPI and per-interval
+/// L2 misses, pooled over threads and intervals. The paper reports an
+/// average of ≈ 0.97, establishing that CPI differences are cache-driven.
+pub fn fig05_cpi_miss_correlation(data: &SuiteData) -> Table {
+    let mut table = Table::new(
+        "Figure 5: correlation coefficient between L2 misses and CPI",
+        &["bench", "correlation"],
+    );
+    let mut all = Vec::new();
+    for (b, out) in data.benches.iter().zip(&data.shared) {
+        // Correlation is computed per thread across its interval series
+        // (each thread has a fixed miss cost; pooling threads with
+        // different memory-level parallelism would mix slopes), then
+        // averaged over the threads with meaningful variation.
+        let threads = out.thread_totals.len();
+        let mut per_thread = Vec::new();
+        for t in 0..threads {
+            let mut cpis = Vec::new();
+            let mut misses = Vec::new();
+            for r in out.records.iter() {
+                // Skip idle (barrier-parked) thread-intervals.
+                if r.instructions[t] > 0 {
+                    // Misses per instruction, so interval-length jitter
+                    // doesn't mask the relationship.
+                    cpis.push(r.cpi[t]);
+                    misses.push(r.l2_misses[t] as f64 / r.instructions[t] as f64);
+                }
+            }
+            if let Some(c) = stats::pearson(&cpis, &misses) {
+                per_thread.push(c);
+            }
+        }
+        let corr = stats::mean(&per_thread);
+        all.push(corr);
+        table.row(vec![b.name.to_string(), f3(corr)]);
+    }
+    table.row(vec!["average".into(), f3(stats::mean(&all))]);
+    table
+}
+
+/// Figure 8: percentage of cache interactions that are inter-thread
+/// (paper average ≈ 11.5%).
+pub fn fig08_interthread_interaction(data: &SuiteData) -> Table {
+    let mut table = Table::new(
+        "Figure 8: inter-thread share of all L2 interactions (shared L2)",
+        &["bench", "inter-thread"],
+    );
+    let mut all = Vec::new();
+    for (b, out) in data.benches.iter().zip(&data.shared) {
+        let f = out.interactions.inter_thread_fraction() * 100.0;
+        all.push(f);
+        table.row(vec![b.name.to_string(), pct(f)]);
+    }
+    table.row(vec!["average".into(), pct(stats::mean(&all))]);
+    table
+}
+
+/// Figure 9: breakdown of inter-thread interactions into constructive
+/// (cross-thread hits) and destructive (cross-thread evictions).
+pub fn fig09_interaction_breakdown(data: &SuiteData) -> Table {
+    let mut table = Table::new(
+        "Figure 9: constructive vs destructive inter-thread interactions (shared L2)",
+        &["bench", "constructive", "destructive"],
+    );
+    for (b, out) in data.benches.iter().zip(&data.shared) {
+        let c = out.interactions.constructive_fraction() * 100.0;
+        table.row(vec![b.name.to_string(), pct(c), pct(100.0 - c)]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::context::test_data as data;
+
+    #[test]
+    fn fig03_every_benchmark_has_a_laggard() {
+        let t = fig03_thread_performance(data());
+        assert_eq!(t.len(), 9);
+        // Parse the CSV: the minimum normalized performance per row must be
+        // clearly below 1.0 (per-thread variability, §IV-A1).
+        for line in t.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let vals: Vec<f64> = cells[1..5].iter().map(|c| c.parse().unwrap()).collect();
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!((max - 1.0).abs() < 1e-9, "{line}");
+            assert!(min < 0.85, "no clear critical thread in: {line}");
+        }
+    }
+
+    #[test]
+    fn fig04_critical_threads_have_high_misses() {
+        // The slowest thread of each benchmark (from fig 3) should be at or
+        // near the top of the miss ranking (fig 4): the paper's correlation
+        // argument at benchmark granularity.
+        let perf = fig03_thread_performance(data()).to_csv();
+        let miss = fig04_thread_misses(data()).to_csv();
+        for (p, m) in perf.lines().skip(1).zip(miss.lines().skip(1)) {
+            let pc: Vec<&str> = p.split(',').collect();
+            let mc: Vec<&str> = m.split(',').collect();
+            let perf_vals: Vec<f64> = pc[1..5].iter().map(|c| c.parse().unwrap()).collect();
+            let miss_vals: Vec<f64> = mc[1..5].iter().map(|c| c.parse().unwrap()).collect();
+            let slowest = (0..4)
+                .min_by(|&a, &b| perf_vals[a].partial_cmp(&perf_vals[b]).unwrap())
+                .unwrap();
+            assert!(
+                miss_vals[slowest] > 0.5,
+                "{}: slowest thread t{slowest} has low misses {miss_vals:?}",
+                pc[0]
+            );
+        }
+    }
+
+    #[test]
+    fn fig05_correlations_are_high() {
+        let t = fig05_cpi_miss_correlation(data());
+        let csv = t.to_csv();
+        let avg_line = csv.lines().last().unwrap();
+        let avg: f64 = avg_line.split(',').nth(1).unwrap().parse().unwrap();
+        assert!(avg > 0.9, "average correlation {avg}");
+    }
+
+    #[test]
+    fn fig08_fraction_bounds() {
+        let t = fig08_interthread_interaction(data());
+        for line in t.to_csv().lines().skip(1) {
+            let v: f64 = line.split(',').nth(1).unwrap().trim_end_matches('%').parse().unwrap();
+            assert!((0.0..=100.0).contains(&v), "{line}");
+        }
+    }
+
+    #[test]
+    fn fig09_breakdown_sums_to_100() {
+        let t = fig09_interaction_breakdown(data());
+        for line in t.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let c: f64 = cells[1].trim_end_matches('%').parse().unwrap();
+            let d: f64 = cells[2].trim_end_matches('%').parse().unwrap();
+            assert!((c + d - 100.0).abs() < 0.2, "{line}");
+        }
+    }
+}

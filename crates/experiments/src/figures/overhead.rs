@@ -1,0 +1,88 @@
+//! Runtime-system overhead (paper §VII): "overheads turned out to be very
+//! small (less than 1.5%) when weighed against the overall execution time".
+//!
+//! The runtime measures its own host-side decision time per boundary; at a
+//! simulated 1 GHz core, one host nanosecond ≈ one simulated cycle, so the
+//! ratio of decision time to simulated execution time estimates the same
+//! overhead the paper reports. (This over-states the real overhead: the
+//! paper's runtime ran on the simulated 2010-era CPU, but its decision
+//! interval was also 15 M instructions vs our scaled-down ones.)
+
+use icp_numeric::stats;
+use icp_workloads::suite;
+
+use crate::runner::{ExperimentConfig, Scheme};
+use crate::table::Table;
+
+/// Per-benchmark decision counts, total decision time and estimated
+/// overhead fraction for the dynamic scheme.
+pub fn overhead_table(cfg: &ExperimentConfig) -> Table {
+    let mut t = Table::new(
+        "Runtime-system overhead estimate (paper: < 1.5%)",
+        &["bench", "decisions", "ns/decision", "overhead@sim", "overhead@15M"],
+    );
+    let mut fracs = Vec::new();
+    let mut paper_fracs = Vec::new();
+    for b in suite::all() {
+        let out = cfg.run(&b, &Scheme::ModelBased);
+        let per = if out.decision_count == 0 {
+            0.0
+        } else {
+            out.decision_nanos as f64 / out.decision_count as f64
+        };
+        let frac = out.estimated_overhead_fraction();
+        // The paper decides once per 15 M instructions; our scaled runs
+        // decide ~150x more often. Normalising to the paper's interval:
+        // decision cycles amortised over the cycles 15 M instructions take
+        // (overall CPI x 15 M).
+        let insts: u64 = out.thread_totals.iter().map(|c| c.instructions).sum();
+        let cycles: u64 = out.thread_totals.iter().map(|c| c.active_cycles).sum();
+        let cpi = cycles as f64 / insts.max(1) as f64;
+        let paper_frac = per / (15.0e6 * cpi);
+        fracs.push(frac);
+        paper_fracs.push(paper_frac);
+        t.row(vec![
+            b.name.to_string(),
+            out.decision_count.to_string(),
+            format!("{per:.0}"),
+            format!("{:.4}%", frac * 100.0),
+            format!("{:.5}%", paper_frac * 100.0),
+        ]);
+    }
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        format!("{:.4}%", stats::mean(&fracs) * 100.0),
+        format!("{:.5}%", stats::mean(&paper_fracs) * 100.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_tiny() {
+        // Even at test scale (intervals 1000x shorter than the paper's),
+        // the decision procedure should stay well under the paper's 1.5%
+        // bound in release... and under a loose bound in debug builds.
+        let cfg = ExperimentConfig::test();
+        let out = cfg.run(&suite::swim(), &Scheme::ModelBased);
+        assert!(out.decision_count > 3);
+        assert!(out.decision_nanos > 0);
+        let frac = out.estimated_overhead_fraction();
+        // Debug builds run the decision procedure ~20x slower; only the
+        // release bound is meaningful as a performance claim.
+        let bound = if cfg!(debug_assertions) { 1.0 } else { 0.10 };
+        assert!(frac < bound, "decision overhead fraction {frac}");
+    }
+
+    #[test]
+    fn table_has_all_benchmarks() {
+        let cfg = ExperimentConfig::test();
+        let t = overhead_table(&cfg);
+        assert_eq!(t.len(), 10);
+    }
+}

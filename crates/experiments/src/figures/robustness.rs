@@ -1,0 +1,122 @@
+//! Seed-robustness of the headline comparison.
+//!
+//! The paper reports one number per benchmark from one execution; a
+//! synthetic reproduction can do better — re-run the whole comparison under
+//! several independent stream realisations and report the spread. The
+//! qualitative claims (dynamic ≥ shared ≥/≈ equal, positive vs throughput)
+//! should hold for *every* seed, and the averages should be stable.
+
+use icp_numeric::histogram::percentile;
+use icp_numeric::stats;
+
+use crate::figures::context::SuiteData;
+use crate::runner::ExperimentConfig;
+use crate::table::{f2, pct, Table};
+
+/// Per-seed suite-average improvements of the dynamic scheme.
+#[derive(Clone, Copy, Debug)]
+pub struct SeedOutcome {
+    /// Seed used.
+    pub seed: u64,
+    /// Suite-average improvement vs the shared cache (%).
+    pub vs_shared: f64,
+    /// Suite-average improvement vs the static-equal cache (%).
+    pub vs_equal: f64,
+    /// Suite-average improvement vs the UCP throughput scheme (%).
+    pub vs_ucp: f64,
+}
+
+/// Runs the full suite comparison for each seed (seeds run sequentially;
+/// the 36 simulations inside each seed run in parallel).
+pub fn robustness_outcomes(cfg: &ExperimentConfig, seeds: &[u64]) -> Vec<SeedOutcome> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut c = cfg.clone();
+            c.seed = seed;
+            let data = SuiteData::collect(&c);
+            let mean_imp = |base: &[icp_core::ExecutionOutcome]| {
+                let imps: Vec<f64> = data
+                    .dynamic
+                    .iter()
+                    .zip(base)
+                    .map(|(d, b)| d.improvement_percent_over(b))
+                    .collect();
+                stats::mean(&imps)
+            };
+            SeedOutcome {
+                seed,
+                vs_shared: mean_imp(&data.shared),
+                vs_equal: mean_imp(&data.equal),
+                vs_ucp: mean_imp(&data.ucp),
+            }
+        })
+        .collect()
+}
+
+/// Renders the robustness study: per-seed rows plus mean / std / min
+/// summaries.
+pub fn robustness_table(cfg: &ExperimentConfig, seeds: &[u64]) -> Table {
+    let outcomes = robustness_outcomes(cfg, seeds);
+    let mut t = Table::new(
+        "Seed robustness: suite-average improvements of the dynamic scheme",
+        &["seed", "vs shared", "vs equal", "vs ucp"],
+    );
+    for o in &outcomes {
+        t.row(vec![
+            o.seed.to_string(),
+            pct(o.vs_shared),
+            pct(o.vs_equal),
+            pct(o.vs_ucp),
+        ]);
+    }
+    let cols: [(&str, fn(&SeedOutcome) -> f64); 3] = [
+        ("vs_shared", |o| o.vs_shared),
+        ("vs_equal", |o| o.vs_equal),
+        ("vs_ucp", |o| o.vs_ucp),
+    ];
+    for (stat, f) in [
+        ("mean", 0usize),
+        ("stddev", 1),
+        ("min", 2),
+    ] {
+        let mut row = vec![stat.to_string()];
+        for (_, get) in cols.iter() {
+            let vals: Vec<f64> = outcomes.iter().map(get).collect();
+            let v = match f {
+                0 => stats::mean(&vals),
+                1 => stats::stddev(&vals),
+                _ => percentile(&vals, 0.0).unwrap_or(0.0),
+            };
+            row.push(f2(v));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_hold_across_seeds() {
+        let cfg = ExperimentConfig::test();
+        let outcomes = robustness_outcomes(&cfg, &[11, 222]);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.vs_equal > 0.0, "seed {}: vs equal {}", o.seed, o.vs_equal);
+            assert!(o.vs_ucp > 0.0, "seed {}: vs ucp {}", o.seed, o.vs_ucp);
+            assert!(o.vs_shared > -3.0, "seed {}: vs shared {}", o.seed, o.vs_shared);
+            // Consistent internal ordering: private gains exceed shared gains.
+            assert!(o.vs_equal > o.vs_shared, "seed {}", o.seed);
+        }
+    }
+
+    #[test]
+    fn table_has_summary_rows() {
+        let cfg = ExperimentConfig::test();
+        let t = robustness_table(&cfg, &[5]);
+        assert_eq!(t.len(), 4); // 1 seed + mean + stddev + min
+    }
+}

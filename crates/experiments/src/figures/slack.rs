@@ -1,0 +1,156 @@
+//! Slack-time analysis — the paper's central mechanism made measurable.
+//!
+//! "Slack time is defined as the difference between thread speeds" (§I):
+//! a thread that reaches the barrier early stalls until the critical path
+//! thread arrives. The whole point of intra-application partitioning is to
+//! shrink that slack by speeding the slowest thread up. This module
+//! quantifies it directly: the fraction of thread-cycles spent parked at
+//! barriers under each scheme, plus distribution summaries.
+
+use icp_core::ExecutionOutcome;
+use icp_numeric::histogram::percentile;
+use icp_numeric::stats;
+
+use crate::figures::context::SuiteData;
+use crate::table::{pct, Table};
+
+/// Fraction of total thread-time spent stalled at barriers.
+pub fn slack_fraction(out: &ExecutionOutcome) -> f64 {
+    let stall: u64 = out.thread_totals.iter().map(|c| c.barrier_stall_cycles).sum();
+    let active: u64 = out.thread_totals.iter().map(|c| c.active_cycles).sum();
+    if stall + active == 0 {
+        return 0.0;
+    }
+    stall as f64 / (stall + active) as f64
+}
+
+/// Per-benchmark slack share under shared / equal / dynamic partitions.
+/// The dynamic scheme should show the smallest slack — it explicitly
+/// balances thread speeds.
+pub fn slack_table(data: &SuiteData) -> Table {
+    let mut t = Table::new(
+        "Slack analysis: share of thread-time parked at barriers",
+        &["bench", "shared", "equal", "dynamic", "dyn reduction vs shared"],
+    );
+    let mut reductions = Vec::new();
+    for (((b, sh), eq), dy) in data
+        .benches
+        .iter()
+        .zip(&data.shared)
+        .zip(&data.equal)
+        .zip(&data.dynamic)
+    {
+        let (s, e, d) = (slack_fraction(sh), slack_fraction(eq), slack_fraction(dy));
+        let red = if s > 0.0 { (s - d) / s * 100.0 } else { 0.0 };
+        reductions.push(red);
+        t.row(vec![
+            b.name.to_string(),
+            pct(s * 100.0),
+            pct(e * 100.0),
+            pct(d * 100.0),
+            pct(red),
+        ]);
+    }
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        pct(stats::mean(&reductions)),
+    ]);
+    t
+}
+
+/// Distribution of per-interval critical-path CPI (max thread CPI) under
+/// shared vs dynamic — the tail is what barrier time tracks.
+pub fn critical_cpi_distribution(data: &SuiteData, bench: &str) -> Table {
+    let idx = data
+        .names()
+        .iter()
+        .position(|n| *n == bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let series = |out: &ExecutionOutcome| -> Vec<f64> {
+        out.records
+            .iter()
+            .filter_map(|r| {
+                let active: Vec<f64> = r
+                    .cpi
+                    .iter()
+                    .zip(&r.instructions)
+                    .filter(|(_, i)| **i > 0)
+                    .map(|(c, _)| *c)
+                    .collect();
+                stats::max(&active)
+            })
+            .collect()
+    };
+    let shared = series(&data.shared[idx]);
+    let dynamic = series(&data.dynamic[idx]);
+    let mut t = Table::new(
+        format!("Critical-path CPI distribution over intervals ({bench})"),
+        &["scheme", "p50", "p90", "max"],
+    );
+    for (name, s) in [("shared", &shared), ("dynamic", &dynamic)] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", percentile(s, 0.5).unwrap_or(0.0)),
+            format!("{:.2}", percentile(s, 0.9).unwrap_or(0.0)),
+            format!("{:.2}", stats::max(s).unwrap_or(0.0)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::context::test_data;
+
+    #[test]
+    fn dynamic_scheme_reduces_slack_on_contended_benchmarks() {
+        let data = test_data();
+        let names = data.names();
+        let mut wins = 0;
+        let mut contended = 0;
+        for (i, name) in names.iter().enumerate() {
+            if icp_workloads::suite::small_working_set_names().contains(name) {
+                continue;
+            }
+            contended += 1;
+            let s = slack_fraction(&data.shared[i]);
+            let d = slack_fraction(&data.dynamic[i]);
+            if d < s {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins * 3 >= contended * 2,
+            "dynamic reduced slack on only {wins}/{contended} contended benchmarks"
+        );
+    }
+
+    #[test]
+    fn slack_fractions_are_sane() {
+        let data = test_data();
+        for out in data.shared.iter().chain(&data.dynamic) {
+            let f = slack_fraction(out);
+            assert!((0.0..1.0).contains(&f), "slack {f}");
+        }
+        let t = slack_table(data);
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn critical_cpi_distribution_orders_percentiles() {
+        let data = test_data();
+        let t = critical_cpi_distribution(data, "swim");
+        for line in t.to_csv().lines().skip(1) {
+            let cells: Vec<f64> = line
+                .split(',')
+                .skip(1)
+                .map(|c| c.parse().unwrap())
+                .collect();
+            assert!(cells[0] <= cells[1] && cells[1] <= cells[2], "{line}");
+        }
+    }
+}

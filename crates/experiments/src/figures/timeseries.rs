@@ -1,0 +1,134 @@
+//! Time-series figures: Figures 6, 7 (SWIM phase behaviour) and the
+//! Figure 18 snapshot table (NAS CG under the dynamic scheme).
+
+use icp_workloads::suite;
+
+use crate::figures::context::SuiteData;
+use crate::runner::{ExperimentConfig, Scheme};
+use crate::table::{f2, Table};
+
+/// Figure 6: per-thread CPI of SWIM across (up to) 50 contiguous execution
+/// intervals on the shared cache — thread behaviour varies both across
+/// threads and across time (phases).
+pub fn fig06_swim_cpi_timeline(data: &SuiteData) -> Table {
+    let idx = data
+        .names()
+        .iter()
+        .position(|n| *n == "swim")
+        .expect("swim in suite");
+    let out = &data.shared[idx];
+    let threads = out.thread_totals.len();
+    let mut headers = vec!["interval".to_string()];
+    headers.extend((0..threads).map(|t| format!("cpi:t{t}")));
+    let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Figure 6: SWIM per-thread CPI over execution intervals (shared L2)", &hdr);
+    for r in out.records.iter().take(50) {
+        let mut row = vec![r.index.to_string()];
+        row.extend(r.cpi.iter().map(|c| f2(*c)));
+        table.row(row);
+    }
+    table
+}
+
+/// Line-chart rendering of Figure 6 (per-thread CPI series).
+pub fn fig06_chart(data: &SuiteData) -> crate::chart::LineChart {
+    let idx = data.names().iter().position(|n| *n == "swim").expect("swim in suite");
+    let out = &data.shared[idx];
+    let threads = out.thread_totals.len();
+    let mut c = crate::chart::LineChart::new(
+        "Figure 6 (chart): SWIM per-thread CPI over execution intervals",
+    );
+    for t in 0..threads {
+        let series: Vec<f64> = out
+            .records
+            .iter()
+            .take(50)
+            .map(|r| if r.instructions[t] > 0 { r.cpi[t] } else { 0.0 })
+            .collect();
+        c.series(format!("t{t}"), series);
+    }
+    c
+}
+
+/// Figure 7: L2 misses of SWIM's thread 2 during the same intervals as
+/// Figure 6 — miss counts track the CPI series, showing the phase behaviour
+/// is cache-driven.
+pub fn fig07_swim_miss_timeline(data: &SuiteData) -> Table {
+    let idx = data
+        .names()
+        .iter()
+        .position(|n| *n == "swim")
+        .expect("swim in suite");
+    let out = &data.shared[idx];
+    let mut table = Table::new(
+        "Figure 7: SWIM thread-2 L2 misses over the same intervals as Figure 6",
+        &["interval", "l2-misses:t2", "cpi:t2"],
+    );
+    for r in out.records.iter().take(50) {
+        table.row(vec![
+            r.index.to_string(),
+            r.l2_misses[2].to_string(),
+            f2(r.cpi[2]),
+        ]);
+    }
+    table
+}
+
+/// Figure 18: snapshot of the dynamic scheme across the first execution
+/// intervals of NAS CG — way allocation per thread plus the resulting
+/// overall CPI. The paper's table shows the critical thread (thread 3,
+/// 0-based) receiving the dominant share from interval 2 on, and the
+/// overall CPI dropping as a result.
+pub fn fig18_cg_snapshot(cfg: &ExperimentConfig) -> Table {
+    let bench = suite::cg();
+    let out = cfg.run(&bench, &Scheme::ModelBased);
+    let threads = out.thread_totals.len();
+    let mut headers = vec!["interval".to_string()];
+    headers.extend((0..threads).map(|t| format!("ways:t{t}")));
+    headers.push("CPI:t3 (critical)".into());
+    headers.push("overall CPI".into());
+    let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Figure 18: dynamic partitioning snapshot, NAS CG (first intervals)",
+        &hdr,
+    );
+    for r in out.records.iter().take(6) {
+        let mut row = vec![(r.index + 1).to_string()];
+        row.extend(r.ways.iter().map(|w| w.to_string()));
+        row.push(f2(r.cpi[3]));
+        // Note: overall CPI mixes whichever threads were active during the
+        // interval (barrier-parked threads retire nothing), so it is noisy
+        // across intervals; the critical thread's own CPI is the cleaner
+        // signal and falls monotonically as its allocation grows.
+        row.push(f2(r.overall_cpi));
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::runner::ExperimentConfig;
+
+    #[test]
+    fn fig18_critical_thread_gets_dominant_share() {
+        let cfg = ExperimentConfig::test();
+        let bench = suite::cg();
+        let out = cfg.run(&bench, &Scheme::ModelBased);
+        // After the bootstrap boundaries, thread 3 (the critical thread)
+        // must hold the largest quota.
+        let later = &out.records[out.records.len().min(4) - 1];
+        let max = later.ways.iter().max().unwrap();
+        assert_eq!(later.ways[3], *max, "ways {:?}", later.ways);
+    }
+
+    #[test]
+    fn timeline_tables_have_rows() {
+        let data = crate::figures::context::test_data();
+        assert!(fig06_swim_cpi_timeline(data).len() >= 10);
+        assert!(fig07_swim_miss_timeline(data).len() >= 10);
+        assert_eq!(fig06_chart(data).len(), 4);
+    }
+}

@@ -1,0 +1,259 @@
+//! Minimal JSON emission for machine-readable experiment results.
+//!
+//! Deliberately hand-rolled (the workspace's dependency policy keeps the
+//! simulator's ecosystem footprint to the approved crates): a small writer
+//! covering exactly the value shapes the harness exports — objects, arrays,
+//! strings, numbers, booleans. Output is deterministic (insertion order).
+
+use std::fmt::Write as _;
+
+use icp_core::{ExecutionOutcome, IntervalRecord};
+
+use crate::table::Table;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Finite number (emitted via shortest-roundtrip formatting).
+    Num(f64),
+    /// String (escaped on emission).
+    Str(String),
+    /// Ordered array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Serialises to compact JSON via `Display`/`to_string`.
+///
+/// # Panics
+/// Panics on non-finite numbers (JSON cannot represent them).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Json {
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: a u64 (exact for values below 2^53).
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                assert!(n.is_finite(), "JSON cannot represent {n}");
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Converts one interval record.
+fn interval_to_json(r: &IntervalRecord) -> Json {
+    Json::obj(vec![
+        ("index", Json::u64(r.index as u64)),
+        ("ways", Json::Arr(r.ways.iter().map(|w| Json::u64(*w as u64)).collect())),
+        ("cpi", Json::Arr(r.cpi.iter().map(|c| Json::Num(*c)).collect())),
+        (
+            "l2_misses",
+            Json::Arr(r.l2_misses.iter().map(|m| Json::u64(*m)).collect()),
+        ),
+        (
+            "instructions",
+            Json::Arr(r.instructions.iter().map(|i| Json::u64(*i)).collect()),
+        ),
+        ("overall_cpi", Json::Num(r.overall_cpi)),
+        ("wall_cycles", Json::u64(r.wall_cycles)),
+    ])
+}
+
+/// Converts a full execution outcome (scheme, wall cycles, per-thread
+/// totals, per-interval log) to JSON.
+pub fn outcome_to_json(out: &ExecutionOutcome) -> Json {
+    let totals: Vec<Json> = out
+        .thread_totals
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("instructions", Json::u64(c.instructions)),
+                ("active_cycles", Json::u64(c.active_cycles)),
+                ("barrier_stall_cycles", Json::u64(c.barrier_stall_cycles)),
+                ("l1_hits", Json::u64(c.l1_hits)),
+                ("l1_misses", Json::u64(c.l1_misses)),
+                ("l2_hits", Json::u64(c.l2_hits)),
+                ("l2_misses", Json::u64(c.l2_misses)),
+                ("l1_writebacks", Json::u64(c.l1_writebacks)),
+                ("l2_writebacks", Json::u64(c.l2_writebacks)),
+                ("cpi", Json::Num(c.cpi())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("scheme", Json::str(out.scheme)),
+        ("wall_cycles", Json::u64(out.wall_cycles)),
+        ("intervals", Json::u64(out.intervals() as u64)),
+        (
+            "inter_thread_fraction",
+            Json::Num(out.interactions.inter_thread_fraction()),
+        ),
+        ("thread_totals", Json::Arr(totals)),
+        (
+            "records",
+            Json::Arr(out.records.iter().map(interval_to_json).collect()),
+        ),
+    ])
+}
+
+/// Converts a rendered table (headers + rows) to a JSON array of objects.
+pub fn table_to_json(table: &Table) -> Json {
+    let csv = table.to_csv();
+    let mut lines = csv.lines();
+    let headers: Vec<&str> = lines.next().map(|h| h.split(',').collect()).unwrap_or_default();
+    let rows = lines
+        .map(|line| {
+            Json::Obj(
+                headers
+                    .iter()
+                    .zip(line.split(','))
+                    .map(|(h, cell)| {
+                        let v = cell
+                            .trim_end_matches('%')
+                            .parse::<f64>()
+                            .map(Json::Num)
+                            .unwrap_or_else(|_| Json::str(cell));
+                        (h.to_string(), v)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::Arr(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::u64(42).to_string(), "42");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+        assert_eq!(Json::str("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd").to_string(),
+            r#""a\"b\\c\nd""#
+        );
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nesting() {
+        let j = Json::obj(vec![
+            ("xs", Json::Arr(vec![Json::u64(1), Json::u64(2)])),
+            ("name", Json::str("t")),
+        ]);
+        assert_eq!(j.to_string(), r#"{"xs":[1,2],"name":"t"}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot represent")]
+    fn rejects_nan() {
+        Json::Num(f64::NAN).to_string();
+    }
+
+    #[test]
+    fn outcome_roundtrip_shape() {
+        let cfg = crate::runner::ExperimentConfig::test();
+        let out = cfg.run(&icp_workloads::suite::ft(), &crate::Scheme::Shared);
+        let j = outcome_to_json(&out).to_string();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"scheme\":\"shared\""));
+        assert!(j.contains("\"records\":["));
+        assert!(j.contains("\"l2_misses\""));
+        // Valid-ish: balanced braces/brackets.
+        let balance = |open: char, close: char| {
+            j.chars().filter(|&c| c == open).count() == j.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
+
+    #[test]
+    fn table_to_json_parses_numbers() {
+        let mut t = Table::new("x", &["bench", "improvement"]);
+        t.row(vec!["swim".into(), "11.1%".into()]);
+        let j = table_to_json(&t).to_string();
+        assert_eq!(j, r#"[{"bench":"swim","improvement":11.1}]"#);
+    }
+}

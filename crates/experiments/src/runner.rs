@@ -1,0 +1,240 @@
+//! Running one benchmark under one partitioning scheme, and sweep
+//! utilities.
+
+use icp_baselines::{
+    FairnessOrientedPolicy, ModelThroughputPolicy, SharedCachePolicy, StaticEqualPolicy,
+    StaticPolicy, UcpThroughputPolicy,
+};
+use icp_cmp_sim::{Simulator, SystemConfig};
+use icp_core::policy::Partitioner;
+use icp_core::{CpiProportionalPolicy, ExecutionOutcome, IntraAppRuntime, ModelBasedPolicy};
+use icp_workloads::{BenchmarkSpec, WorkloadScale};
+
+/// The partitioning schemes the experiments compare.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// Plain shared cache (global LRU) — Figure 20 baseline.
+    Shared,
+    /// Static equal partition (= private caches / optimal fairness) —
+    /// Figure 19 baseline.
+    StaticEqual,
+    /// The paper's §VI-A CPI-proportional dynamic scheme.
+    CpiProportional,
+    /// The paper's §VI-B model-based dynamic scheme (the headline scheme).
+    ModelBased,
+    /// Model-based with the strict Figure 13 termination rule (revert on
+    /// *any* critical-thread change) — ablation.
+    ModelBasedStrict,
+    /// Model-based with an alternative curve family — ablation.
+    ModelBasedWith(icp_core::ModelKind),
+    /// Model-based with phase-change detection (model reset on 50%
+    /// prediction error) — extension/ablation.
+    ModelBasedPhaseDetect,
+    /// UCP-style throughput-oriented scheme — Figure 21 baseline.
+    UcpThroughput,
+    /// Throughput objective on the paper's spline machinery (ablation).
+    ModelThroughput,
+    /// Fairness objective on the paper's spline machinery (extension).
+    Fairness,
+    /// The dynamic model-based policy applied through OS-style *set*
+    /// partitioning (page coloring) instead of way partitioning —
+    /// mechanism comparison.
+    SetPartitionDynamic,
+    /// A fixed custom partition (sensitivity sweeps).
+    StaticCustom(Vec<u32>),
+}
+
+impl Scheme {
+    /// Builds the policy object for this scheme.
+    pub fn policy(&self) -> Box<dyn Partitioner + Send> {
+        match self {
+            Scheme::Shared => Box::new(SharedCachePolicy),
+            Scheme::StaticEqual => Box::new(StaticEqualPolicy),
+            Scheme::CpiProportional => Box::new(CpiProportionalPolicy::new()),
+            Scheme::ModelBased => Box::new(ModelBasedPolicy::new()),
+            Scheme::ModelBasedStrict => Box::new(ModelBasedPolicy::with_strict_termination()),
+            Scheme::ModelBasedWith(kind) => Box::new(ModelBasedPolicy::with_model_kind(*kind)),
+            Scheme::ModelBasedPhaseDetect => Box::new(ModelBasedPolicy::with_phase_detection(0.5)),
+            Scheme::UcpThroughput => Box::new(UcpThroughputPolicy::new()),
+            Scheme::ModelThroughput => Box::new(ModelThroughputPolicy::new()),
+            Scheme::Fairness => Box::new(FairnessOrientedPolicy::new()),
+            Scheme::SetPartitionDynamic => Box::new(
+                icp_baselines::SetPartitionAdapter::new(ModelBasedPolicy::new()),
+            ),
+            Scheme::StaticCustom(ways) => Box::new(StaticPolicy::new(ways.clone())),
+        }
+    }
+
+    /// Short label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Shared => "shared",
+            Scheme::StaticEqual => "static-equal",
+            Scheme::CpiProportional => "cpi-proportional",
+            Scheme::ModelBased => "model-based",
+            Scheme::ModelBasedStrict => "model-based-strict",
+            Scheme::ModelBasedWith(_) => "model-based-alt",
+            Scheme::ModelBasedPhaseDetect => "model-based-phase",
+            Scheme::UcpThroughput => "ucp-throughput",
+            Scheme::ModelThroughput => "model-throughput",
+            Scheme::Fairness => "fairness",
+            Scheme::SetPartitionDynamic => "set-partition",
+            Scheme::StaticCustom(_) => "static-custom",
+        }
+    }
+}
+
+/// Common configuration for all experiments.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// The simulated system.
+    pub system: SystemConfig,
+    /// Workload length scaling.
+    pub scale: WorkloadScale,
+    /// Master seed; every (benchmark, scheme) run derives its streams from
+    /// this, so whole figures are reproducible from one number.
+    pub seed: u64,
+    /// L2 replacement policy (exact LRU by default; tree PLRU for the
+    /// hardware-realism ablation).
+    pub replacement: icp_cmp_sim::ReplacementKind,
+    /// Partition enforcement mechanism (gradual replacement per §V by
+    /// default; instant reconfiguration for the enforcement ablation).
+    pub enforcement: icp_cmp_sim::EnforcementKind,
+}
+
+impl ExperimentConfig {
+    /// Fast figure-reproduction defaults: the scaled-down 4-core system
+    /// with the interval length chosen so a run covers ~50 execution
+    /// intervals, like the paper's measurement window.
+    pub fn quick() -> Self {
+        let mut system = SystemConfig::scaled_down();
+        let scale = WorkloadScale::Figure;
+        // 9 benchmarks share the same section structure; pick the interval
+        // so that (threads x per-thread instructions) / interval ≈ 50.
+        let per_thread = 12_000.0 * 10.0 * scale.factor(); // section x count x scale
+        system.interval_instructions = ((per_thread * system.cores as f64) / 50.0) as u64;
+        ExperimentConfig {
+            system,
+            scale,
+            seed: 0x1C9_2010,
+            replacement: icp_cmp_sim::ReplacementKind::TrueLru,
+            enforcement: icp_cmp_sim::EnforcementKind::Replacement,
+        }
+    }
+
+    /// Tiny configuration for unit tests of the harness itself.
+    pub fn test() -> Self {
+        let mut system = SystemConfig::scaled_down();
+        let scale = WorkloadScale::Test;
+        let per_thread = 12_000.0 * 10.0;
+        system.interval_instructions = ((per_thread * system.cores as f64) / 25.0) as u64;
+        ExperimentConfig {
+            system,
+            scale,
+            seed: 7,
+            replacement: icp_cmp_sim::ReplacementKind::TrueLru,
+            enforcement: icp_cmp_sim::EnforcementKind::Replacement,
+        }
+    }
+
+    /// Re-targets the experiment to `n` cores (Figure 22).
+    pub fn with_cores(mut self, n: usize) -> Self {
+        self.system.cores = n;
+        self
+    }
+
+    /// Runs `bench` under `scheme` and returns the outcome.
+    pub fn run(&self, bench: &BenchmarkSpec, scheme: &Scheme) -> ExecutionOutcome {
+        let spec = if bench.threads.len() == self.system.cores {
+            bench.clone()
+        } else {
+            bench.with_threads(self.system.cores)
+        };
+        let streams = spec.build_streams(&self.system, self.scale, self.seed);
+        let mut sim = Simulator::new(self.system, streams);
+        sim.set_replacement(self.replacement);
+        sim.set_enforcement(self.enforcement);
+        let mut runtime = IntraAppRuntime::new(scheme.policy(), &self.system);
+        runtime.execute(&mut sim)
+    }
+
+    /// Runs `bench` under several schemes in parallel, preserving order.
+    pub fn run_schemes(&self, bench: &BenchmarkSpec, schemes: &[Scheme]) -> Vec<ExecutionOutcome> {
+        crate::parallel::parallel_map(schemes.to_vec(), |s| self.run(bench, s))
+    }
+
+    /// Runs the full suite under one scheme in parallel, preserving order.
+    pub fn run_suite(&self, benches: &[BenchmarkSpec], scheme: &Scheme) -> Vec<ExecutionOutcome> {
+        crate::parallel::parallel_map(benches.to_vec(), |b| self.run(b, scheme))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icp_workloads::suite;
+
+    #[test]
+    fn runs_one_benchmark_under_all_schemes() {
+        let cfg = ExperimentConfig::test();
+        let bench = suite::mg();
+        for scheme in [
+            Scheme::Shared,
+            Scheme::StaticEqual,
+            Scheme::CpiProportional,
+            Scheme::ModelBased,
+            Scheme::UcpThroughput,
+            Scheme::ModelThroughput,
+            Scheme::Fairness,
+        ] {
+            let out = cfg.run(&bench, &scheme);
+            assert!(out.wall_cycles > 0, "{scheme:?}");
+            assert!(out.intervals() > 0, "{scheme:?}");
+            assert_eq!(out.scheme, scheme.label(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn every_scheme_builds_a_policy_with_matching_label() {
+        use icp_core::ModelKind;
+        let schemes = [
+            Scheme::Shared,
+            Scheme::StaticEqual,
+            Scheme::CpiProportional,
+            Scheme::ModelBased,
+            Scheme::ModelBasedStrict,
+            Scheme::ModelBasedWith(ModelKind::Pchip),
+            Scheme::ModelBasedWith(ModelKind::Linear),
+            Scheme::ModelBasedPhaseDetect,
+            Scheme::UcpThroughput,
+            Scheme::ModelThroughput,
+            Scheme::Fairness,
+            Scheme::SetPartitionDynamic,
+            Scheme::StaticCustom(vec![16; 4]),
+        ];
+        for s in schemes {
+            let p = s.policy();
+            assert!(!p.name().is_empty(), "{s:?}");
+            assert!(!s.label().is_empty(), "{s:?}");
+            // Only the UCP baseline needs a utility monitor.
+            assert_eq!(p.wants_umon(), s == Scheme::UcpThroughput, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = ExperimentConfig::test();
+        let bench = suite::ft();
+        let a = cfg.run(&bench, &Scheme::ModelBased);
+        let b = cfg.run(&bench, &Scheme::ModelBased);
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        assert_eq!(a.records.len(), b.records.len());
+    }
+
+    #[test]
+    fn eight_core_retarget() {
+        let cfg = ExperimentConfig::test().with_cores(8);
+        let out = cfg.run(&suite::mg(), &Scheme::StaticEqual);
+        assert_eq!(out.thread_totals.len(), 8);
+    }
+}

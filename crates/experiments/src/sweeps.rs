@@ -1,0 +1,151 @@
+//! Sensitivity sweeps: how the headline comparison changes with system
+//! parameters.
+//!
+//! The paper's §VII-C varies the core count (Figure 22); a reproduction
+//! should also check that its conclusions are not an artifact of one cache
+//! size or interval length. Each sweep runs a probe subset of the suite
+//! under shared / static-equal / model-based and reports the dynamic
+//! scheme's improvements at every point.
+
+use icp_cmp_sim::CacheConfig;
+use icp_numeric::stats;
+use icp_workloads::suite;
+
+use crate::runner::{ExperimentConfig, Scheme};
+use crate::table::{pct, Table};
+
+/// Probe benchmarks for sweeps: one strongly contended, one moderately,
+/// one small-working-set (they should react differently).
+fn probes() -> Vec<icp_workloads::BenchmarkSpec> {
+    vec![suite::swim(), suite::cg(), suite::ft()]
+}
+
+/// Mean improvements of the dynamic scheme over (shared, equal) across the
+/// probe set for one configuration.
+fn measure(cfg: &ExperimentConfig) -> (f64, f64) {
+    let mut vs_shared = Vec::new();
+    let mut vs_equal = Vec::new();
+    for b in probes() {
+        let outs = cfg.run_schemes(
+            &b,
+            &[Scheme::Shared, Scheme::StaticEqual, Scheme::ModelBased],
+        );
+        vs_shared.push(outs[2].improvement_percent_over(&outs[0]));
+        vs_equal.push(outs[2].improvement_percent_over(&outs[1]));
+    }
+    (stats::mean(&vs_shared), stats::mean(&vs_equal))
+}
+
+/// Sweeps the L2 capacity (way count held at 64; sets scale).
+///
+/// Expected shape: with a tiny cache everything thrashes and partitioning
+/// cannot help much; with a huge cache nothing contends; the sweet spot in
+/// between is where the paper's effect lives.
+pub fn sweep_cache_size(cfg: &ExperimentConfig) -> Table {
+    let mut t = Table::new(
+        "Sweep: L2 capacity (dynamic scheme improvements, probe set)",
+        &["l2 size", "vs shared", "vs equal"],
+    );
+    for kb in [64u64, 128, 256, 512, 1024] {
+        let mut c = cfg.clone();
+        c.system.l2 = CacheConfig::new(kb * 1024, 64, 64);
+        let (s, e) = measure(&c);
+        t.row(vec![format!("{kb} KB"), pct(s), pct(e)]);
+    }
+    t
+}
+
+/// Sweeps the core/thread count at fixed L2 capacity (the Figure 22 axis,
+/// extended).
+pub fn sweep_thread_count(cfg: &ExperimentConfig) -> Table {
+    let mut t = Table::new(
+        "Sweep: cores/threads sharing one L2 (dynamic scheme improvements)",
+        &["cores", "vs shared", "vs equal"],
+    );
+    for cores in [2usize, 4, 8, 16] {
+        let c = cfg.clone().with_cores(cores);
+        let (s, e) = measure(&c);
+        t.row(vec![cores.to_string(), pct(s), pct(e)]);
+    }
+    t
+}
+
+/// Sweeps the execution interval length (the paper reports "little
+/// variation", §VII).
+pub fn sweep_interval(cfg: &ExperimentConfig) -> Table {
+    let mut t = Table::new(
+        "Sweep: execution interval length (dynamic scheme improvements)",
+        &["interval (instructions)", "vs shared", "vs equal"],
+    );
+    for divisor in [8u64, 4, 2, 1] {
+        let mut c = cfg.clone();
+        c.system.interval_instructions = (cfg.system.interval_instructions / divisor).max(1_000);
+        let (s, e) = measure(&c);
+        t.row(vec![c.system.interval_instructions.to_string(), pct(s), pct(e)]);
+    }
+    t
+}
+
+/// Sweeps the DRAM latency: the slower memory is, the more a miss costs
+/// and the bigger the partitioning stakes.
+pub fn sweep_memory_latency(cfg: &ExperimentConfig) -> Table {
+    let mut t = Table::new(
+        "Sweep: DRAM latency (dynamic scheme improvements)",
+        &["latency (cycles)", "vs shared", "vs equal"],
+    );
+    for mem in [75u64, 150, 300] {
+        let mut c = cfg.clone();
+        c.system.latency.memory = mem;
+        let (s, e) = measure(&c);
+        t.row(vec![mem.to_string(), pct(s), pct(e)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_size_sweep_has_expected_rows() {
+        let t = sweep_cache_size(&ExperimentConfig::test());
+        assert_eq!(t.len(), 5);
+        // Every cell parses as a percentage.
+        for line in t.to_csv().lines().skip(1) {
+            for cell in line.split(',').skip(1) {
+                let v: f64 = cell.trim_end_matches('%').parse().unwrap();
+                assert!(v.abs() < 100.0, "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_sweep_is_broadly_flat() {
+        // The paper: "little variation across the results when the
+        // execution interval was either increased or decreased". Allow a
+        // generous band at test scale.
+        let t = sweep_interval(&ExperimentConfig::test());
+        let vals: Vec<f64> = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().trim_end_matches('%').parse().unwrap())
+            .collect();
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max - min < 15.0, "interval sensitivity too large: {vals:?}");
+        assert!(min > 0.0, "dynamic must beat equal at every interval: {vals:?}");
+    }
+
+    #[test]
+    fn thread_sweep_runs_at_2_and_8() {
+        let mut cfg = ExperimentConfig::test();
+        // Keep the test fast: only verify the mechanics at two points.
+        cfg.system.interval_instructions *= 2;
+        for cores in [2usize, 8] {
+            let c = cfg.clone().with_cores(cores);
+            let (s, e) = measure(&c);
+            assert!(s.is_finite() && e.is_finite(), "{cores} cores");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Fixed-bin histograms and percentile estimation.
+//!
+//! Used by the experiment harness to summarise per-interval distributions
+//! (e.g. slack time across intervals) beyond means: the paper reasons about
+//! the *slowest* thread, so tails matter.
+
+/// A histogram over `[lo, hi)` with uniformly sized bins; values outside
+/// the range are clamped into the edge bins.
+///
+/// # Examples
+///
+/// ```
+/// use icp_numeric::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 20.0, 20);
+/// for cpi in [3.0, 3.5, 4.0, 11.5] {
+///     h.record(cpi);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.quantile(0.95).unwrap() > 10.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or the range is empty/non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad range");
+        Histogram { lo, hi, bins: vec![0; bins], count: 0 }
+    }
+
+    /// Records one observation (clamped into range; NaN ignored).
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let n = self.bins.len();
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Approximate p-quantile (`0.0..=1.0`) by linear interpolation within
+    /// the containing bin. `None` when empty.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile needs p in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = p * self.count as f64;
+        let mut acc = 0u64;
+        let bin_width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = acc + c;
+            if (next as f64) >= target && c > 0 {
+                let within = (target - acc as f64) / c as f64;
+                return Some(self.lo + bin_width * (i as f64 + within.clamp(0.0, 1.0)));
+            }
+            acc = next;
+        }
+        Some(self.hi)
+    }
+
+    /// A compact sparkline of the distribution (one char per bin).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        self.bins
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    ' '
+                } else {
+                    LEVELS[((c * (LEVELS.len() as u64 - 1)).div_ceil(max)) as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+/// Exact percentile of a sample (interpolated, like numpy's default).
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]` or data contains NaN.
+pub fn percentile(data: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "percentile needs p in [0,1]");
+    if data.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let rank = p * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 10);
+        assert!(h.bins().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(99.0);
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[3], 1);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_fill() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        assert!((q50 - 50.0).abs() < 2.0, "{q50}");
+        let q90 = h.quantile(0.9).unwrap();
+        assert!((q90 - 90.0).abs() < 2.0, "{q90}");
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.6);
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().nth(2), Some(' ')); // empty bin
+    }
+
+    #[test]
+    fn percentile_exact() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 1.0), Some(4.0));
+        assert!((percentile(&data, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let data = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&data, 0.5), Some(5.0));
+    }
+}

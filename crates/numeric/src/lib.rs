@@ -1,0 +1,31 @@
+//! Numeric building blocks for the intra-application cache partitioning
+//! (ICP) reproduction.
+//!
+//! Everything here is deterministic and dependency-free so that simulation
+//! results are bit-reproducible across platforms and crate-version bumps:
+//!
+//! * [`rng`] — splitmix64 seeding and the xoshiro256++ generator,
+//! * [`zipf`] — O(1) bounded Zipf sampling (the locality model used by the
+//!   synthetic workloads),
+//! * [`spline`] — natural cubic spline interpolation (the curve-fitting
+//!   primitive of the paper's model-based partitioner, §VI-B),
+//! * [`pchip`] — monotone piecewise-cubic Hermite interpolation (ablation
+//!   alternative to the cubic spline),
+//! * [`stats`] — Pearson correlation, linear regression and summary
+//!   statistics (used to regenerate Figure 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod pchip;
+pub mod rng;
+pub mod spline;
+pub mod stats;
+pub mod zipf;
+
+pub use histogram::Histogram;
+pub use pchip::Pchip;
+pub use rng::Xoshiro256;
+pub use spline::CubicSpline;
+pub use zipf::Zipf;

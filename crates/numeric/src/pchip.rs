@@ -1,0 +1,167 @@
+//! Monotone piecewise-cubic Hermite interpolation (PCHIP, Fritsch–Carlson).
+//!
+//! The paper notes that "the choice of the curve fitting algorithm used is
+//! independent of the partitioning scheme, and therefore, any other algorithm
+//! could also be used" (§VI-B). PCHIP is the natural alternative to the
+//! cubic spline: it never overshoots, and when the observed CPI-vs-ways data
+//! is monotone the fitted model is monotone too. The `ablation_model` bench
+//! compares partitioner quality under spline / PCHIP / linear models.
+
+use crate::spline::SplineError;
+
+/// A shape-preserving piecewise-cubic Hermite interpolant.
+#[derive(Clone, Debug)]
+pub struct Pchip {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// First derivatives at the knots, limited per Fritsch–Carlson.
+    d: Vec<f64>,
+}
+
+impl Pchip {
+    /// Fits a PCHIP interpolant through `(xs[i], ys[i])`.
+    ///
+    /// Same input contract as [`crate::CubicSpline::fit`]: strictly
+    /// increasing finite `xs`, at least two points.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, SplineError> {
+        if xs.len() < 2 || xs.len() != ys.len() {
+            return Err(SplineError::TooFewPoints);
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(SplineError::NonFinite);
+        }
+        if xs.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(SplineError::NotStrictlyIncreasing);
+        }
+        let n = xs.len();
+        // Secant slopes.
+        let h: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+        let delta: Vec<f64> = (0..n - 1).map(|i| (ys[i + 1] - ys[i]) / h[i]).collect();
+        let mut d = vec![0.0; n];
+        if n == 2 {
+            d[0] = delta[0];
+            d[1] = delta[0];
+        } else {
+            // Interior derivatives: weighted harmonic mean when the secants
+            // agree in sign, zero otherwise (preserves local extrema).
+            for i in 1..n - 1 {
+                if delta[i - 1] * delta[i] > 0.0 {
+                    let w1 = 2.0 * h[i] + h[i - 1];
+                    let w2 = h[i] + 2.0 * h[i - 1];
+                    d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+                }
+            }
+            d[0] = edge_derivative(h[0], h[1], delta[0], delta[1]);
+            d[n - 1] = edge_derivative(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+        }
+        Ok(Pchip { xs: xs.to_vec(), ys: ys.to_vec(), d })
+    }
+
+    /// Evaluates the interpolant at `x`, extrapolating linearly using the
+    /// boundary derivative outside the knot range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0] + self.d[0] * (x - self.xs[0]);
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1] + self.d[n - 1] * (x - self.xs[n - 1]);
+        }
+        let hi = self.xs.partition_point(|&k| k < x).max(1).min(n - 1);
+        let lo = hi - 1;
+        let h = self.xs[hi] - self.xs[lo];
+        let t = (x - self.xs[lo]) / h;
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.ys[lo] + h10 * h * self.d[lo] + h01 * self.ys[hi] + h11 * h * self.d[hi]
+    }
+
+    /// Number of knots.
+    pub fn num_knots(&self) -> usize {
+        self.xs.len()
+    }
+}
+
+/// One-sided three-point derivative estimate for the boundary knots, limited
+/// so monotonicity is preserved (Fritsch–Carlson end conditions).
+fn edge_derivative(h0: f64, h1: f64, delta0: f64, delta1: f64) -> f64 {
+    let d = ((2.0 * h0 + h1) * delta0 - h0 * delta1) / (h0 + h1);
+    if d * delta0 <= 0.0 {
+        0.0
+    } else if delta0 * delta1 <= 0.0 && d.abs() > 3.0 * delta0.abs() {
+        3.0 * delta0
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_knots() {
+        let xs = [1.0, 2.0, 4.0, 8.0];
+        let ys = [9.0, 6.0, 4.0, 3.5];
+        let p = Pchip::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!((p.eval(*x) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn preserves_monotonicity() {
+        // Strictly decreasing data => interpolant decreasing everywhere.
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        let ys = [12.0, 8.0, 5.5, 4.2, 3.9, 3.85];
+        let p = Pchip::fit(&xs, &ys).unwrap();
+        let mut prev = p.eval(1.0);
+        for i in 1..=310 {
+            let x = 1.0 + i as f64 * 0.1;
+            let y = p.eval(x);
+            assert!(y <= prev + 1e-9, "non-monotone at x={x}: {y} > {prev}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn no_overshoot_between_knots() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 10.5];
+        let p = Pchip::fit(&xs, &ys).unwrap();
+        for i in 0..=20 {
+            let x = i as f64 / 10.0;
+            let y = p.eval(x);
+            assert!((-1e-9..=10.5 + 1e-9).contains(&y), "overshoot at {x}: {y}");
+        }
+    }
+
+    #[test]
+    fn two_points_is_a_line() {
+        let p = Pchip::fit(&[2.0, 6.0], &[1.0, 9.0]).unwrap();
+        assert!((p.eval(4.0) - 5.0).abs() < 1e-9);
+        assert!((p.eval(0.0) - (-3.0)).abs() < 1e-9); // linear extrapolation
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Pchip::fit(&[1.0], &[1.0]).is_err());
+        assert!(Pchip::fit(&[2.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(Pchip::fit(&[1.0, 2.0], &[f64::INFINITY, 2.0]).is_err());
+    }
+
+    #[test]
+    fn flat_data_stays_flat() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [5.0, 5.0, 5.0, 5.0];
+        let p = Pchip::fit(&xs, &ys).unwrap();
+        for i in 0..=40 {
+            let x = i as f64 / 10.0;
+            assert!((p.eval(x) - 5.0).abs() < 1e-12);
+        }
+    }
+}

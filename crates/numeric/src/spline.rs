@@ -1,0 +1,275 @@
+//! Natural cubic spline interpolation.
+//!
+//! The paper's model-based partitioner (§VI-B) fits a per-thread
+//! "CPI as a function of cache ways" curve at runtime using cubic spline
+//! interpolation (it cites Watson's contouring text) and hill-climbs over
+//! the fitted models. This module provides that primitive.
+//!
+//! A natural cubic spline through points `(x_i, y_i)` is a piecewise cubic,
+//! C²-continuous function with zero second derivative at the endpoints. The
+//! second derivatives at the knots are obtained by solving a tridiagonal
+//! linear system (Thomas algorithm, O(n)).
+//!
+//! Evaluation outside the knot range extrapolates **linearly** using the
+//! boundary slope: way counts queried by the partitioner routinely fall
+//! outside the observed history early in a run, and cubic extrapolation
+//! would explode.
+
+/// Errors from spline construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SplineError {
+    /// Fewer than two points were supplied.
+    TooFewPoints,
+    /// Knot x-values are not strictly increasing (duplicates or unsorted).
+    NotStrictlyIncreasing,
+    /// A coordinate was NaN or infinite.
+    NonFinite,
+}
+
+impl std::fmt::Display for SplineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplineError::TooFewPoints => write!(f, "spline needs at least 2 points"),
+            SplineError::NotStrictlyIncreasing => {
+                write!(f, "spline knots must be strictly increasing in x")
+            }
+            SplineError::NonFinite => write!(f, "spline input contains NaN/inf"),
+        }
+    }
+}
+
+impl std::error::Error for SplineError {}
+
+/// A natural cubic spline through a set of knots.
+///
+/// # Examples
+///
+/// ```
+/// use icp_numeric::CubicSpline;
+///
+/// // A CPI-vs-ways curve: more cache, fewer stalls.
+/// let s = CubicSpline::fit(&[4.0, 8.0, 16.0, 32.0], &[12.0, 9.0, 6.5, 5.0]).unwrap();
+/// assert!((s.eval(8.0) - 9.0).abs() < 1e-9);   // interpolates knots
+/// let mid = s.eval(12.0);                       // smooth in between
+/// assert!(mid < 9.0 && mid > 6.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the knots (zero at both ends: "natural").
+    y2: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Fits a natural cubic spline through `(xs[i], ys[i])`.
+    ///
+    /// `xs` must be strictly increasing and everything finite. With exactly
+    /// two points the spline degenerates to the straight line through them.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, SplineError> {
+        if xs.len() < 2 || xs.len() != ys.len() {
+            return Err(SplineError::TooFewPoints);
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(SplineError::NonFinite);
+        }
+        if xs.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(SplineError::NotStrictlyIncreasing);
+        }
+        let n = xs.len();
+        let mut y2 = vec![0.0; n];
+        if n > 2 {
+            // Thomas algorithm on the tridiagonal system for interior knots.
+            let mut u = vec![0.0; n - 1];
+            for i in 1..n - 1 {
+                let sig = (xs[i] - xs[i - 1]) / (xs[i + 1] - xs[i - 1]);
+                let p = sig * y2[i - 1] + 2.0;
+                y2[i] = (sig - 1.0) / p;
+                let d = (ys[i + 1] - ys[i]) / (xs[i + 1] - xs[i])
+                    - (ys[i] - ys[i - 1]) / (xs[i] - xs[i - 1]);
+                u[i] = (6.0 * d / (xs[i + 1] - xs[i - 1]) - sig * u[i - 1]) / p;
+            }
+            for i in (1..n - 1).rev() {
+                y2[i] = y2[i] * y2[i + 1] + u[i];
+            }
+        }
+        Ok(CubicSpline { xs: xs.to_vec(), ys: ys.to_vec(), y2 })
+    }
+
+    /// Fits a spline from unsorted, possibly-duplicated samples.
+    ///
+    /// Samples are sorted by x; samples with (nearly) equal x are averaged.
+    /// This is the entry point the runtime uses: observed (ways, CPI) pairs
+    /// arrive in execution order and the same way count can recur.
+    pub fn fit_from_samples(points: &[(f64, f64)]) -> Result<Self, SplineError> {
+        if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(SplineError::NonFinite);
+        }
+        let mut pts = points.to_vec();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut xs: Vec<f64> = Vec::with_capacity(pts.len());
+        let mut ys: Vec<f64> = Vec::with_capacity(pts.len());
+        let mut i = 0;
+        while i < pts.len() {
+            let x = pts[i].0;
+            let mut sum = 0.0;
+            let mut cnt = 0usize;
+            while i < pts.len() && (pts[i].0 - x).abs() < 1e-9 {
+                sum += pts[i].1;
+                cnt += 1;
+                i += 1;
+            }
+            xs.push(x);
+            ys.push(sum / cnt as f64);
+        }
+        Self::fit(&xs, &ys)
+    }
+
+    /// Number of knots.
+    pub fn num_knots(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// The knot x-values.
+    pub fn knots(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Evaluates the spline at `x`, extrapolating linearly outside the knots.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0] + self.slope_at_start() * (x - self.xs[0]);
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1] + self.slope_at_end() * (x - self.xs[n - 1]);
+        }
+        // Binary search for the segment containing x.
+        let hi = self.xs.partition_point(|&k| k < x).max(1).min(n - 1);
+        let lo = hi - 1;
+        let h = self.xs[hi] - self.xs[lo];
+        let a = (self.xs[hi] - x) / h;
+        let b = (x - self.xs[lo]) / h;
+        a * self.ys[lo]
+            + b * self.ys[hi]
+            + ((a * a * a - a) * self.y2[lo] + (b * b * b - b) * self.y2[hi]) * (h * h) / 6.0
+    }
+
+    /// First derivative at the left boundary knot.
+    fn slope_at_start(&self) -> f64 {
+        let h = self.xs[1] - self.xs[0];
+        (self.ys[1] - self.ys[0]) / h - h / 6.0 * (2.0 * self.y2[0] + self.y2[1])
+    }
+
+    /// First derivative at the right boundary knot.
+    fn slope_at_end(&self) -> f64 {
+        let n = self.xs.len();
+        let h = self.xs[n - 1] - self.xs[n - 2];
+        (self.ys[n - 1] - self.ys[n - 2]) / h + h / 6.0 * (self.y2[n - 2] + 2.0 * self.y2[n - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_knots_exactly() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let ys = [10.0, 7.0, 5.0, 4.0, 3.5];
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!((s.eval(*x) - y).abs() < 1e-9, "at {x}");
+        }
+    }
+
+    #[test]
+    fn two_points_is_a_line() {
+        let s = CubicSpline::fit(&[0.0, 10.0], &[0.0, 20.0]).unwrap();
+        for i in 0..=20 {
+            let x = i as f64;
+            assert!((s.eval(x) - 2.0 * x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reproduces_linear_data_exactly() {
+        // A spline through collinear points is that line everywhere.
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for i in 0..70 {
+            let x = i as f64 / 10.0;
+            assert!((s.eval(x) - (3.0 * x + 1.0)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn approximates_smooth_function() {
+        let xs: Vec<f64> = (0..=16).map(|i| i as f64 / 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x / 3.0).sin()).collect();
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for i in 0..80 {
+            let x = i as f64 / 10.0;
+            assert!((s.eval(x) - (x / 3.0).sin()).abs() < 1e-3, "at {x}");
+        }
+    }
+
+    #[test]
+    fn linear_extrapolation_is_bounded() {
+        let xs = [4.0, 8.0, 16.0];
+        let ys = [9.0, 6.0, 5.0];
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        // Left extrapolation continues the boundary slope linearly.
+        let y1 = s.eval(1.0);
+        let y0 = s.eval(0.0);
+        let slope_left = s.eval(3.0) - s.eval(2.0);
+        assert!((y1 - y0 - slope_left).abs() < 1e-9 || (y1 - y0).is_finite());
+        // Far extrapolation stays finite and does not blow up cubically.
+        let far = s.eval(64.0);
+        assert!(far.is_finite());
+        assert!(far.abs() < 100.0);
+    }
+
+    #[test]
+    fn fit_from_samples_sorts_and_averages() {
+        let pts = [(8.0, 5.0), (2.0, 10.0), (8.0, 7.0), (4.0, 8.0)];
+        let s = CubicSpline::fit_from_samples(&pts).unwrap();
+        assert_eq!(s.num_knots(), 3);
+        assert!((s.eval(8.0) - 6.0).abs() < 1e-9); // average of 5 and 7
+        assert!((s.eval(2.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            CubicSpline::fit(&[1.0], &[1.0]),
+            Err(SplineError::TooFewPoints)
+        ));
+        assert!(matches!(
+            CubicSpline::fit(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(SplineError::NotStrictlyIncreasing)
+        ));
+        assert!(matches!(
+            CubicSpline::fit(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(SplineError::NonFinite)
+        ));
+        assert!(matches!(
+            CubicSpline::fit_from_samples(&[(1.0, 1.0)]),
+            Err(SplineError::TooFewPoints)
+        ));
+    }
+
+    #[test]
+    fn continuity_at_knots() {
+        let xs = [1.0, 3.0, 5.0, 9.0, 12.0];
+        let ys = [2.0, 8.0, 3.0, 7.0, 1.0];
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for &k in &xs[1..4] {
+            let eps = 1e-6;
+            let left = s.eval(k - eps);
+            let right = s.eval(k + eps);
+            assert!((left - right).abs() < 1e-4, "discontinuity at {k}");
+        }
+    }
+}

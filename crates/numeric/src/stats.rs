@@ -1,0 +1,213 @@
+//! Summary statistics, correlation and linear regression.
+//!
+//! Used by the experiment harness: Figure 5 of the paper reports the Pearson
+//! correlation coefficient between per-interval CPI and L2 miss counts
+//! (average ≈ 0.97 across the suite), and several figures normalise series
+//! to their maximum.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns 0.0 for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Geometric mean of strictly positive values. Returns 0.0 if empty.
+///
+/// # Panics
+/// Panics if any value is not strictly positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean requires positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns `None` if the series differ in length, are shorter than two
+/// elements, or either has zero variance (correlation undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Result of an ordinary least-squares line fit `y = slope * x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (r²).
+    pub r2: f64,
+}
+
+/// Ordinary least-squares linear regression.
+///
+/// Returns `None` under the same conditions as [`pearson`] plus zero
+/// x-variance.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = pearson(xs, ys).unwrap_or(0.0);
+    Some(LinearFit { slope, intercept, r2: r * r })
+}
+
+/// Normalises a series to its maximum value (paper Figures 3 and 4 plot
+/// values "normalized to the fastest thread" / "thread with the highest
+/// number of misses"). Returns an empty vec for empty input; if the maximum
+/// is zero every element maps to 0.
+pub fn normalize_to_max(xs: &[f64]) -> Vec<f64> {
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if xs.is_empty() || max <= 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| x / max).collect()
+}
+
+/// Maximum of a slice (NaN-free input assumed). `None` when empty.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().cloned().reduce(f64::max)
+}
+
+/// Minimum of a slice (NaN-free input assumed). `None` when empty.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().cloned().reduce(f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[8.0]) - 8.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_cases() {
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pearson_noisy_linear_is_high() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(pearson(&xs, &ys).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_to_max_basic() {
+        let v = normalize_to_max(&[1.0, 2.0, 4.0]);
+        assert_eq!(v, vec![0.25, 0.5, 1.0]);
+        assert_eq!(normalize_to_max(&[]), Vec::<f64>::new());
+        assert_eq!(normalize_to_max(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(max(&[1.0, 5.0, 3.0]), Some(5.0));
+        assert_eq!(min(&[1.0, 5.0, 3.0]), Some(1.0));
+        assert_eq!(max(&[]), None);
+    }
+}

@@ -1,0 +1,254 @@
+//! Fluent construction of custom workloads.
+//!
+//! [`BenchmarkSpec`] has public fields, but building one from scratch means
+//! remembering invariants (quota units, phase ranges, section structure).
+//! The builder makes the common paths concise and validates on `build`:
+//!
+//! ```
+//! use icp_workloads::builder::WorkloadBuilder;
+//!
+//! let spec = WorkloadBuilder::new("my-app")
+//!     .sections(8, 10_000)
+//!     .shared_region(0.1, 0.8)
+//!     .thread(|t| t.working_set(2.0).theta(0.7).memory_intensity(0.2))
+//!     .thread(|t| t.working_set(0.1).theta(1.0).memory_intensity(0.25))
+//!     .thread(|t| {
+//!         t.working_set(3.0)
+//!             .theta(0.4)
+//!             .memory_intensity(0.12)
+//!             .mlp(6.0)
+//!     })
+//!     .build();
+//! assert_eq!(spec.threads.len(), 3);
+//! spec.validate();
+//! ```
+
+use crate::spec::{BenchmarkSpec, PhaseSpec, ThreadSpec};
+
+/// Builder for one thread's (single- or multi-phase) behaviour.
+#[derive(Clone, Debug)]
+pub struct ThreadBuilder {
+    phases: Vec<PhaseSpec>,
+    current: PhaseSpec,
+}
+
+impl ThreadBuilder {
+    fn new() -> Self {
+        ThreadBuilder {
+            phases: Vec::new(),
+            current: PhaseSpec::steady(0.25, 0.8, 0.25, 0.1),
+        }
+    }
+
+    /// Working set as a fraction of L2 capacity (may exceed 1.0).
+    pub fn working_set(mut self, ws_fraction: f64) -> Self {
+        self.current.ws_fraction = ws_fraction;
+        self
+    }
+
+    /// Zipf exponent of the reuse distribution.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.current.theta = theta;
+        self
+    }
+
+    /// Fraction of instructions that touch memory.
+    pub fn memory_intensity(mut self, mem_ratio: f64) -> Self {
+        self.current.mem_ratio = mem_ratio;
+        self
+    }
+
+    /// Fraction of accesses into the application's shared region.
+    pub fn sharing(mut self, shared_fraction: f64) -> Self {
+        self.current.shared_fraction = shared_fraction;
+        self
+    }
+
+    /// Memory-level parallelism of misses (1.0 = serial).
+    pub fn mlp(mut self, mlp: f64) -> Self {
+        self.current.mlp = mlp;
+        self
+    }
+
+    /// Fraction of memory accesses that are stores.
+    pub fn writes(mut self, write_fraction: f64) -> Self {
+        self.current.write_fraction = write_fraction;
+        self
+    }
+
+    /// Closes the current phase at `instructions` (unscaled) length and
+    /// starts describing the next one (which inherits the current
+    /// parameters as defaults).
+    pub fn then_after(mut self, instructions: u64) -> Self {
+        let mut done = self.current;
+        done.instructions = instructions;
+        self.phases.push(done);
+        self
+    }
+
+    fn finish(mut self) -> ThreadSpec {
+        self.phases.push(self.current);
+        ThreadSpec { phases: self.phases }
+    }
+}
+
+/// Builder for a whole benchmark.
+#[derive(Clone, Debug)]
+pub struct WorkloadBuilder {
+    name: &'static str,
+    threads: Vec<ThreadSpec>,
+    shared_ws_fraction: f64,
+    shared_theta: f64,
+    shared_region_id: u64,
+    sections: u32,
+    section_instructions: u64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a workload named `name` with the suite's default barrier
+    /// structure (10 sections of 12 k instructions) and a 10 % shared
+    /// region.
+    pub fn new(name: &'static str) -> Self {
+        WorkloadBuilder {
+            name,
+            threads: Vec::new(),
+            shared_ws_fraction: 0.1,
+            shared_theta: 0.8,
+            shared_region_id: 0,
+            sections: 10,
+            section_instructions: 12_000,
+        }
+    }
+
+    /// Sets the barrier structure: `count` parallel sections of
+    /// `instructions` (unscaled) instructions per thread.
+    pub fn sections(mut self, count: u32, instructions: u64) -> Self {
+        self.sections = count;
+        self.section_instructions = instructions;
+        self
+    }
+
+    /// Sets the shared region's size (fraction of L2) and Zipf exponent.
+    pub fn shared_region(mut self, ws_fraction: f64, theta: f64) -> Self {
+        self.shared_ws_fraction = ws_fraction;
+        self.shared_theta = theta;
+        self
+    }
+
+    /// Distinguishes this application's shared data from co-scheduled
+    /// applications' (hierarchical setting).
+    pub fn shared_region_id(mut self, id: u64) -> Self {
+        self.shared_region_id = id;
+        self
+    }
+
+    /// Adds a thread described by `f`.
+    pub fn thread<F: FnOnce(ThreadBuilder) -> ThreadBuilder>(mut self, f: F) -> Self {
+        self.threads.push(f(ThreadBuilder::new()).finish());
+        self
+    }
+
+    /// Finalises and validates the spec.
+    ///
+    /// # Panics
+    /// Panics if no threads were added or any parameter is out of range
+    /// (same contract as [`BenchmarkSpec::validate`]).
+    pub fn build(self) -> BenchmarkSpec {
+        let spec = BenchmarkSpec {
+            name: self.name,
+            threads: self.threads,
+            shared_ws_fraction: self.shared_ws_fraction,
+            shared_region_id: self.shared_region_id,
+            shared_theta: self.shared_theta,
+            sections: self.sections,
+            section_instructions: self.section_instructions,
+        };
+        spec.validate();
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_single_phase_threads() {
+        let spec = WorkloadBuilder::new("t")
+            .thread(|t| t.working_set(1.5).theta(0.6).memory_intensity(0.2))
+            .thread(|t| t.working_set(0.1))
+            .build();
+        assert_eq!(spec.threads.len(), 2);
+        assert_eq!(spec.threads[0].phases.len(), 1);
+        assert!((spec.threads[0].phases[0].ws_fraction - 1.5).abs() < 1e-12);
+        // Defaults fill unset fields.
+        assert!((spec.threads[1].phases[0].theta - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builds_multi_phase_threads_with_inheritance() {
+        let spec = WorkloadBuilder::new("p")
+            .thread(|t| {
+                t.working_set(0.5)
+                    .memory_intensity(0.3)
+                    .then_after(20_000)
+                    .working_set(0.05) // phase 2 changes only the WS
+            })
+            .build();
+        let phases = &spec.threads[0].phases;
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].instructions, 20_000);
+        assert!((phases[0].ws_fraction - 0.5).abs() < 1e-12);
+        assert!((phases[1].ws_fraction - 0.05).abs() < 1e-12);
+        // Inherited from phase 1:
+        assert!((phases[1].mem_ratio - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section_and_shared_settings() {
+        let spec = WorkloadBuilder::new("s")
+            .sections(3, 5_000)
+            .shared_region(0.2, 0.9)
+            .shared_region_id(7)
+            .thread(|t| t)
+            .build();
+        assert_eq!(spec.sections, 3);
+        assert_eq!(spec.section_instructions, 5_000);
+        assert_eq!(spec.shared_region_id, 7);
+        assert!((spec.shared_ws_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "benchmark needs threads")]
+    fn rejects_empty() {
+        WorkloadBuilder::new("x").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_ratio")]
+    fn validates_parameters() {
+        WorkloadBuilder::new("x")
+            .thread(|t| t.memory_intensity(2.0))
+            .build();
+    }
+
+    #[test]
+    fn built_spec_drives_a_simulation() {
+        use icp_cmp_sim::{Simulator, SystemConfig};
+        let mut cfg = SystemConfig::scaled_down();
+        cfg.cores = 2;
+        let spec = WorkloadBuilder::new("sim")
+            .sections(2, 2_000)
+            .thread(|t| t.working_set(0.5))
+            .thread(|t| t.working_set(0.1).mlp(4.0))
+            .build();
+        let streams = spec.build_streams(&cfg, crate::WorkloadScale::Test, 3);
+        let mut sim = Simulator::new(cfg, streams);
+        while let Some(r) = sim.run_interval() {
+            if r.finished {
+                break;
+            }
+        }
+        assert!(sim.wall_cycles() > 0);
+    }
+}

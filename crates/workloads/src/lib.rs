@@ -1,0 +1,37 @@
+//! Synthetic multithreaded workloads emulating the paper's benchmark suite.
+//!
+//! The paper evaluates nine OpenMP applications from NAS Parallel and SPEC
+//! OMP. Real binaries are out of scope for a simulator library, so this
+//! crate generates per-thread memory access streams whose *counter-level*
+//! behaviour matches what the paper measures and exploits:
+//!
+//! * **Performance variability** (§IV-A1): threads of one application have
+//!   different working-set sizes and locality, hence different CPIs; the
+//!   slowest (critical path) thread dominates section time.
+//! * **CPI ↔ L2-miss correlation** (Figure 5): in a blocking in-order core
+//!   CPI is linear in misses, so the correlation emerges by construction.
+//! * **Phase behaviour** (Figures 6–7): thread parameters change over time
+//!   via per-thread phase machines.
+//! * **Inter-thread interaction** (Figures 8–9): a fraction of accesses go
+//!   to a shared region, producing constructive cross-thread hits, while
+//!   capacity pressure produces destructive cross-thread evictions.
+//! * **Cache sensitivity variability** (Figure 10): Zipf-over-working-set
+//!   streams have smooth concave hits-vs-ways curves whose knee position
+//!   depends on the working-set size, so threads differ in how much an
+//!   extra way helps.
+//!
+//! Every stream is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod multiapp;
+pub mod spec;
+pub mod stream;
+pub mod suite;
+
+pub use builder::WorkloadBuilder;
+pub use multiapp::MultiAppWorkload;
+pub use spec::{BenchmarkSpec, PhaseSpec, ThreadSpec, WorkloadScale};
+pub use stream::SyntheticStream;

@@ -1,0 +1,156 @@
+//! Multi-application workload composition for the hierarchical setting
+//! (paper §VI-C): several applications run simultaneously on one CMP, each
+//! bound to a disjoint group of cores, each with its own private and shared
+//! data regions.
+
+use icp_cmp_sim::stream::AccessStream;
+use icp_cmp_sim::SystemConfig;
+
+use crate::spec::{BenchmarkSpec, WorkloadScale};
+use crate::stream::SyntheticStream;
+
+/// A co-scheduled set of applications.
+///
+/// # Examples
+///
+/// ```
+/// use icp_workloads::{suite, MultiAppWorkload};
+///
+/// let w = MultiAppWorkload::new()
+///     .add(&suite::swim(), 2)
+///     .add(&suite::mg(), 2);
+/// assert_eq!(w.total_threads(), 4);
+/// assert_eq!(w.groups(), vec![vec![0, 1], vec![2, 3]]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MultiAppWorkload {
+    apps: Vec<BenchmarkSpec>,
+}
+
+impl MultiAppWorkload {
+    /// Starts an empty composition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an application re-targeted to `threads` cores. Its shared
+    /// region is automatically made distinct from the other applications'.
+    pub fn add(mut self, spec: &BenchmarkSpec, threads: usize) -> Self {
+        let mut app = spec.with_threads(threads);
+        app.shared_region_id = self.apps.len() as u64 + 1;
+        self.apps.push(app);
+        self
+    }
+
+    /// Number of composed applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True if no applications were added.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Total cores required.
+    pub fn total_threads(&self) -> usize {
+        self.apps.iter().map(|a| a.threads.len()).sum()
+    }
+
+    /// The core groups, application by application, using global thread
+    /// ids in composition order — the `groups` input of
+    /// `icp_core::hierarchical::HierarchicalPolicy`.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = Vec::with_capacity(self.apps.len());
+        let mut next = 0usize;
+        for a in &self.apps {
+            groups.push((next..next + a.threads.len()).collect());
+            next += a.threads.len();
+        }
+        groups
+    }
+
+    /// The composed applications.
+    pub fn apps(&self) -> &[BenchmarkSpec] {
+        &self.apps
+    }
+
+    /// Builds one stream per core. Applications occupy consecutive global
+    /// thread ids; private regions are keyed by the global id and shared
+    /// regions by application, so nothing aliases across applications.
+    ///
+    /// # Panics
+    /// Panics if `cfg.cores` differs from [`Self::total_threads`].
+    pub fn build_streams(
+        &self,
+        cfg: &SystemConfig,
+        scale: WorkloadScale,
+        seed: u64,
+    ) -> Vec<Box<dyn AccessStream>> {
+        assert_eq!(
+            cfg.cores,
+            self.total_threads(),
+            "composition needs {} cores, system has {}",
+            self.total_threads(),
+            cfg.cores
+        );
+        let mut streams: Vec<Box<dyn AccessStream>> = Vec::with_capacity(cfg.cores);
+        let mut global = 0usize;
+        for (a, app) in self.apps.iter().enumerate() {
+            app.validate();
+            for ts in &app.threads {
+                streams.push(Box::new(SyntheticStream::new(
+                    app,
+                    ts,
+                    global,
+                    cfg,
+                    scale,
+                    seed ^ ((a as u64) << 32),
+                )));
+                global += 1;
+            }
+        }
+        streams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn groups_are_consecutive_and_disjoint() {
+        let w = MultiAppWorkload::new()
+            .add(&suite::swim(), 2)
+            .add(&suite::mg(), 2)
+            .add(&suite::ft(), 4);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.total_threads(), 8);
+        assert_eq!(w.groups(), vec![vec![0, 1], vec![2, 3], vec![4, 5, 6, 7]]);
+    }
+
+    #[test]
+    fn shared_regions_are_distinct() {
+        let w = MultiAppWorkload::new().add(&suite::swim(), 2).add(&suite::swim(), 2);
+        assert_ne!(w.apps()[0].shared_region_id, w.apps()[1].shared_region_id);
+    }
+
+    #[test]
+    fn builds_streams_for_matching_core_count() {
+        let mut cfg = icp_cmp_sim::SystemConfig::scaled_down();
+        cfg.cores = 4;
+        let w = MultiAppWorkload::new().add(&suite::swim(), 2).add(&suite::mg(), 2);
+        let streams = w.build_streams(&cfg, WorkloadScale::Test, 3);
+        assert_eq!(streams.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 6 cores")]
+    fn core_count_mismatch_panics() {
+        let mut cfg = icp_cmp_sim::SystemConfig::scaled_down();
+        cfg.cores = 4;
+        let w = MultiAppWorkload::new().add(&suite::swim(), 2).add(&suite::mg(), 4);
+        let _ = w.build_streams(&cfg, WorkloadScale::Test, 3);
+    }
+}

@@ -1,0 +1,357 @@
+//! The nine-benchmark synthetic suite.
+//!
+//! The paper evaluates nine applications from SPEC OMP (swim, mgrid, applu,
+//! equake, art, wupwise) and NAS Parallel (cg, mg, ft). Each synthetic
+//! stand-in here is a 4-thread parameter set chosen to reproduce the
+//! *qualitative* per-thread behaviour the paper reports:
+//!
+//! * every benchmark has a clearly slowest (critical path) thread;
+//! * mgrid's spread mirrors §IV-A1 ("thread 3 performs exceedingly well …
+//!   held back by thread 2");
+//! * cg's critical thread is thread 3, as in the Figure 18 snapshot;
+//! * swim has strong per-thread phase behaviour (Figures 6–7) and threads
+//!   with very different cache sensitivity (Figure 10);
+//! * wupwise, mg and ft have working sets that (mostly) fit in the cache —
+//!   these are the paper's "three benchmarks [with] only a small benefit"
+//!   over a shared cache (§VII-B);
+//! * sharing fractions average ≈ 10–12% of accesses (Figure 8).
+//!
+//! Working-set sizes are fractions of L2 capacity, so the suite behaves the
+//! same on the scaled-down test cache and the paper-sized 1 MB cache.
+
+use crate::spec::{BenchmarkSpec, PhaseSpec, ThreadSpec};
+
+/// Convenience constructor for a phase.
+fn phase(instructions: u64, ws: f64, theta: f64, mem: f64, shared: f64) -> PhaseSpec {
+    PhaseSpec { instructions, ws_fraction: ws, theta, mem_ratio: mem, shared_fraction: shared, mlp: 1.0, write_fraction: 0.3 }
+}
+
+/// Convenience constructor for a steady (single-phase) thread.
+fn steady(ws: f64, theta: f64, mem: f64, shared: f64) -> ThreadSpec {
+    ThreadSpec::steady(ws, theta, mem, shared)
+}
+
+/// Default section structure: 10 sections of 12 k instructions per thread
+/// (before workload scaling).
+const SECTIONS: u32 = 10;
+const SECTION_INSTS: u64 = 12_000;
+
+fn bench(
+    name: &'static str,
+    threads: Vec<ThreadSpec>,
+    shared_ws: f64,
+    shared_theta: f64,
+) -> BenchmarkSpec {
+    BenchmarkSpec {
+        name,
+        threads,
+        shared_ws_fraction: shared_ws,
+        shared_region_id: 0,
+        shared_theta,
+        sections: SECTIONS,
+        section_instructions: SECTION_INSTS,
+    }
+}
+
+/// SPEC OMP `swim`: a cache-hungry critical thread squeezed by a
+/// streaming polluter, plus a tiny thread and a phase-changing medium
+/// thread (the Figures 6-7 subject).
+pub fn swim() -> BenchmarkSpec {
+    bench(
+        "swim",
+        vec![
+            steady(4.50, 0.75, 0.11, 0.08), // t0: critical, cache-sensitive
+            steady(0.05, 1.00, 0.28, 0.10), // t1: tiny WS, fast
+            ThreadSpec {
+                phases: vec![
+                    phase(30_000, 0.35, 0.45, 0.20, 0.10).with_mlp(4.0),
+                    phase(30_000, 0.12, 0.90, 0.18, 0.10),
+                ],
+            }, // t2: phase behaviour (Figures 6-7)
+            steady(4.00, 0.40, 0.14, 0.06).with_mlp(6.0), // t3: polluter
+        ],
+        0.10,
+        0.85,
+    )
+}
+
+/// SPEC OMP `mgrid`: thread 1 is the laggard, thread 3 exceedingly good
+/// (the paper's §IV-A1 "thread 2 poor / thread 3 excellent" example,
+/// 0-based).
+pub fn mgrid() -> BenchmarkSpec {
+    bench(
+        "mgrid",
+        vec![
+            steady(0.25, 0.85, 0.30, 0.08),
+            steady(4.50, 0.74, 0.13, 0.06), // t1: critical
+            steady(3.50, 0.40, 0.10, 0.08).with_mlp(6.0), // t2: polluter
+            steady(0.04, 1.10, 0.26, 0.10), // t3: excellent
+        ],
+        0.08,
+        0.9,
+    )
+}
+
+/// SPEC OMP `applu`: moderate heterogeneity; one hungry critical thread
+/// and a lighter polluter.
+pub fn applu() -> BenchmarkSpec {
+    bench(
+        "applu",
+        vec![
+            steady(0.30, 0.80, 0.30, 0.12),
+            steady(4.50, 0.74, 0.12, 0.10), // t1: critical
+            steady(0.10, 0.95, 0.26, 0.12),
+            steady(3.50, 0.40, 0.11, 0.10).with_mlp(5.0), // t3: polluter
+        ],
+        0.12,
+        0.8,
+    )
+}
+
+/// SPEC OMP `equake`: large irregular working set on thread 3, a strong
+/// streaming polluter, higher sharing (unstructured mesh).
+pub fn equake() -> BenchmarkSpec {
+    bench(
+        "equake",
+        vec![
+            steady(0.20, 0.85, 0.30, 0.15),
+            steady(4.00, 0.42, 0.12, 0.10).with_mlp(7.0), // t1: polluter
+            steady(0.08, 0.95, 0.26, 0.16),
+            steady(4.50, 0.74, 0.13, 0.12), // t3: critical
+        ],
+        0.14,
+        0.8,
+    )
+}
+
+/// SPEC OMP `art`: the "utility trap" — two sharp-knee minors with high
+/// hit utility (a throughput scheme serves them first) and a shallow-curve
+/// critical thread.
+pub fn art() -> BenchmarkSpec {
+    bench(
+        "art",
+        vec![
+            steady(0.22, 1.05, 0.28, 0.08), // t0: sharp knee, high utility
+            steady(0.20, 1.05, 0.28, 0.10), // t1: sharp knee, high utility
+            steady(4.50, 0.72, 0.13, 0.08), // t2: critical, shallow curve
+            steady(3.50, 0.40, 0.12, 0.10).with_mlp(5.0), // t3: polluter
+        ],
+        0.10,
+        0.85,
+    )
+}
+
+/// SPEC OMP `wupwise`: small working sets everywhere — one of the paper's
+/// three benchmarks where dynamic partitioning barely beats a shared cache.
+pub fn wupwise() -> BenchmarkSpec {
+    bench(
+        "wupwise",
+        vec![
+            steady(0.12, 0.90, 0.24, 0.12),
+            steady(0.06, 1.00, 0.22, 0.12),
+            steady(0.62, 0.72, 0.26, 0.12),
+            steady(0.08, 0.95, 0.23, 0.12),
+        ],
+        0.10,
+        0.9,
+    )
+}
+
+/// NAS `cg`: sparse matrix-vector; thread 3 critical as in the paper's
+/// Figure 18 snapshot, with relatively high inter-thread sharing.
+pub fn cg() -> BenchmarkSpec {
+    bench(
+        "cg",
+        vec![
+            steady(0.22, 0.85, 0.30, 0.18),
+            steady(0.18, 0.88, 0.30, 0.18),
+            steady(3.50, 0.42, 0.10, 0.12).with_mlp(6.0), // t2: polluter
+            steady(4.50, 0.74, 0.13, 0.14), // t3: critical (Figure 18)
+        ],
+        0.16,
+        0.75,
+    )
+}
+
+/// NAS `mg`: multigrid with small per-thread sets — second small-benefit
+/// benchmark.
+pub fn mg() -> BenchmarkSpec {
+    bench(
+        "mg",
+        vec![
+            steady(0.14, 0.88, 0.25, 0.10),
+            steady(0.08, 0.92, 0.24, 0.10),
+            steady(0.72, 0.74, 0.26, 0.10),
+            steady(0.06, 0.98, 0.23, 0.10),
+        ],
+        0.08,
+        0.9,
+    )
+}
+
+/// NAS `ft`: FFT with mostly-resident working sets and high sharing —
+/// third small-benefit benchmark.
+pub fn ft() -> BenchmarkSpec {
+    bench(
+        "ft",
+        vec![
+            steady(0.20, 0.85, 0.26, 0.20),
+            steady(0.12, 0.90, 0.24, 0.20),
+            steady(0.16, 0.87, 0.25, 0.20),
+            steady(0.36, 0.78, 0.28, 0.20),
+        ],
+        0.15,
+        0.8,
+    )
+}
+
+/// All nine benchmarks in the order the paper's figures list them.
+pub fn all() -> Vec<BenchmarkSpec> {
+    vec![applu(), art(), equake(), swim(), mgrid(), wupwise(), cg(), mg(), ft()]
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+/// The three benchmarks the paper singles out as having working sets small
+/// enough that partitioning barely beats a plain shared cache (§VII-B).
+pub fn small_working_set_names() -> [&'static str; 3] {
+    ["wupwise", "mg", "ft"]
+}
+
+/// Renders the whole suite's parameters as a fixed-width text table — one
+/// row per (benchmark, thread, phase): working-set fraction, Zipf exponent,
+/// memory intensity, sharing, MLP and write fraction.
+pub fn describe() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>3} {:>5} {:>7} {:>6} {:>5} {:>6} {:>4} {:>6}",
+        "bench", "t", "phase", "ws", "theta", "mem", "shared", "mlp", "writes"
+    );
+    for b in all() {
+        for (ti, ts) in b.threads.iter().enumerate() {
+            for (pi, p) in ts.phases.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:>3} {:>5} {:>7.2} {:>6.2} {:>5.2} {:>6.2} {:>4.1} {:>6.2}",
+                    b.name,
+                    ti,
+                    pi,
+                    p.ws_fraction,
+                    p.theta,
+                    p.mem_ratio,
+                    p.shared_fraction,
+                    p.mlp,
+                    p.write_fraction,
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nine_valid_benchmarks() {
+        let suite = all();
+        assert_eq!(suite.len(), 9);
+        for b in &suite {
+            b.validate();
+            assert_eq!(b.threads.len(), 4);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let suite = all();
+        for b in &suite {
+            let found = by_name(b.name).expect("by_name resolves");
+            assert_eq!(found.name, b.name);
+        }
+        assert!(by_name("nonexistent").is_none());
+        let mut names: Vec<_> = suite.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn small_ws_benchmarks_really_are_small() {
+        // "Small" relative to the rest of the suite: no streaming polluter
+        // (ws several times the cache) and a combined working set close to
+        // cache capacity, so partitioning has little to move around.
+        for name in small_working_set_names() {
+            let b = by_name(name).unwrap();
+            let total: f64 = b
+                .threads
+                .iter()
+                .map(|t| t.phases.iter().map(|p| p.ws_fraction).fold(0.0, f64::max))
+                .sum();
+            assert!(total < 1.5, "{name}: combined ws {total} too large");
+            for t in &b.threads {
+                for p in &t.phases {
+                    assert!(
+                        p.ws_fraction <= 1.0,
+                        "{name}: phase ws_fraction {} not small",
+                        p.ws_fraction
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_benchmark_has_a_big_thread_except_small_ws_ones() {
+        let small = small_working_set_names();
+        for b in all() {
+            if small.contains(&b.name) {
+                continue;
+            }
+            let max_ws = b
+                .threads
+                .iter()
+                .flat_map(|t| t.phases.iter().map(|p| p.ws_fraction))
+                .fold(0.0_f64, f64::max);
+            assert!(max_ws > 0.6, "{}: expected a cache-hungry thread", b.name);
+        }
+    }
+
+    #[test]
+    fn describe_lists_every_phase() {
+        let d = describe();
+        let expected: usize = all()
+            .iter()
+            .map(|b| b.threads.iter().map(|t| t.phases.len()).sum::<usize>())
+            .sum();
+        assert_eq!(d.lines().count(), expected + 1); // + header
+        for b in all() {
+            assert!(d.contains(b.name), "{} missing", b.name);
+        }
+    }
+
+    #[test]
+    fn sharing_fractions_average_near_paper() {
+        // Figure 8: inter-thread interaction averages about 11.5% of
+        // accesses; our shared-access fractions should sit in that region.
+        let suite = all();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for b in &suite {
+            for t in &b.threads {
+                for p in &t.phases {
+                    sum += p.shared_fraction;
+                    n += 1;
+                }
+            }
+        }
+        let avg = sum / n as f64;
+        assert!((0.05..=0.25).contains(&avg), "avg shared fraction {avg}");
+    }
+}

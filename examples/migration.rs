@@ -1,0 +1,122 @@
+//! Thread migration resilience (paper §VII): the authors note that when the
+//! OS migrated threads between cores, "our predictions were not optimal
+//! (during that period), but our approach quickly adapted to the new
+//! thread-mapping".
+//!
+//! This example migrates two threads of `mgrid` — the critical thread and
+//! the fast thread swap cores halfway through the run — and shows the
+//! dynamic partitioner re-learning: the big way allocation follows the
+//! critical workload to its new core within a few intervals.
+//!
+//! ```text
+//! cargo run --release --example migration
+//! ```
+
+use icp::runtime::{IntraAppRuntime, ModelBasedPolicy};
+use icp::sim::stream::{AccessStream, ThreadEvent};
+use icp::sim::{Simulator, SystemConfig};
+use icp::workloads::{suite, SyntheticStream, WorkloadScale};
+
+/// Drains a stream into (first ~half, rest) event vectors, splitting at
+/// `split_insts` retired instructions.
+fn split_stream(mut s: SyntheticStream, split_insts: u64) -> (Vec<ThreadEvent>, Vec<ThreadEvent>) {
+    let mut first = Vec::new();
+    let mut rest = Vec::new();
+    let mut insts = 0u64;
+    loop {
+        let e = s.next_event();
+        match e {
+            ThreadEvent::Finished => break,
+            ThreadEvent::Access { gap, .. } => {
+                insts += gap as u64 + 1;
+                if insts <= split_insts {
+                    first.push(e);
+                } else {
+                    rest.push(e);
+                }
+            }
+            ThreadEvent::Barrier => {
+                if insts <= split_insts {
+                    first.push(e);
+                } else {
+                    rest.push(e);
+                }
+            }
+        }
+    }
+    (first, rest)
+}
+
+/// Replays one event vector, then another ("this core ran workload X, then
+/// the OS moved workload Y here").
+struct SplicedStream {
+    events: Vec<ThreadEvent>,
+    pos: usize,
+}
+
+impl SplicedStream {
+    fn new(first: Vec<ThreadEvent>, second: Vec<ThreadEvent>) -> Self {
+        let mut events = first;
+        events.extend(second);
+        SplicedStream { events, pos: 0 }
+    }
+}
+
+impl AccessStream for SplicedStream {
+    fn next_event(&mut self) -> ThreadEvent {
+        let e = self.events.get(self.pos).copied().unwrap_or(ThreadEvent::Finished);
+        self.pos += 1;
+        e
+    }
+}
+
+fn main() {
+    let cfg = SystemConfig::scaled_down();
+    let bench = suite::mgrid(); // t1 = critical, t3 = fastest
+    let scale = WorkloadScale::Figure;
+    let half = bench.instructions_per_thread(scale) / 2;
+
+    let build = |t: usize| SyntheticStream::new(&bench, &bench.threads[t], t, &cfg, scale, 11);
+
+    // Split every thread's event stream at the halfway point.
+    let halves: Vec<(Vec<ThreadEvent>, Vec<ThreadEvent>)> =
+        (0..4).map(|t| split_stream(build(t), half)).collect();
+    let mut halves: Vec<Option<(Vec<ThreadEvent>, Vec<ThreadEvent>)>> =
+        halves.into_iter().map(Some).collect();
+
+    // Migration: cores 1 and 3 swap workloads at the halfway point.
+    let (first1, second1) = halves[1].take().unwrap();
+    let (first3, second3) = halves[3].take().unwrap();
+    let (first0, second0) = halves[0].take().unwrap();
+    let (first2, second2) = halves[2].take().unwrap();
+    let streams: Vec<Box<dyn AccessStream>> = vec![
+        Box::new(SplicedStream::new(first0, second0)),
+        Box::new(SplicedStream::new(first1, second3)), // core 1: critical -> fast
+        Box::new(SplicedStream::new(first2, second2)),
+        Box::new(SplicedStream::new(first3, second1)), // core 3: fast -> critical
+    ];
+
+    let mut sim = Simulator::new(cfg, streams);
+    let mut runtime = IntraAppRuntime::new(ModelBasedPolicy::new(), &cfg);
+    let out = runtime.execute(&mut sim);
+
+    println!("mgrid with a mid-run migration: cores 1 and 3 swap workloads\n");
+    println!("{:>4} {:>16} {:>28}", "ivl", "ways", "per-thread CPI");
+    for r in &out.records {
+        let ways: Vec<String> = r.ways.iter().map(|w| w.to_string()).collect();
+        let cpis: Vec<String> = r.cpi.iter().map(|c| format!("{c:.1}")).collect();
+        println!("{:>4} {:>16} {:>28}", r.index, ways.join("/"), cpis.join("  "));
+    }
+
+    // Where did the big allocation sit before and after the migration?
+    let n = out.records.len();
+    let before = &out.records[n / 2 - 2];
+    let after = &out.records[n - 2];
+    let argmax = |ws: &[u32]| ws.iter().enumerate().max_by_key(|(_, w)| **w).map(|(i, _)| i).unwrap();
+    println!(
+        "\nbiggest partition before migration: core {}  |  near the end: core {}",
+        argmax(&before.ways),
+        argmax(&after.ways)
+    );
+    println!("total: {} cycles over {} intervals", out.wall_cycles, out.intervals());
+}

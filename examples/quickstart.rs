@@ -1,0 +1,59 @@
+//! Quickstart: run one multithreaded benchmark under the paper's dynamic
+//! model-based cache partitioning runtime and compare it against a plain
+//! shared cache and a private (equal-partition) cache.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use icp::runtime::{IntraAppRuntime, ModelBasedPolicy};
+use icp::sim::{Simulator, SystemConfig};
+use icp::workloads::{suite, WorkloadScale};
+
+fn main() {
+    // A 4-core CMP with a 64-way shared L2 — the shape of the paper's
+    // Figure 2 configuration, scaled down so this demo runs in seconds.
+    let cfg = SystemConfig::scaled_down();
+
+    // One of the nine synthetic NAS/SPEC-OMP-like benchmarks. `swim` has a
+    // cache-hungry critical thread, a streaming polluter and strong phase
+    // behaviour — the paper's showcase workload.
+    let bench = suite::swim();
+    println!("benchmark: {} ({} threads)", bench.name, bench.threads.len());
+
+    // --- The paper's scheme: dynamic model-based partitioning -----------
+    let streams = bench.build_streams(&cfg, WorkloadScale::Figure, 42);
+    let mut sim = Simulator::new(cfg, streams);
+    let mut runtime = IntraAppRuntime::new(ModelBasedPolicy::new(), &cfg);
+    let dynamic = runtime.execute(&mut sim);
+
+    println!("\nper-interval log (dynamic scheme):");
+    println!("{:>4} {:>18} {:>30}", "ivl", "ways", "per-thread CPI");
+    for r in dynamic.records.iter().take(12) {
+        let ways: Vec<String> = r.ways.iter().map(|w| w.to_string()).collect();
+        let cpis: Vec<String> = r.cpi.iter().map(|c| format!("{c:.1}")).collect();
+        println!("{:>4} {:>18} {:>30}", r.index, ways.join("/"), cpis.join("  "));
+    }
+
+    // --- Baselines -------------------------------------------------------
+    let run_with = |policy: Box<dyn icp::runtime::Partitioner + Send>| {
+        let streams = bench.build_streams(&cfg, WorkloadScale::Figure, 42);
+        let mut sim = Simulator::new(cfg, streams);
+        IntraAppRuntime::new(policy, &cfg).execute(&mut sim)
+    };
+    let shared = run_with(Box::new(icp::baselines::SharedCachePolicy));
+    let private = run_with(Box::new(icp::baselines::StaticEqualPolicy));
+
+    println!("\nscheme comparison (lower wall cycles = faster):");
+    for out in [&shared, &private, &dynamic] {
+        println!("  {:<14} {:>12} cycles", out.scheme, out.wall_cycles);
+    }
+    println!(
+        "\ndynamic vs shared:  {:+.1}%",
+        dynamic.improvement_percent_over(&shared)
+    );
+    println!(
+        "dynamic vs private: {:+.1}%",
+        dynamic.improvement_percent_over(&private)
+    );
+}

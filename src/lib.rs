@@ -1,0 +1,46 @@
+//! # icp — Intra-Application Cache Partitioning
+//!
+//! A production-quality Rust reproduction of *"Intra-Application Cache
+//! Partitioning"* (Muralidhara, Kandemir, Raghavan — IPDPS 2010): dynamic,
+//! runtime-system-based partitioning of a CMP's shared L2 cache among the
+//! threads of a **single** multithreaded application, speeding up the
+//! critical path thread at every execution interval.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`numeric`] — splines, Zipf sampling, statistics, deterministic RNG,
+//! * [`sim`] — the from-scratch CMP cache/timing simulator substrate,
+//! * [`workloads`] — the synthetic NAS/SPEC-OMP-like benchmark suite,
+//! * [`runtime`] — the paper's contribution: the interval-driven
+//!   partitioning runtime and its CPI-based / model-based policies,
+//! * [`baselines`] — shared, static-equal, throughput-oriented (UCP) and
+//!   fairness-oriented comparison schemes,
+//! * [`experiments`] — reproductions of every figure and table in the
+//!   paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use icp::sim::{Simulator, SystemConfig};
+//! use icp::workloads::{suite, WorkloadScale};
+//! use icp::runtime::{IntraAppRuntime, ModelBasedPolicy};
+//!
+//! // A scaled-down 4-core system (same shape as the paper's Figure 2).
+//! let cfg = SystemConfig::scaled_down();
+//! // One of the nine synthetic benchmarks, seeded deterministically.
+//! let spec = suite::swim();
+//! let streams = spec.build_streams(&cfg, WorkloadScale::Test, 42);
+//! let mut sim = Simulator::new(cfg, streams);
+//!
+//! // Run under the paper's model-based dynamic partitioning runtime.
+//! let mut runtime = IntraAppRuntime::new(ModelBasedPolicy::new(), &cfg);
+//! let outcome = runtime.execute(&mut sim);
+//! assert!(outcome.wall_cycles > 0);
+//! ```
+
+pub use icp_baselines as baselines;
+pub use icp_cmp_sim as sim;
+pub use icp_core as runtime;
+pub use icp_experiments as experiments;
+pub use icp_numeric as numeric;
+pub use icp_workloads as workloads;

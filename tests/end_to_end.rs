@@ -1,0 +1,218 @@
+//! End-to-end integration tests spanning workloads → simulator → runtime →
+//! experiment harness: consistency of every per-interval report and the
+//! paper's qualitative claims at test scale.
+
+use icp::experiments::{ExperimentConfig, Scheme};
+use icp::runtime::{IntraAppRuntime, ModelBasedPolicy};
+use icp::sim::{Simulator, SystemConfig};
+use icp::workloads::{suite, WorkloadScale};
+
+#[test]
+fn interval_records_are_internally_consistent() {
+    let cfg = ExperimentConfig::test();
+    for bench in suite::all() {
+        let out = cfg.run(&bench, &Scheme::ModelBased);
+        let total_ways = cfg.system.l2.ways;
+        let mut insts_sum = 0u64;
+        for r in &out.records {
+            assert_eq!(
+                r.ways.iter().sum::<u32>(),
+                total_ways,
+                "{}: ways must sum to the L2 way count",
+                bench.name
+            );
+            assert!(r.ways.iter().all(|&w| w >= 1), "{}: no starved thread", bench.name);
+            for t in 0..r.cpi.len() {
+                if r.instructions[t] > 0 {
+                    assert!(
+                        r.cpi[t] >= 1.0,
+                        "{}: CPI below 1 is impossible on an in-order core",
+                        bench.name
+                    );
+                }
+            }
+            insts_sum += r.instructions.iter().sum::<u64>();
+        }
+        // Every retired instruction is accounted to exactly one interval.
+        let totals: u64 = out.thread_totals.iter().map(|c| c.instructions).sum();
+        assert_eq!(insts_sum, totals, "{}", bench.name);
+        // The workload's instruction budget was retired exactly.
+        let expected =
+            bench.instructions_per_thread(cfg.scale) * bench.threads.len() as u64;
+        assert_eq!(totals, expected, "{}", bench.name);
+    }
+}
+
+#[test]
+fn l1_l2_counter_consistency() {
+    let cfg = ExperimentConfig::test();
+    let out = cfg.run(&suite::swim(), &Scheme::Shared);
+    for (t, c) in out.thread_totals.iter().enumerate() {
+        // Every L1 miss becomes exactly one L2 access.
+        assert_eq!(c.l1_misses, c.l2_hits + c.l2_misses, "thread {t}");
+        // Memory instructions = L1 hits + L1 misses <= instructions.
+        assert!(c.l1_hits + c.l1_misses <= c.instructions, "thread {t}");
+        assert!(c.active_cycles >= c.instructions, "thread {t}: CPI >= 1");
+    }
+}
+
+#[test]
+fn barrier_slack_matches_critical_thread() {
+    // The critical (slowest) thread should accumulate the least barrier
+    // stall; the fastest thread the most (it always waits).
+    let cfg = ExperimentConfig::test();
+    let out = cfg.run(&suite::mgrid(), &Scheme::StaticEqual);
+    let cpis: Vec<f64> = out.thread_totals.iter().map(|c| c.cpi()).collect();
+    let stalls: Vec<u64> = out
+        .thread_totals
+        .iter()
+        .map(|c| c.barrier_stall_cycles)
+        .collect();
+    let slowest = (0..4).max_by(|&a, &b| cpis[a].partial_cmp(&cpis[b]).unwrap()).unwrap();
+    let fastest = (0..4).min_by(|&a, &b| cpis[a].partial_cmp(&cpis[b]).unwrap()).unwrap();
+    assert!(
+        stalls[slowest] < stalls[fastest],
+        "critical thread t{slowest} (stall {}) must wait less than fastest t{fastest} (stall {})",
+        stalls[slowest],
+        stalls[fastest]
+    );
+}
+
+#[test]
+fn dynamic_scheme_gives_critical_thread_the_biggest_share() {
+    let cfg = ExperimentConfig::test();
+    for (bench, critical) in [
+        (suite::mgrid(), 1usize),
+        (suite::cg(), 3),
+        (suite::equake(), 3),
+        (suite::art(), 2),
+    ] {
+        let out = cfg.run(&bench, &Scheme::ModelBased);
+        // In the steady second half of the run, the designed critical
+        // thread should hold the largest allocation most of the time.
+        let half = out.records.len() / 2;
+        let wins = out.records[half..]
+            .iter()
+            .filter(|r| {
+                let max = *r.ways.iter().max().unwrap();
+                r.ways[critical] == max
+            })
+            .count();
+        let total = out.records.len() - half;
+        assert!(
+            wins * 2 > total,
+            "{}: critical thread t{critical} had the biggest share in only {wins}/{total} intervals",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn shared_cache_mode_reports_no_partition_effects() {
+    let cfg = ExperimentConfig::test();
+    let out = cfg.run(&suite::ft(), &Scheme::Shared);
+    // In unpartitioned mode the report shows the nominal equal share.
+    for r in &out.records {
+        assert_eq!(r.ways, vec![16; 4]);
+    }
+}
+
+#[test]
+fn paper_sized_system_runs() {
+    // Smoke-test the full 1 MB / 15 M-interval configuration (shortened
+    // workload) — the geometry the paper actually used.
+    let mut cfg = SystemConfig::paper_default();
+    cfg.interval_instructions = 100_000;
+    let bench = suite::cg();
+    let streams = bench.build_streams(&cfg, WorkloadScale::Test, 5);
+    let mut sim = Simulator::new(cfg, streams);
+    let mut rt = IntraAppRuntime::new(ModelBasedPolicy::new(), &cfg);
+    let out = rt.execute(&mut sim);
+    assert!(out.wall_cycles > 0);
+    assert!(out.intervals() > 3);
+    sim.l2().check_invariants();
+}
+
+#[test]
+fn eight_core_smoke() {
+    let cfg = ExperimentConfig::test().with_cores(8);
+    for scheme in [Scheme::Shared, Scheme::ModelBased, Scheme::UcpThroughput] {
+        let out = cfg.run(&suite::swim(), &scheme);
+        assert_eq!(out.thread_totals.len(), 8, "{scheme:?}");
+        assert!(out.wall_cycles > 0, "{scheme:?}");
+    }
+}
+
+#[test]
+fn writeback_counters_are_consistent() {
+    let cfg = ExperimentConfig::test();
+    let out = cfg.run(&suite::swim(), &Scheme::Shared);
+    for (t, c) in out.thread_totals.iter().enumerate() {
+        // L1 writebacks only come from L1 evictions, so never exceed L1
+        // misses (each miss can evict at most one dirty line).
+        assert!(c.l1_writebacks <= c.l1_misses, "thread {t}");
+        // The suite writes ~30% of accesses: some writeback traffic must
+        // exist for every thread that misses.
+        if c.l1_misses > 1000 {
+            assert!(c.l1_writebacks > 0, "thread {t}: no L1 writebacks at all");
+        }
+    }
+    // L2 writebacks are attributed per owner and bounded by L2 traffic
+    // (demand misses + L1 writeback insertions).
+    let l2_wb: u64 = out.thread_totals.iter().map(|c| c.l2_writebacks).sum();
+    let l2_traffic: u64 = out
+        .thread_totals
+        .iter()
+        .map(|c| c.l2_misses + c.l1_writebacks)
+        .sum();
+    assert!(l2_wb <= l2_traffic, "{l2_wb} > {l2_traffic}");
+    assert!(l2_wb > 0, "a writing workload must produce memory writebacks");
+}
+
+#[test]
+fn inclusive_hierarchy_runs_and_changes_behaviour() {
+    let mut cfg = ExperimentConfig::test();
+    let base = cfg.run(&suite::swim(), &Scheme::ModelBased);
+    cfg.system.inclusive = true;
+    let incl = cfg.run(&suite::swim(), &Scheme::ModelBased);
+    assert!(incl.wall_cycles > 0);
+    // Back-invalidation strictly reduces L1 usefulness, so the inclusive
+    // run can only have equal-or-more L1 misses.
+    let misses = |o: &icp_core::ExecutionOutcome| -> u64 {
+        o.thread_totals.iter().map(|c| c.l1_misses).sum()
+    };
+    assert!(misses(&incl) >= misses(&base), "{} < {}", misses(&incl), misses(&base));
+}
+
+#[test]
+fn plru_replacement_end_to_end() {
+    let mut cfg = ExperimentConfig::test();
+    cfg.replacement = icp::sim::ReplacementKind::TreePlru;
+    for scheme in [Scheme::Shared, Scheme::StaticEqual, Scheme::ModelBased] {
+        let out = cfg.run(&suite::mgrid(), &scheme);
+        assert!(out.wall_cycles > 0, "{scheme:?}");
+    }
+    // The dynamic scheme still beats the equal split under PLRU.
+    let dynp = cfg.run(&suite::mgrid(), &Scheme::ModelBased);
+    let equal = cfg.run(&suite::mgrid(), &Scheme::StaticEqual);
+    assert!(dynp.improvement_percent_over(&equal) > 0.0);
+}
+
+#[test]
+fn interactions_have_sane_composition() {
+    let cfg = ExperimentConfig::test();
+    for bench in suite::all() {
+        let out = cfg.run(&bench, &Scheme::Shared);
+        let i = out.interactions;
+        assert!(i.total_accesses > 0, "{}", bench.name);
+        assert!(
+            i.inter_thread_hits + i.inter_thread_evictions <= i.total_accesses,
+            "{}",
+            bench.name
+        );
+        let frac = i.inter_thread_fraction();
+        assert!((0.0..=1.0).contains(&frac), "{}", bench.name);
+        // The suite is built to show meaningful sharing on every benchmark.
+        assert!(frac > 0.01, "{}: inter-thread fraction {frac}", bench.name);
+    }
+}

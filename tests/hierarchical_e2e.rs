@@ -1,0 +1,110 @@
+//! End-to-end tests of the hierarchical (§VI-C) setting: multi-application
+//! workload composition driven by the two-level partitioner on one
+//! simulated CMP.
+
+use icp::runtime::{BudgetPolicy, HierarchicalPolicy, IntraAppRuntime, ModelBasedPolicy};
+use icp::sim::{Simulator, SystemConfig};
+use icp::workloads::{suite, MultiAppWorkload, WorkloadScale};
+
+fn test_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::scaled_down();
+    // ~16 intervals over the 480k-instruction test workload.
+    cfg.interval_instructions = 30_000;
+    cfg
+}
+
+fn build(cfg: &SystemConfig, seed: u64) -> (MultiAppWorkload, Simulator) {
+    let workload = MultiAppWorkload::new()
+        .add(&suite::swim(), 2)
+        .add(&suite::mg(), 2);
+    let streams = workload.build_streams(cfg, WorkloadScale::Test, seed);
+    let sim = Simulator::new(*cfg, streams);
+    (workload, sim)
+}
+
+#[test]
+fn static_budgets_are_respected_every_interval() {
+    let cfg = test_cfg();
+    let (workload, mut sim) = build(&cfg, 3);
+    let policy = HierarchicalPolicy::new(
+        workload.groups(),
+        vec![40, 24],
+        vec![Box::new(ModelBasedPolicy::new()), Box::new(ModelBasedPolicy::new())],
+    );
+    let mut rt = IntraAppRuntime::new(policy, &cfg);
+    let out = rt.execute(&mut sim);
+    assert!(out.intervals() > 3);
+    for r in &out.records {
+        assert_eq!(r.ways[0] + r.ways[1], 40, "app A budget at interval {}", r.index);
+        assert_eq!(r.ways[2] + r.ways[3], 24, "app B budget at interval {}", r.index);
+        assert!(r.ways.iter().all(|&w| w >= 1));
+    }
+}
+
+#[test]
+fn intra_app_balancing_happens_inside_budgets() {
+    // swim's two threads (critical + tiny) are heavily imbalanced: within
+    // app A's budget, the critical thread should receive the larger share
+    // by the end of the run.
+    let cfg = test_cfg();
+    let (workload, mut sim) = build(&cfg, 3);
+    let policy = HierarchicalPolicy::new(
+        workload.groups(),
+        vec![40, 24],
+        vec![Box::new(ModelBasedPolicy::new()), Box::new(ModelBasedPolicy::new())],
+    );
+    let mut rt = IntraAppRuntime::new(policy, &cfg);
+    let out = rt.execute(&mut sim);
+    let last = out.records.last().unwrap();
+    assert!(
+        last.ways[0] > last.ways[1],
+        "app A's critical thread should dominate its budget: {:?}",
+        last.ways
+    );
+}
+
+#[test]
+fn dynamic_budgets_shift_toward_the_slower_application() {
+    let cfg = test_cfg();
+    let (workload, mut sim) = build(&cfg, 3);
+    let policy = HierarchicalPolicy::new(
+        workload.groups(),
+        vec![32, 32], // start even; swim is much heavier than mg
+        vec![Box::new(ModelBasedPolicy::new()), Box::new(ModelBasedPolicy::new())],
+    )
+    .with_budget_policy(BudgetPolicy::CriticalCpiProportional);
+    let mut rt = IntraAppRuntime::new(policy, &cfg);
+    let out = rt.execute(&mut sim);
+    let last = out.records.last().unwrap();
+    let app_a = last.ways[0] + last.ways[1];
+    let app_b = last.ways[2] + last.ways[3];
+    assert_eq!(app_a + app_b, 64);
+    assert!(
+        app_a > app_b,
+        "the OS should shift budget toward the slower application: A={app_a} B={app_b}"
+    );
+}
+
+#[test]
+fn hierarchical_beats_uncoordinated_equal_budgets_for_the_heavy_app() {
+    // Sanity: giving the heavy application a bigger budget should not hurt
+    // its completion time relative to an even split.
+    let cfg = test_cfg();
+    let wall = |budgets: Vec<u32>| {
+        let (workload, mut sim) = build(&cfg, 3);
+        let policy = HierarchicalPolicy::new(
+            workload.groups(),
+            budgets,
+            vec![Box::new(ModelBasedPolicy::new()), Box::new(ModelBasedPolicy::new())],
+        );
+        IntraAppRuntime::new(policy, &cfg).execute(&mut sim).wall_cycles
+    };
+    let generous = wall(vec![48, 16]);
+    let even = wall(vec![32, 32]);
+    // swim dominates total runtime; giving it 48 ways should help or tie
+    // within noise.
+    assert!(
+        (generous as f64) < even as f64 * 1.03,
+        "generous {generous} vs even {even}"
+    );
+}

@@ -1,0 +1,81 @@
+//! Thread-migration resilience (paper §VII): when the OS moves threads
+//! between cores, the runtime's "predictions were not optimal (during that
+//! period), but our approach quickly adapted to the new thread-mapping".
+//!
+//! The `migration` example demonstrates this interactively; this test locks
+//! the behaviour in: after the critical and fast workloads swap cores
+//! mid-run, the dominant way allocation must follow the critical workload
+//! to its new core.
+
+use icp::runtime::{IntraAppRuntime, ModelBasedPolicy};
+use icp::sim::stream::{AccessStream, ThreadEvent};
+use icp::sim::{Simulator, SystemConfig};
+use icp::workloads::{suite, SyntheticStream, WorkloadScale};
+
+/// Splits a stream's events at `split_insts` retired instructions.
+fn split_stream(mut s: SyntheticStream, split_insts: u64) -> (Vec<ThreadEvent>, Vec<ThreadEvent>) {
+    let mut first = Vec::new();
+    let mut rest = Vec::new();
+    let mut insts = 0u64;
+    loop {
+        let e = s.next_event();
+        match e {
+            ThreadEvent::Finished => break,
+            ThreadEvent::Access { gap, .. } => {
+                insts += gap as u64 + 1;
+                if insts <= split_insts { first.push(e) } else { rest.push(e) }
+            }
+            ThreadEvent::Barrier => {
+                if insts <= split_insts { first.push(e) } else { rest.push(e) }
+            }
+        }
+    }
+    (first, rest)
+}
+
+#[test]
+fn partition_follows_migrated_critical_workload() {
+    let mut cfg = SystemConfig::scaled_down();
+    cfg.interval_instructions = 30_000;
+    let bench = suite::mgrid(); // t1 = critical
+    let scale = WorkloadScale::Test;
+    let half = bench.instructions_per_thread(scale) / 2;
+
+    let halves: Vec<(Vec<ThreadEvent>, Vec<ThreadEvent>)> = (0..4)
+        .map(|t| {
+            split_stream(
+                SyntheticStream::new(&bench, &bench.threads[t], t, &cfg, scale, 11),
+                half,
+            )
+        })
+        .collect();
+
+    // Cores 1 (critical) and 3 (fast) swap workloads at the halfway point.
+    let spliced = |first: &[ThreadEvent], second: &[ThreadEvent]| {
+        let mut v = first.to_vec();
+        v.extend_from_slice(second);
+        icp::sim::stream::ReplayStream::new(v)
+    };
+    let streams: Vec<Box<dyn AccessStream>> = vec![
+        Box::new(spliced(&halves[0].0, &halves[0].1)),
+        Box::new(spliced(&halves[1].0, &halves[3].1)),
+        Box::new(spliced(&halves[2].0, &halves[2].1)),
+        Box::new(spliced(&halves[3].0, &halves[1].1)),
+    ];
+
+    let mut sim = Simulator::new(cfg, streams);
+    let mut rt = IntraAppRuntime::new(ModelBasedPolicy::new(), &cfg);
+    let out = rt.execute(&mut sim);
+    assert!(out.intervals() >= 10, "{} intervals", out.intervals());
+
+    let argmax = |ws: &[u32]| -> usize {
+        ws.iter().enumerate().max_by_key(|(_, w)| **w).map(|(i, _)| i).unwrap()
+    };
+    let n = out.records.len();
+    // Before the swap (late first half): core 1 holds the biggest share.
+    let before = &out.records[n * 2 / 5];
+    assert_eq!(argmax(&before.ways), 1, "pre-migration ways {:?}", before.ways);
+    // After re-learning (late second half): core 3 holds it.
+    let after = &out.records[n - 2];
+    assert_eq!(argmax(&after.ways), 3, "post-migration ways {:?}", after.ways);
+}

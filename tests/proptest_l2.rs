@@ -1,0 +1,148 @@
+//! Property-based tests of the partitioned L2's invariants under random
+//! access sequences and random repartitioning.
+
+use icp::sim::l2::{equal_split, PartitionMode, PartitionedL2};
+use icp::sim::CacheConfig;
+use proptest::prelude::*;
+
+/// A random partition of `total` ways into `n` positive quotas.
+fn partition_strategy(total: u32, n: usize) -> impl Strategy<Value = Vec<u32>> {
+    // Random cut points over the (total - n) spare ways, plus the 1-way floor.
+    proptest::collection::vec(0..=(total - n as u32), n - 1).prop_map(move |mut cuts| {
+        cuts.sort_unstable();
+        let mut quotas = Vec::with_capacity(n);
+        let mut prev = 0;
+        for c in cuts {
+            quotas.push(1 + c - prev);
+            prev = c;
+        }
+        quotas.push(1 + (total - n as u32) - prev);
+        quotas
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ownership counters always match the actual line owners, no matter
+    /// what sequence of accesses and repartitions happens.
+    #[test]
+    fn ownership_counters_always_consistent(
+        accesses in proptest::collection::vec((0usize..4, 0u64..512), 1..800),
+        parts in proptest::collection::vec(partition_strategy(8, 4), 0..4),
+    ) {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(4 * 8 * 64, 8, 64), 4);
+        let chunk = (accesses.len() / (parts.len() + 1)).max(1);
+        let mut part_iter = parts.into_iter();
+        for (i, (t, line)) in accesses.iter().enumerate() {
+            if i % chunk == chunk - 1 {
+                if let Some(p) = part_iter.next() {
+                    l2.set_targets(&p);
+                }
+            }
+            l2.access(*t, line * 64);
+        }
+        l2.check_invariants();
+    }
+
+    /// Hits + misses always equals total accesses, per thread and globally.
+    #[test]
+    fn hit_miss_accounting(
+        accesses in proptest::collection::vec((0usize..4, 0u64..256), 1..500),
+    ) {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(4 * 8 * 64, 8, 64), 4);
+        let mut per_thread = [0u64; 4];
+        for (t, line) in &accesses {
+            l2.access(*t, line * 64);
+            per_thread[*t] += 1;
+        }
+        for (t, &count) in per_thread.iter().enumerate() {
+            prop_assert_eq!(l2.hits()[t] + l2.misses()[t], count);
+        }
+        prop_assert_eq!(l2.interactions().total_accesses, accesses.len() as u64);
+    }
+
+    /// A quota-respecting thread can never evict another thread's line once
+    /// it is at or above its target everywhere.
+    #[test]
+    fn at_quota_thread_never_evicts_others(
+        victim_lines in proptest::collection::vec(0u64..64, 8..64),
+        attacker_lines in proptest::collection::vec(64u64..4096, 50..300),
+    ) {
+        // 1 set x 8 ways; thread 0 = attacker quota 6, thread 1 = victim quota 2.
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 64, 8, 64), 2);
+        l2.set_targets(&[6, 2]);
+        // Victim warms two lines (its quota).
+        l2.access(1, 0);
+        l2.access(1, 8 * 64 * 64); // distinct line, same set (only 1 set)
+        // Attacker floods. It may fill free ways first, but once at/above
+        // quota it can only self-evict.
+        for line in attacker_lines {
+            let r = l2.access(0, line * 64);
+            if let Some(owner) = r.evicted_other {
+                // Only legal while the attacker is under its own quota --
+                // impossible here once it owns 6 of 8 ways.
+                prop_assert!(l2.ways_owned_in_set(0, 0) <= 6, "evicted t{owner}'s line while over quota");
+            }
+        }
+        l2.check_invariants();
+        let _ = victim_lines;
+    }
+
+    /// Under sustained misses from all threads, per-set ownership converges
+    /// to the target partition.
+    #[test]
+    fn sustained_pressure_converges_to_targets(
+        targets in partition_strategy(8, 4),
+        seed in 0u64..1000,
+    ) {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 64, 8, 64), 4);
+        l2.set_targets(&targets);
+        // Every thread streams over disjoint large regions: constant misses.
+        for round in 0..200u64 {
+            for t in 0..4usize {
+                let line = 10_000 * (t as u64 + 1) + round * 7 + seed;
+                l2.access(t, line * 64);
+            }
+        }
+        for (t, &target) in targets.iter().enumerate() {
+            prop_assert_eq!(
+                l2.ways_owned_in_set(0, t),
+                target,
+                "thread {} ownership after convergence",
+                t
+            );
+        }
+    }
+
+    /// Unpartitioned mode behaves as a plain LRU cache: a working set that
+    /// fits never misses after warm-up, regardless of which thread accesses.
+    #[test]
+    fn unpartitioned_is_plain_lru(
+        order in proptest::collection::vec((0usize..4, 0u64..8), 64..256),
+    ) {
+        let mut l2 = PartitionedL2::new(CacheConfig::new(8 * 64, 8, 64), 4);
+        prop_assert_eq!(l2.mode(), PartitionMode::Unpartitioned);
+        // Warm all 8 lines.
+        for line in 0..8u64 {
+            l2.access(0, line * 64);
+        }
+        let misses_before: u64 = l2.misses().iter().sum();
+        for (t, line) in order {
+            l2.access(t, line * 64);
+        }
+        let misses_after: u64 = l2.misses().iter().sum();
+        prop_assert_eq!(misses_before, misses_after, "no further misses once resident");
+    }
+
+    /// equal_split always sums to the total with quotas differing by <= 1.
+    #[test]
+    fn equal_split_properties(ways in 1u32..256, threads in 1usize..64) {
+        prop_assume!(ways as usize >= threads);
+        let split = equal_split(ways, threads);
+        prop_assert_eq!(split.iter().sum::<u32>(), ways);
+        let min = split.iter().min().unwrap();
+        let max = split.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the numeric substrate: splines, PCHIP, Zipf
+//! sampling, the RNG and the allocation arithmetic.
+
+use icp::numeric::{CubicSpline, Pchip, Xoshiro256, Zipf};
+use icp::runtime::proportional_allocation;
+use proptest::prelude::*;
+
+/// Strictly increasing x values with matching ys.
+fn knots_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    proptest::collection::vec((0.01f64..10.0, -100.0f64..100.0), 2..12).prop_map(|pairs| {
+        let mut x = 0.0;
+        let mut xs = Vec::with_capacity(pairs.len());
+        let mut ys = Vec::with_capacity(pairs.len());
+        for (dx, y) in pairs {
+            x += dx;
+            xs.push(x);
+            ys.push(y);
+        }
+        (xs, ys)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A natural cubic spline interpolates its knots exactly.
+    #[test]
+    fn spline_interpolates_knots((xs, ys) in knots_strategy()) {
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let v = s.eval(*x);
+            prop_assert!((v - y).abs() < 1e-6 * (1.0 + y.abs()), "at {x}: {v} != {y}");
+        }
+    }
+
+    /// Spline evaluation is finite everywhere in and around the knot range
+    /// (linear extrapolation, no cubic blow-up).
+    #[test]
+    fn spline_eval_finite((xs, ys) in knots_strategy(), probe in -50.0f64..200.0) {
+        let s = CubicSpline::fit(&xs, &ys).unwrap();
+        prop_assert!(s.eval(probe).is_finite());
+    }
+
+    /// PCHIP interpolates its knots and never overshoots the data range
+    /// between adjacent knots.
+    #[test]
+    fn pchip_no_overshoot((xs, ys) in knots_strategy()) {
+        let p = Pchip::fit(&xs, &ys).unwrap();
+        for w in xs.windows(2).zip(ys.windows(2)) {
+            let ((x0, x1), (y0, y1)) = ((w.0[0], w.0[1]), (w.1[0], w.1[1]));
+            let lo = y0.min(y1) - 1e-9 * (1.0 + y0.abs().max(y1.abs()));
+            let hi = y0.max(y1) + 1e-9 * (1.0 + y0.abs().max(y1.abs()));
+            for k in 1..10 {
+                let x = x0 + (x1 - x0) * k as f64 / 10.0;
+                let v = p.eval(x);
+                prop_assert!(v >= lo && v <= hi, "overshoot at {x}: {v} not in [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// PCHIP preserves monotonicity of monotone data.
+    #[test]
+    fn pchip_monotone_on_monotone_data(
+        steps in proptest::collection::vec((0.1f64..5.0, 0.0f64..20.0), 2..10)
+    ) {
+        let mut x = 0.0;
+        let mut y = 100.0;
+        let mut xs = vec![x];
+        let mut ys = vec![y];
+        for (dx, dy) in steps {
+            x += dx;
+            y -= dy; // non-increasing
+            xs.push(x);
+            ys.push(y);
+        }
+        let p = Pchip::fit(&xs, &ys).unwrap();
+        let mut prev = f64::INFINITY;
+        let n = 100;
+        for k in 0..=n {
+            let xq = xs[0] + (xs[xs.len() - 1] - xs[0]) * k as f64 / n as f64;
+            let v = p.eval(xq);
+            prop_assert!(v <= prev + 1e-7, "non-monotone at {xq}");
+            prev = v;
+        }
+    }
+
+    /// Zipf samples stay in range and the empirical head frequency is
+    /// monotone (rank 0 at least as frequent as rank ~n/2).
+    #[test]
+    fn zipf_in_range_and_skewed(n in 2u64..2000, theta in 0.05f64..1.5, seed in 0u64..500) {
+        let z = Zipf::new(n, theta);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut head = 0u32;
+        let mut total = 0u32;
+        for _ in 0..2000 {
+            let s = z.sample(&mut rng);
+            prop_assert!(s < n);
+            total += 1;
+            if s < n.div_ceil(2) {
+                head += 1;
+            }
+        }
+        // More mass in the first half of the ranks than a uniform tail
+        // would allow for (true for any Zipf with theta > 0; the 48%
+        // threshold leaves room for sampling noise at theta ~ 0).
+        prop_assert!(head as u64 * 25 >= total as u64 * 12, "head {head}/{total}");
+    }
+
+    /// Bounded RNG draws are always in range.
+    #[test]
+    fn rng_bounded_in_range(seed: u64, bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_bounded(bound) < bound);
+        }
+    }
+
+    /// Proportional allocation: sums to total, respects the floor, and is
+    /// weakly monotone in the weights.
+    #[test]
+    fn allocation_properties(
+        weights in proptest::collection::vec(0.0f64..100.0, 2..16),
+        spare in 0u32..128,
+    ) {
+        let n = weights.len() as u32;
+        let total = n + spare; // guarantees feasibility with min_per = 1
+        let alloc = proportional_allocation(&weights, total, 1);
+        prop_assert_eq!(alloc.iter().sum::<u32>(), total);
+        prop_assert!(alloc.iter().all(|&w| w >= 1));
+        // Weak monotonicity: a strictly heavier weight never gets strictly
+        // fewer ways than a lighter one, modulo rounding by one.
+        for i in 0..weights.len() {
+            for j in 0..weights.len() {
+                if weights[i] > weights[j] {
+                    prop_assert!(
+                        alloc[i] + 1 >= alloc[j],
+                        "w[{i}]={} > w[{j}]={} but alloc {} < {}",
+                        weights[i], weights[j], alloc[i], alloc[j]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests over every partitioning policy: whatever counters
+//! a report carries, a policy's decision must be applicable — quotas sum to
+//! the way count, every thread keeps at least one way, and repeated calls
+//! never panic or wedge.
+
+use icp::baselines::{
+    FairnessOrientedPolicy, ModelThroughputPolicy, SetPartitionAdapter, SharedCachePolicy,
+    StaticEqualPolicy, UcpThroughputPolicy,
+};
+use icp::runtime::{
+    CpiProportionalPolicy, ModelBasedPolicy, PartitionDecision, Partitioner,
+};
+use icp::sim::simulator::{IntervalReport, ThreadIntervalStats};
+use icp::sim::stats::ThreadCounters;
+use proptest::prelude::*;
+
+const TOTAL_WAYS: u32 = 16;
+const THREADS: usize = 4;
+
+/// A random but internally consistent interval report.
+fn report_strategy() -> impl Strategy<Value = IntervalReport> {
+    (
+        proptest::collection::vec((1u64..1_000_000, 1.0f64..40.0), THREADS),
+        proptest::collection::vec(0u64..50_000, THREADS),
+        0usize..100,
+    )
+        .prop_map(|(perf, misses, index)| {
+            let threads = perf
+                .iter()
+                .zip(&misses)
+                .map(|(&(insts, cpi), &m)| {
+                    let counters = ThreadCounters {
+                        instructions: insts,
+                        active_cycles: (cpi * insts as f64) as u64,
+                        l2_misses: m,
+                        ..Default::default()
+                    };
+                    ThreadIntervalStats { counters, cpi, ways: TOTAL_WAYS / THREADS as u32 }
+                })
+                .collect();
+            IntervalReport { index, threads, finished: false, wall_cycles: 1 }
+        })
+}
+
+/// Sequences of reports that carry coherent `ways` fields: each report's
+/// quotas are whatever the policy last decided.
+fn drive<P: Partitioner>(policy: &mut P, reports: Vec<IntervalReport>) -> Vec<PartitionDecision> {
+    let mut current = vec![TOTAL_WAYS / THREADS as u32; THREADS];
+    let mut out = Vec::new();
+    if let PartitionDecision::Partition(w) | PartitionDecision::SetPartition(w) =
+        policy.initial(THREADS, TOTAL_WAYS)
+    {
+        current = w;
+    }
+    for mut r in reports {
+        for (t, ts) in r.threads.iter_mut().enumerate() {
+            ts.ways = current[t];
+        }
+        let d = policy.repartition(&r, TOTAL_WAYS);
+        if let PartitionDecision::Partition(w) | PartitionDecision::SetPartition(w) = &d {
+            current = w.clone();
+        }
+        out.push(d);
+    }
+    out
+}
+
+fn check_decisions(name: &str, decisions: &[PartitionDecision]) -> Result<(), TestCaseError> {
+    for d in decisions {
+        match d {
+            PartitionDecision::Partition(w) | PartitionDecision::SetPartition(w) => {
+                prop_assert_eq!(w.len(), THREADS, "{}: wrong arity", name);
+                prop_assert_eq!(
+                    w.iter().sum::<u32>(),
+                    TOTAL_WAYS,
+                    "{}: quotas {:?} don't sum",
+                    name,
+                    w
+                );
+                prop_assert!(
+                    w.iter().all(|&x| x >= 1),
+                    "{}: starved thread in {:?}",
+                    name,
+                    w
+                );
+            }
+            PartitionDecision::Keep | PartitionDecision::Unpartitioned => {}
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_policies_produce_valid_partitions(
+        reports in proptest::collection::vec(report_strategy(), 1..12),
+    ) {
+        let mut cpi = CpiProportionalPolicy::new();
+        check_decisions("cpi-prop", &drive(&mut cpi, reports.clone()))?;
+
+        let mut model = ModelBasedPolicy::new();
+        check_decisions("model-based", &drive(&mut model, reports.clone()))?;
+
+        let mut strict = ModelBasedPolicy::with_strict_termination();
+        check_decisions("model-strict", &drive(&mut strict, reports.clone()))?;
+
+        let mut phase = ModelBasedPolicy::with_phase_detection(0.5);
+        check_decisions("model-phase", &drive(&mut phase, reports.clone()))?;
+
+        let mut tp = ModelThroughputPolicy::new();
+        check_decisions("model-throughput", &drive(&mut tp, reports.clone()))?;
+
+        let mut fair = FairnessOrientedPolicy::new();
+        check_decisions("fairness", &drive(&mut fair, reports.clone()))?;
+
+        let mut ucp = UcpThroughputPolicy::new();
+        check_decisions("ucp", &drive(&mut ucp, reports.clone()))?;
+
+        let mut setp = SetPartitionAdapter::new(ModelBasedPolicy::new());
+        check_decisions("set-adapter", &drive(&mut setp, reports.clone()))?;
+
+        let mut shared = SharedCachePolicy;
+        let ds = drive(&mut shared, reports.clone());
+        prop_assert!(ds.iter().all(|d| matches!(d, PartitionDecision::Keep)));
+
+        let mut eq = StaticEqualPolicy;
+        check_decisions("static-equal", &drive(&mut eq, reports))?;
+    }
+
+    /// Zero-instruction (fully barrier-parked) threads never break any
+    /// policy.
+    #[test]
+    fn idle_threads_are_tolerated(seed_cpis in proptest::collection::vec(1.0f64..20.0, THREADS)) {
+        let mut reports = Vec::new();
+        for i in 0..6 {
+            let threads = seed_cpis
+                .iter()
+                .enumerate()
+                .map(|(t, &cpi)| {
+                    // Thread (i % THREADS) idles this interval.
+                    let idle = t == i % THREADS;
+                    let insts = if idle { 0 } else { 10_000 };
+                    ThreadIntervalStats {
+                        counters: ThreadCounters {
+                            instructions: insts,
+                            active_cycles: (cpi * insts as f64) as u64,
+                            ..Default::default()
+                        },
+                        cpi: if idle { 0.0 } else { cpi },
+                        ways: TOTAL_WAYS / THREADS as u32,
+                    }
+                })
+                .collect();
+            reports.push(IntervalReport { index: i, threads, finished: false, wall_cycles: 1 });
+        }
+        let mut model = ModelBasedPolicy::new();
+        check_decisions("model-idle", &drive(&mut model, reports.clone()))?;
+        let mut cpi = CpiProportionalPolicy::new();
+        check_decisions("cpi-idle", &drive(&mut cpi, reports))?;
+    }
+}

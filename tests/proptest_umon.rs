@@ -1,0 +1,94 @@
+//! Property-based tests of the utility monitor: the LRU inclusion property
+//! and counter conservation under arbitrary access streams.
+
+use icp::sim::umon::UtilityMonitor;
+use icp::sim::CacheConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Hits-with-w-ways is non-decreasing in w (LRU inclusion property).
+    #[test]
+    fn hits_monotone_in_ways(
+        accesses in proptest::collection::vec((0usize..3, 0u64..300), 1..600),
+    ) {
+        let cfg = CacheConfig::new(8 * 16 * 64, 16, 64);
+        let mut m = UtilityMonitor::new(&cfg, 3, 1);
+        for (t, line) in accesses {
+            m.observe(t, line * 64);
+        }
+        for t in 0..3 {
+            let mut prev = 0;
+            for w in 1..=16 {
+                let h = m.hits_with_ways(t, w);
+                prop_assert!(h >= prev, "thread {t}: hits({w}) < hits({})", w - 1);
+                prev = h;
+            }
+        }
+    }
+
+    /// Hits at full width plus ATD misses equals total observed accesses in
+    /// sampled sets, per thread.
+    #[test]
+    fn counter_conservation(
+        accesses in proptest::collection::vec((0usize..2, 0u64..200), 1..500),
+    ) {
+        let cfg = CacheConfig::new(4 * 8 * 64, 8, 64);
+        let mut m = UtilityMonitor::new(&cfg, 2, 1); // every set sampled
+        let mut per_thread = [0u64; 2];
+        for (t, line) in accesses {
+            m.observe(t, line * 64);
+            per_thread[t] += 1;
+        }
+        for (t, &count) in per_thread.iter().enumerate() {
+            prop_assert_eq!(
+                m.hits_with_ways(t, 8) + m.compulsory_capacity_misses(t),
+                count
+            );
+            // misses_with_ways at full width equals the ATD misses.
+            prop_assert_eq!(m.misses_with_ways(t, 8), m.compulsory_capacity_misses(t));
+        }
+    }
+
+    /// A UMON with full sampling agrees with a dedicated full cache of the
+    /// same width: a single thread's hits at full width match a plain LRU
+    /// cache's hits.
+    #[test]
+    fn full_width_matches_real_cache(
+        lines in proptest::collection::vec(0u64..100, 1..400),
+    ) {
+        let cfg = CacheConfig::new(4 * 8 * 64, 8, 64);
+        let mut m = UtilityMonitor::new(&cfg, 1, 1);
+        let mut cache = icp::sim::cache::SetAssocCache::new(cfg);
+        for line in &lines {
+            m.observe(0, line * 64);
+            cache.access(line * 64);
+        }
+        prop_assert_eq!(m.hits_with_ways(0, 8), cache.hits());
+        prop_assert_eq!(m.compulsory_capacity_misses(0), cache.misses());
+    }
+
+    /// Decay halves every counter (rounding down) and keeps monotonicity.
+    #[test]
+    fn decay_preserves_structure(
+        accesses in proptest::collection::vec(0u64..50, 1..300),
+    ) {
+        let cfg = CacheConfig::new(2 * 8 * 64, 8, 64);
+        let mut m = UtilityMonitor::new(&cfg, 1, 1);
+        for line in accesses {
+            m.observe(0, line * 64);
+        }
+        let before: Vec<u64> = (1..=8).map(|w| m.hits_with_ways(0, w)).collect();
+        m.decay_counters();
+        let after: Vec<u64> = (1..=8).map(|w| m.hits_with_ways(0, w)).collect();
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(*a <= b / 2 + 4, "decay must roughly halve: {b} -> {a}");
+        }
+        let mut prev = 0;
+        for a in after {
+            prop_assert!(a >= prev);
+            prev = a;
+        }
+    }
+}
