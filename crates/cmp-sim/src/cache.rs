@@ -5,21 +5,12 @@
 //! coherence — which is all a cache-partitioning study needs: the paper's
 //! policies observe hit/miss counters, not contents.
 
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, L2Geometry};
 
-/// One cache line's bookkeeping.
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    tag: u64,
-    /// Global access timestamp for exact LRU; 0 = never used.
-    lru: u64,
-    valid: bool,
-    /// Set by stores; a dirty victim must be written back to the next
-    /// level.
-    dirty: bool,
-}
-
-const EMPTY: Line = Line { tag: 0, lru: 0, valid: false, dirty: false };
+/// Tag value marking an invalid way. Real tags are line addresses, which
+/// can't reach `u64::MAX` for any plausible address (the L2 asserts the
+/// same convention).
+const INVALID_TAG: u64 = u64::MAX;
 
 /// Outcome of one read/write access to a [`SetAssocCache`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,11 +23,23 @@ pub struct CacheAccess {
 }
 
 /// A set-associative cache with exact LRU replacement.
+///
+/// Line metadata is struct-of-arrays, row-major by set, like the L2: the
+/// hit scan is an equality sweep over a contiguous tag row, with validity
+/// folded into the tag via [`INVALID_TAG`] and the LRU victim choice
+/// folded into the timestamp (invalid ways hold `lru == 0`, below every
+/// valid timestamp because the clock pre-increments).
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    /// `sets * ways` lines, row-major by set.
-    lines: Vec<Line>,
+    /// Shift/mask address math precomputed from `cfg`.
+    geom: L2Geometry,
+    /// `sets * ways` tags; `INVALID_TAG` marks an invalid way.
+    tags: Vec<u64>,
+    /// Per-way LRU timestamps; 0 = never used (invalid ways stay 0).
+    lrus: Vec<u64>,
+    /// Per-way dirty bits; a dirty victim must be written back.
+    dirty: Vec<bool>,
     /// Monotonic access counter used as the LRU clock.
     clock: u64,
     hits: u64,
@@ -47,7 +50,16 @@ impl SetAssocCache {
     /// Creates an empty (all-invalid) cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         let n = (cfg.num_sets() * cfg.ways as u64) as usize;
-        SetAssocCache { cfg, lines: vec![EMPTY; n], clock: 0, hits: 0, misses: 0 }
+        SetAssocCache {
+            cfg,
+            geom: cfg.geometry(),
+            tags: vec![INVALID_TAG; n],
+            lrus: vec![0; n],
+            dirty: vec![false; n],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Geometry of this cache.
@@ -68,35 +80,46 @@ impl SetAssocCache {
     /// writeback to the next level.
     pub fn access_rw(&mut self, addr: u64, write: bool) -> CacheAccess {
         self.clock += 1;
-        let tag = self.cfg.tag(addr);
-        let set = self.cfg.set_index(addr) as usize;
-        let ways = self.cfg.ways as usize;
+        let tag = self.geom.tag(addr);
+        debug_assert_ne!(tag, INVALID_TAG, "address too close to u64::MAX");
+        let set = self.geom.set_index(addr) as usize;
+        let ways = self.geom.ways;
         let base = set * ways;
-        let lines = &mut self.lines[base..base + ways];
 
-        // Hit path.
-        for line in lines.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.lru = self.clock;
-                line.dirty |= write;
+        // One fused sweep: find the hit way, or — when there is none — the
+        // LRU victim. Invalid ways hold `lru == 0`, below every valid
+        // timestamp, so the first minimum fills invalid ways before
+        // evicting (and in way order, matching the pre-SoA behaviour).
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for w in 0..ways {
+            let i = base + w;
+            if self.tags[i] == tag {
+                self.lrus[i] = self.clock;
+                // Store only on writes: a clean-read hit (the common case)
+                // leaves the dirty row untouched.
+                if write {
+                    self.dirty[i] = true;
+                }
                 self.hits += 1;
                 return CacheAccess { hit: true, writeback: None };
+            }
+            if self.lrus[i] < best {
+                best = self.lrus[i];
+                victim = w;
             }
         }
         // Miss: fill an invalid way, else evict LRU.
         self.misses += 1;
-        let victim = lines
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
-            .map(|(i, _)| i)
-            .expect("ways > 0");
-        let writeback = if lines[victim].valid && lines[victim].dirty {
-            Some(lines[victim].tag * self.cfg.line_bytes)
+        let i = base + victim;
+        let writeback = if self.tags[i] != INVALID_TAG && self.dirty[i] {
+            Some(self.geom.tag_to_addr(self.tags[i]))
         } else {
             None
         };
-        lines[victim] = Line { tag, lru: self.clock, valid: true, dirty: write };
+        self.tags[i] = tag;
+        self.lrus[i] = self.clock;
+        self.dirty[i] = write;
         CacheAccess { hit: false, writeback }
     }
 
@@ -105,29 +128,28 @@ impl SetAssocCache {
     /// dirty — its data is lost to this level and must be considered
     /// written back by the caller.
     pub fn invalidate(&mut self, addr: u64) -> bool {
-        let tag = self.cfg.tag(addr);
-        let set = self.cfg.set_index(addr) as usize;
-        let ways = self.cfg.ways as usize;
+        let tag = self.geom.tag(addr);
+        let set = self.geom.set_index(addr) as usize;
+        let ways = self.geom.ways;
         let base = set * ways;
-        for line in &mut self.lines[base..base + ways] {
-            if line.valid && line.tag == tag {
-                let was_dirty = line.dirty;
-                *line = EMPTY;
-                return was_dirty;
-            }
+        if let Some(w) = self.tags[base..base + ways].iter().position(|&t| t == tag) {
+            let i = base + w;
+            let was_dirty = self.dirty[i];
+            self.tags[i] = INVALID_TAG;
+            self.lrus[i] = 0;
+            self.dirty[i] = false;
+            return was_dirty;
         }
         false
     }
 
     /// Checks presence without touching LRU state or counters.
     pub fn probe(&self, addr: u64) -> bool {
-        let tag = self.cfg.tag(addr);
-        let set = self.cfg.set_index(addr) as usize;
-        let ways = self.cfg.ways as usize;
+        let tag = self.geom.tag(addr);
+        let set = self.geom.set_index(addr) as usize;
+        let ways = self.geom.ways;
         let base = set * ways;
-        self.lines[base..base + ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.tags[base..base + ways].contains(&tag)
     }
 
     /// Total hits since construction (or the last [`Self::reset_counters`]).
@@ -148,14 +170,16 @@ impl SetAssocCache {
 
     /// Invalidates every line and zeroes counters.
     pub fn flush(&mut self) {
-        self.lines.fill(EMPTY);
+        self.tags.fill(INVALID_TAG);
+        self.lrus.fill(0);
+        self.dirty.fill(false);
         self.clock = 0;
         self.reset_counters();
     }
 
     /// Number of currently valid lines (for tests/diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 }
 

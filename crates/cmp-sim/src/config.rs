@@ -42,14 +42,87 @@ impl CacheConfig {
     /// Maps an address to its set index.
     #[inline]
     pub fn set_index(&self, addr: u64) -> u64 {
-        (addr / self.line_bytes) & (self.num_sets() - 1)
+        (addr >> self.line_bytes.trailing_zeros()) & (self.num_sets() - 1)
     }
 
     /// Maps an address to its tag (line address; set bits retained for
     /// simplicity — uniqueness per set still holds).
     #[inline]
     pub fn tag(&self, addr: u64) -> u64 {
-        addr / self.line_bytes
+        addr >> self.line_bytes.trailing_zeros()
+    }
+
+    /// Precomputed shift/mask address math for this geometry. Hot paths
+    /// hold one of these instead of re-deriving set counts per access.
+    #[inline]
+    pub fn geometry(&self) -> L2Geometry {
+        L2Geometry::new(self)
+    }
+}
+
+/// Precomputed shift/mask address decomposition for a cache level.
+///
+/// [`CacheConfig`]'s `set_index`/`tag` recompute the set count (a hardware
+/// division) on every call; the simulator's per-access paths instead hold
+/// this precomputed form, where every mapping is a shift and a mask. Line
+/// sizes and set counts are powers of two by construction
+/// ([`CacheConfig::new`] validates), so the mappings are exact.
+///
+/// The name reflects its main client — the shared L2's hot paths — but the
+/// private L1s and the UMON use the same decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct L2Geometry {
+    /// `log2(line_bytes)`: shift that turns a byte address into a line
+    /// address.
+    pub line_shift: u32,
+    /// `num_sets - 1`: mask applied to the line address to get the set.
+    pub set_mask: u64,
+    /// Associativity, as a `usize` for direct indexing.
+    pub ways: usize,
+    /// Line size in bytes (kept for size conversions).
+    pub line_bytes: u64,
+}
+
+impl L2Geometry {
+    /// Derives the shift/mask form of `cfg`.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        L2Geometry {
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.num_sets() - 1,
+            ways: cfg.ways as usize,
+            line_bytes: cfg.line_bytes,
+        }
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn num_sets(&self) -> u64 {
+        self.set_mask + 1
+    }
+
+    /// Rounds a byte address down to its line base address.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        (addr >> self.line_shift) << self.line_shift
+    }
+
+    /// Maps an address to its set index.
+    #[inline]
+    pub fn set_index(&self, addr: u64) -> u64 {
+        (addr >> self.line_shift) & self.set_mask
+    }
+
+    /// Maps an address to its tag (full line address, as in
+    /// [`CacheConfig::tag`]).
+    #[inline]
+    pub fn tag(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Turns a tag back into the line's base byte address.
+    #[inline]
+    pub fn tag_to_addr(&self, tag: u64) -> u64 {
+        tag << self.line_shift
     }
 }
 
@@ -176,6 +249,10 @@ impl SystemConfig {
             "L1/L2 line sizes must match"
         );
         assert!(self.interval_instructions > 0, "interval length must be positive");
+        assert!(
+            self.l2_banks == 0 || self.l2_banks.is_power_of_two(),
+            "L2 bank count must be 0 (unbanked) or a power of two for mask-based striping"
+        );
     }
 }
 
@@ -248,5 +325,36 @@ mod tests {
     #[test]
     fn scaled_down_is_valid() {
         SystemConfig::scaled_down().validate();
+    }
+
+    #[test]
+    fn geometry_matches_division_form() {
+        for cfg in [
+            CacheConfig::new(1024 * 1024, 64, 64),
+            CacheConfig::new(8 * 1024, 4, 64),
+            CacheConfig::new(256, 2, 64),
+            CacheConfig::new(4 * 128 * 8, 8, 128),
+        ] {
+            let g = cfg.geometry();
+            assert_eq!(g.num_sets(), cfg.num_sets());
+            for addr in [0u64, 1, 63, 64, 65, 4095, 0xDEAD_BEEF, 1 << 50, u64::MAX / 2] {
+                assert_eq!(g.set_index(addr), cfg.set_index(addr), "addr {addr:#x}");
+                assert_eq!(g.tag(addr), cfg.tag(addr), "addr {addr:#x}");
+                assert_eq!(
+                    g.line_addr(addr),
+                    addr / cfg.line_bytes * cfg.line_bytes,
+                    "addr {addr:#x}"
+                );
+                assert_eq!(g.tag_to_addr(g.tag(addr)), g.line_addr(addr));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_banks() {
+        let mut c = SystemConfig::paper_default();
+        c.l2_banks = 3;
+        c.validate();
     }
 }

@@ -23,7 +23,7 @@
 //! a different thread; it is *constructive* if that access is a hit, and an
 //! eviction of another thread's line is the *destructive* form.
 
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, L2Geometry};
 use crate::plru;
 use crate::stats::InteractionStats;
 use crate::ThreadId;
@@ -73,33 +73,124 @@ pub enum PartitionMode {
     SetPartitioned,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct L2Line {
-    tag: u64,
-    lru: u64,
-    valid: bool,
-    /// Set by stores (or dirty L1 writebacks); a dirty victim is written
-    /// back to memory.
-    dirty: bool,
-    /// Thread that allocated (brought in) this line; partition bookkeeping
-    /// follows the allocator, not later sharers.
-    owner: u8,
-    /// Thread that last touched the line; used for interaction
-    /// classification.
-    last_accessor: u8,
-    /// Brought in by the prefetcher and not yet demand-referenced.
-    prefetched: bool,
+/// Sentinel tag marking an invalid (never-filled) way. A real tag is a
+/// line address (`addr >> line_shift`), which cannot reach `u64::MAX` for
+/// any line size > 1 byte, so validity needs no separate bit and the hit
+/// scan is a single-comparison sweep over a contiguous tag row.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// Portable tag scan: each 8-way block is reduced to one "any match"
+/// test (a branchless OR of equalities the compiler can vectorise) and
+/// only a matching block is rescanned for the position.
+#[inline]
+fn find_tag_generic(row: &[u64], tag: u64) -> Option<usize> {
+    let mut chunks = row.chunks_exact(8);
+    let mut base = 0;
+    for chunk in &mut chunks {
+        let mut any = false;
+        for &t in chunk {
+            any |= t == tag;
+        }
+        if any {
+            for (j, &t) in chunk.iter().enumerate() {
+                if t == tag {
+                    return Some(base + j);
+                }
+            }
+        }
+        base += 8;
+    }
+    for (j, &t) in chunks.remainder().iter().enumerate() {
+        if t == tag {
+            return Some(base + j);
+        }
+    }
+    None
 }
 
-const EMPTY: L2Line = L2Line {
-    tag: 0,
-    lru: 0,
-    valid: false,
-    dirty: false,
-    owner: 0,
-    last_accessor: 0,
-    prefetched: false,
-};
+/// First index of `tag` in `row`. The tag-row sweep runs once per L2
+/// access (and again per miss for the free-way probe), so at L2
+/// associativities (64-way here) it is the simulator's single hottest
+/// loop; `Iterator::position`'s per-element early exit defeats
+/// vectorisation, hence the explicit treatment. (A one-byte signature
+/// prefilter was tried and measured ~30% *slower* end to end: the
+/// dependent sig-then-tag load chain costs more than the saved tag-row
+/// bytes at these footprints.)
+#[inline]
+fn find_tag(row: &[u64], tag: u64) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Runtime-dispatched (the detection macro caches in an atomic), so
+        // the build stays portable to baseline x86-64.
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 presence was just verified.
+            #[allow(unsafe_code)]
+            return unsafe { find_tag_avx2(row, tag) };
+        }
+    }
+    find_tag_generic(row, tag)
+}
+
+/// AVX2 `find_tag`: 16 ways per iteration — four 4×64-bit equality
+/// compares OR-folded into a single `vptest` branch; only a matching
+/// block pays for per-lane mask extraction. Lane masks are little-endian
+/// in way order, so `trailing_zeros` of the combined mask is exactly the
+/// first matching way — the same way `position` would return.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn find_tag_avx2(row: &[u64], tag: u64) -> Option<usize> {
+    use std::arch::x86_64::*;
+    let needle = _mm256_set1_epi64x(tag as i64);
+    let n = row.len();
+    let ptr = row.as_ptr();
+    let mut w = 0;
+    while w + 16 <= n {
+        let e0 = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w) as *const __m256i), needle);
+        let e1 = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w + 4) as *const __m256i), needle);
+        let e2 = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w + 8) as *const __m256i), needle);
+        let e3 = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w + 12) as *const __m256i), needle);
+        let any = _mm256_or_si256(_mm256_or_si256(e0, e1), _mm256_or_si256(e2, e3));
+        if _mm256_testz_si256(any, any) == 0 {
+            let mask = (_mm256_movemask_pd(_mm256_castsi256_pd(e0)) as u32)
+                | ((_mm256_movemask_pd(_mm256_castsi256_pd(e1)) as u32) << 4)
+                | ((_mm256_movemask_pd(_mm256_castsi256_pd(e2)) as u32) << 8)
+                | ((_mm256_movemask_pd(_mm256_castsi256_pd(e3)) as u32) << 12);
+            return Some(w + mask.trailing_zeros() as usize);
+        }
+        w += 16;
+    }
+    while w + 4 <= n {
+        let eq = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w) as *const __m256i), needle);
+        let mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32;
+        if mask != 0 {
+            return Some(w + mask.trailing_zeros() as usize);
+        }
+        w += 4;
+    }
+    while w < n {
+        if row[w] == tag {
+            return Some(w);
+        }
+        w += 1;
+    }
+    None
+}
+
+/// Bitmask (bit `i` = `owners[i] == th`) over the first 32 entries of an
+/// owner-byte row: one vector compare instead of 32 scalar ones. Feeds
+/// the victim sweep, which then loads LRU clocks only for matching ways.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+unsafe fn owner_match_mask_avx2(owners: &[u8], th: u8) -> u32 {
+    use std::arch::x86_64::*;
+    debug_assert!(owners.len() >= 32);
+    // SAFETY: caller guarantees at least 32 bytes; unaligned load.
+    let v = _mm256_loadu_si256(owners.as_ptr() as *const __m256i);
+    let eq = _mm256_cmpeq_epi8(v, _mm256_set1_epi8(th as i8));
+    _mm256_movemask_epi8(eq) as u32
+}
 
 /// Outcome of one L2 access, consumed by the simulator for timing and
 /// statistics.
@@ -141,13 +232,33 @@ pub struct L2AccessResult {
 #[derive(Clone, Debug)]
 pub struct PartitionedL2 {
     cfg: CacheConfig,
+    /// Shift/mask address math precomputed from `cfg`.
+    geom: L2Geometry,
     threads: usize,
     mode: PartitionMode,
     replacement: ReplacementKind,
     enforcement: EnforcementKind,
     /// One PLRU tree (u64 of node bits) per set; unused under `TrueLru`.
     plru_bits: Vec<u64>,
-    lines: Vec<L2Line>,
+    // Per-line metadata in struct-of-arrays form, `sets * ways` row-major by
+    // set: the hit path touches only the 8-byte tag row of one set (a
+    // branch-light `&[u64]` scan) instead of striding through 32-byte line
+    // records, and the miss path reads each parallel array on demand.
+    /// Line tags; [`INVALID_TAG`] marks an empty way.
+    tags: Vec<u64>,
+    /// LRU clocks (valid ways only).
+    lrus: Vec<u64>,
+    /// Allocating thread of each line; partition bookkeeping follows the
+    /// allocator, not later sharers.
+    owners: Vec<u8>,
+    /// Thread that last touched each line; drives interaction
+    /// classification.
+    last_accessors: Vec<u8>,
+    /// Set by stores (or dirty L1 writebacks); a dirty victim is written
+    /// back to memory.
+    dirty: Vec<bool>,
+    /// Brought in by the prefetcher and not yet demand-referenced.
+    prefetched: Vec<bool>,
     /// Per-set per-thread current way counts: `sets * threads`, row-major by
     /// set. These are the §V "current assignment" counters.
     owned: Vec<u16>,
@@ -183,12 +294,18 @@ impl PartitionedL2 {
         let sets = cfg.num_sets() as usize;
         PartitionedL2 {
             cfg,
+            geom: cfg.geometry(),
             threads,
             mode: PartitionMode::Unpartitioned,
             replacement: ReplacementKind::TrueLru,
             enforcement: EnforcementKind::Replacement,
             plru_bits: vec![0; sets],
-            lines: vec![EMPTY; n],
+            tags: vec![INVALID_TAG; n],
+            lrus: vec![0; n],
+            owners: vec![0; n],
+            last_accessors: vec![0; n],
+            dirty: vec![false; n],
+            prefetched: vec![false; n],
             owned: vec![0; sets * threads],
             targets: equal_split(cfg.ways, threads),
             set_ranges: Vec::new(),
@@ -293,8 +410,8 @@ impl PartitionedL2 {
     /// invalidating its oldest excess lines (the reconfigurable-cache data
     /// loss §V warns about). Dirty victims count as writebacks.
     fn reconfigure_to_targets(&mut self) {
-        let ways = self.cfg.ways as usize;
-        for set in 0..self.cfg.num_sets() as usize {
+        let ways = self.geom.ways;
+        for set in 0..self.geom.num_sets() as usize {
             for t in 0..self.threads {
                 let quota = self.targets[t];
                 loop {
@@ -304,17 +421,19 @@ impl PartitionedL2 {
                     }
                     // Invalidate this thread's LRU line in the set.
                     let base = set * ways;
-                    let victim = self.lines[base..base + ways]
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, l)| l.valid && l.owner as usize == t)
-                        .min_by_key(|(_, l)| l.lru)
-                        .map(|(i, _)| i)
+                    let victim = (0..ways)
+                        .filter(|&w| {
+                            self.tags[base + w] != INVALID_TAG
+                                && self.owners[base + w] as usize == t
+                        })
+                        .min_by_key(|&w| self.lrus[base + w])
                         .expect("owned counter says lines exist");
-                    if self.lines[base + victim].dirty {
+                    if self.dirty[base + victim] {
                         self.writebacks[t] += 1;
                     }
-                    self.lines[base + victim] = EMPTY;
+                    self.tags[base + victim] = INVALID_TAG;
+                    self.dirty[base + victim] = false;
+                    self.prefetched[base + victim] = false;
                     self.owned[set * self.threads + t] -= 1;
                 }
             }
@@ -397,78 +516,61 @@ impl PartitionedL2 {
     pub fn access_rw(&mut self, thread: ThreadId, addr: u64, write: bool) -> L2AccessResult {
         debug_assert!(thread < self.threads);
         self.clock += 1;
-        let tag = self.cfg.tag(addr);
-        let set = match self.mode {
-            PartitionMode::SetPartitioned => {
-                // Fold the natural set index into the accessor's range:
-                // the page-coloring constraint on physical placement.
-                let (start, len) = self.set_ranges[thread];
-                (start + (self.cfg.set_index(addr) as u32 % len)) as usize
-            }
-            _ => self.cfg.set_index(addr) as usize,
-        };
-        let ways = self.cfg.ways as usize;
+        let tag = self.geom.tag(addr);
+        debug_assert_ne!(tag, INVALID_TAG, "address too close to u64::MAX");
+        let set = self.map_set(thread, addr);
+        let ways = self.geom.ways;
         let base = set * ways;
         self.interactions.total_accesses += 1;
 
-        // Hit path: any thread can hit on any line.
-        for (w, line) in self.lines[base..base + ways].iter_mut().enumerate() {
-            if line.valid && line.tag == tag {
-                line.lru = self.clock;
-                line.dirty |= write;
-                if self.replacement == ReplacementKind::TreePlru {
-                    plru::touch(&mut self.plru_bits[set], ways as u32, w as u32);
-                }
-                let inter = line.last_accessor as usize != thread;
-                line.last_accessor = thread as u8;
-                let prefetched_hit = line.prefetched;
-                line.prefetched = false;
-                self.hits[thread] += 1;
-                if inter {
-                    self.interactions.inter_thread_hits += 1;
-                }
-                return L2AccessResult {
-                    hit: true,
-                    inter_thread_hit: inter,
-                    evicted_other: None,
-                    evicted_line: None,
-                    wrote_back: false,
-                    prefetched_hit,
-                };
+        // Hit path: any thread can hit on any line. The scan is a pure
+        // equality sweep over the set's contiguous tag row — invalid ways
+        // hold INVALID_TAG and can never match.
+        let hit_way = find_tag(&self.tags[base..base + ways], tag);
+        if let Some(w) = hit_way {
+            let i = base + w;
+            self.lrus[i] = self.clock;
+            // Conditional stores: only touch the metadata bytes whose value
+            // actually changes, so the common same-thread clean-read hit
+            // leaves those cache lines unwritten.
+            if write {
+                self.dirty[i] = true;
             }
+            if self.replacement == ReplacementKind::TreePlru {
+                plru::touch(&mut self.plru_bits[set], ways as u32, w as u32);
+            }
+            let inter = self.last_accessors[i] as usize != thread;
+            if inter {
+                self.last_accessors[i] = thread as u8;
+                self.interactions.inter_thread_hits += 1;
+            }
+            let prefetched_hit = self.prefetched[i];
+            if prefetched_hit {
+                self.prefetched[i] = false;
+            }
+            self.hits[thread] += 1;
+            return L2AccessResult {
+                hit: true,
+                inter_thread_hit: inter,
+                evicted_other: None,
+                evicted_line: None,
+                wrote_back: false,
+                prefetched_hit,
+            };
         }
 
         // Miss path.
         self.misses[thread] += 1;
         let victim = self.choose_victim(set, thread);
-        let (evicted_other, evicted_line, wrote_back) = {
-            let v = &self.lines[base + victim];
-            if v.valid {
-                let prev_owner = v.owner as usize;
-                self.owned[set * self.threads + prev_owner] -= 1;
-                if v.dirty {
-                    self.writebacks[prev_owner] += 1;
-                }
-                let inter = if prev_owner != thread {
-                    self.interactions.inter_thread_evictions += 1;
-                    Some(prev_owner)
-                } else {
-                    None
-                };
-                (inter, Some(v.tag * self.cfg.line_bytes), v.dirty)
-            } else {
-                (None, None, false)
-            }
-        };
-        self.lines[base + victim] = L2Line {
-            tag,
-            lru: self.clock,
-            valid: true,
-            dirty: write,
-            owner: thread as u8,
-            last_accessor: thread as u8,
-            prefetched: false,
-        };
+        let (evicted_other, evicted_line, wrote_back) =
+            self.evict_for_fill(set, victim, thread);
+        let i = base + victim;
+        self.tags[i] = tag;
+        self.lrus[i] = self.clock;
+        self.dirty[i] = write;
+        self.owners[i] = thread as u8;
+        self.last_accessors[i] = thread as u8;
+        self.prefetched[i] = false;
         if self.replacement == ReplacementKind::TreePlru {
             plru::touch(&mut self.plru_bits[set], ways as u32, victim as u32);
         }
@@ -483,6 +585,51 @@ impl PartitionedL2 {
         }
     }
 
+    /// Maps `addr` to the set `thread` uses: the natural index, or folded
+    /// into the thread's private range under set partitioning.
+    #[inline]
+    fn map_set(&self, thread: ThreadId, addr: u64) -> usize {
+        match self.mode {
+            PartitionMode::SetPartitioned => {
+                // Fold the natural set index into the accessor's range:
+                // the page-coloring constraint on physical placement.
+                let (start, len) = self.set_ranges[thread];
+                (start + (self.geom.set_index(addr) as u32 % len)) as usize
+            }
+            _ => self.geom.set_index(addr) as usize,
+        }
+    }
+
+    /// Victim bookkeeping shared by demand fills and prefetch fills:
+    /// decrements the previous owner's counter, accounts the writeback, and
+    /// classifies the eviction. Returns
+    /// `(evicted_other, evicted_line, wrote_back)`.
+    #[inline]
+    fn evict_for_fill(
+        &mut self,
+        set: usize,
+        victim: usize,
+        thread: ThreadId,
+    ) -> (Option<ThreadId>, Option<u64>, bool) {
+        let i = set * self.geom.ways + victim;
+        if self.tags[i] == INVALID_TAG {
+            return (None, None, false);
+        }
+        let prev_owner = self.owners[i] as usize;
+        self.owned[set * self.threads + prev_owner] -= 1;
+        let was_dirty = self.dirty[i];
+        if was_dirty {
+            self.writebacks[prev_owner] += 1;
+        }
+        let inter = if prev_owner != thread {
+            self.interactions.inter_thread_evictions += 1;
+            Some(prev_owner)
+        } else {
+            None
+        };
+        (inter, Some(self.geom.tag_to_addr(self.tags[i])), was_dirty)
+    }
+
     /// Installs `addr`'s line on behalf of `thread`'s prefetcher. Does
     /// nothing if the line is already resident. The fill follows the same
     /// victim-selection rules as a demand miss (prefetches respect the
@@ -492,20 +639,12 @@ impl PartitionedL2 {
     /// displaced another thread's line.
     pub fn prefetch_fill(&mut self, thread: ThreadId, addr: u64) -> L2AccessResult {
         debug_assert!(thread < self.threads);
-        let tag = self.cfg.tag(addr);
-        let set = match self.mode {
-            PartitionMode::SetPartitioned => {
-                let (start, len) = self.set_ranges[thread];
-                (start + (self.cfg.set_index(addr) as u32 % len)) as usize
-            }
-            _ => self.cfg.set_index(addr) as usize,
-        };
-        let ways = self.cfg.ways as usize;
+        let tag = self.geom.tag(addr);
+        debug_assert_ne!(tag, INVALID_TAG, "address too close to u64::MAX");
+        let set = self.map_set(thread, addr);
+        let ways = self.geom.ways;
         let base = set * ways;
-        if self.lines[base..base + ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
-        {
+        if find_tag(&self.tags[base..base + ways], tag).is_some() {
             return L2AccessResult {
                 hit: true,
                 inter_thread_hit: false,
@@ -517,37 +656,18 @@ impl PartitionedL2 {
         }
         self.clock += 1;
         let victim = self.choose_victim(set, thread);
-        let (evicted_other, evicted_line, wrote_back) = {
-            let v = &self.lines[base + victim];
-            if v.valid {
-                let prev_owner = v.owner as usize;
-                self.owned[set * self.threads + prev_owner] -= 1;
-                if v.dirty {
-                    self.writebacks[prev_owner] += 1;
-                }
-                let inter = if prev_owner != thread {
-                    self.interactions.inter_thread_evictions += 1;
-                    Some(prev_owner)
-                } else {
-                    None
-                };
-                (inter, Some(v.tag * self.cfg.line_bytes), v.dirty)
-            } else {
-                (None, None, false)
-            }
-        };
+        let (evicted_other, evicted_line, wrote_back) =
+            self.evict_for_fill(set, victim, thread);
         // Prefetched lines are inserted at LRU-adjacent priority (half a
         // clock behind MRU would need fractions; inserting with the current
         // clock is the common simplification).
-        self.lines[base + victim] = L2Line {
-            tag,
-            lru: self.clock,
-            valid: true,
-            dirty: false,
-            owner: thread as u8,
-            last_accessor: thread as u8,
-            prefetched: true,
-        };
+        let i = base + victim;
+        self.tags[i] = tag;
+        self.lrus[i] = self.clock;
+        self.dirty[i] = false;
+        self.owners[i] = thread as u8;
+        self.last_accessors[i] = thread as u8;
+        self.prefetched[i] = true;
         if self.replacement == ReplacementKind::TreePlru {
             plru::touch(&mut self.plru_bits[set], ways as u32, victim as u32);
         }
@@ -564,60 +684,185 @@ impl PartitionedL2 {
 
     /// Picks a victim way in `set` for a miss by `thread`, per §V.
     fn choose_victim(&self, set: usize, thread: ThreadId) -> usize {
-        let ways = self.cfg.ways as usize;
+        let ways = self.geom.ways;
         let base = set * ways;
-        let lines = &self.lines[base..base + ways];
 
-        // Free way first: no eviction needed.
-        if let Some(i) = lines.iter().position(|l| !l.valid) {
-            return i;
+        // The per-set assignment counters double as an occupancy count
+        // (every valid line has exactly one owner — `check_invariants`
+        // holds us to it), so a full set skips the free-way scan entirely.
+        // Steady state after warmup is "always full": the scan below runs
+        // only while the set is still filling.
+        let owned_row = &self.owned[set * self.threads..(set + 1) * self.threads];
+        let valid: usize = owned_row.iter().map(|&c| c as usize).sum();
+        if valid < ways {
+            return find_tag(&self.tags[base..base + ways], INVALID_TAG)
+                .expect("assignment counters say a way is free");
         }
 
+        if self.replacement == ReplacementKind::TreePlru {
+            return self.choose_victim_masked(set, thread, owned_row);
+        }
+
+        // True LRU over a full set: one fused sweep computes every
+        // candidate class the §V policy can ask for (own LRU, other-thread
+        // LRU, over-quota-owner LRU), instead of one predicate scan per
+        // class. LRU clocks are globally unique (each access writes a
+        // fresh clock), so taking each class's first minimum here selects
+        // exactly the way a dedicated scan would.
+        let lrus = &self.lrus[base..base + ways];
         if self.mode != PartitionMode::Partitioned {
             // Unpartitioned: global LRU. Set-partitioned: the range is
             // exclusively the accessor's, so plain LRU within the set is
             // already isolation.
+            let mut best_w = 0;
+            let mut best_lru = lrus[0];
+            for (w, &lru) in lrus.iter().enumerate().skip(1) {
+                if lru < best_lru {
+                    best_lru = lru;
+                    best_w = w;
+                }
+            }
+            return best_w;
+        }
+        let owners = &self.owners[base..base + ways];
+        if (owned_row[thread] as u32) >= self.targets[thread] {
+            // At/over quota — the steady state once quotas have phased in:
+            // evict our own LRU line ("thread-wise LRU"). With AVX2 the
+            // owner row collapses to a match bitmask (32 ways per compare)
+            // and only the matching ways' LRU clocks are loaded — a
+            // thread's quota is typically a fraction of the set. Bits are
+            // consumed lowest-first, preserving way order.
+            let th = thread as u8;
+            let mut best_w = usize::MAX;
+            let mut best_lru = u64::MAX;
+            let mut w = 0;
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                while w + 32 <= ways {
+                    // SAFETY: AVX2 verified above; slice has >= 32 bytes.
+                    #[allow(unsafe_code)]
+                    let mut bits = unsafe { owner_match_mask_avx2(&owners[w..], th) };
+                    while bits != 0 {
+                        let j = w + bits.trailing_zeros() as usize;
+                        if lrus[j] < best_lru {
+                            best_lru = lrus[j];
+                            best_w = j;
+                        }
+                        bits &= bits - 1;
+                    }
+                    w += 32;
+                }
+            }
+            // Portable path and tail: foreign ways map to a `u64::MAX` key
+            // so the sweep stays branchless (valid LRU clocks never reach
+            // the sentinel, so a foreign way can't win).
+            while w < ways {
+                let key = if owners[w] == th { lrus[w] } else { u64::MAX };
+                if key < best_lru {
+                    best_lru = key;
+                    best_w = w;
+                }
+                w += 1;
+            }
+            if best_w != usize::MAX {
+                return best_w;
+            }
+            // We own nothing in this set yet: steal the set-global victim
+            // — a thread must always be able to make progress.
+            let mut best_w = 0;
+            let mut best_lru = lrus[0];
+            for (w, &lru) in lrus.iter().enumerate().skip(1) {
+                if lru < best_lru {
+                    best_lru = lru;
+                    best_w = w;
+                }
+            }
+            return best_w;
+        }
+        // Under quota (a transient while a repartition phases in): take a
+        // way from another thread. Prefer victims whose owners are over
+        // their own quota so the set converges to the target; fall back to
+        // any other thread's LRU line; if every line is ours already
+        // (inconsistent quotas), self-evict.
+        let mut best_over = (u64::MAX, usize::MAX);
+        let mut best_other = (u64::MAX, usize::MAX);
+        let mut best_own = (u64::MAX, usize::MAX);
+        for w in 0..ways {
+            let lru = lrus[w];
+            let o = owners[w] as usize;
+            if o == thread {
+                if lru < best_own.0 {
+                    best_own = (lru, w);
+                }
+            } else {
+                if lru < best_other.0 {
+                    best_other = (lru, w);
+                }
+                if lru < best_over.0 && (owned_row[o] as u32) > self.targets[o] {
+                    best_over = (lru, w);
+                }
+            }
+        }
+        if best_over.1 != usize::MAX {
+            return best_over.1;
+        }
+        if best_other.1 != usize::MAX {
+            return best_other.1;
+        }
+        debug_assert_ne!(best_own.1, usize::MAX, "set is full");
+        best_own.1
+    }
+
+    /// The §V victim policy via masked (P)LRU predicate walks — the
+    /// tree-PLRU path, where candidate masks feed the tree descent and a
+    /// fused LRU sweep doesn't apply. `owned_row` is the set's assignment
+    /// counter row; the set is known to be full.
+    fn choose_victim_masked(&self, set: usize, thread: ThreadId, owned_row: &[u16]) -> usize {
+        if self.mode != PartitionMode::Partitioned {
             return self.victim_among(set, |_| true).expect("set is full");
         }
-
-        let owned_here = |t: usize| self.owned[set * self.threads + t] as u32;
-        if owned_here(thread) < self.targets[thread] {
-            // Under quota: take a way from another thread. Prefer victims
-            // whose owners are over their own quota so the set converges to
-            // the target; fall back to any other thread's (P)LRU line.
-            let over_quota = self.victim_among(set, |l| {
-                let o = l.owner as usize;
-                o != thread && owned_here(o) > self.targets[o]
+        if (owned_row[thread] as u32) < self.targets[thread] {
+            let over_quota = self.victim_among(set, |o| {
+                o != thread && owned_row[o] as u32 > self.targets[o]
             });
             if let Some(i) = over_quota {
                 return i;
             }
-            if let Some(i) = self.victim_among(set, |l| l.owner as usize != thread) {
+            if let Some(i) = self.victim_among(set, |o| o != thread) {
                 return i;
             }
-            // Every line is ours already (can only happen with inconsistent
-            // quotas); fall through to self-eviction.
         }
-        // At/over quota: evict our own (P)LRU line ("thread-wise LRU"). If
-        // we own nothing in this set yet, steal the set-global victim — a
-        // thread must always be able to make progress.
-        self.victim_among(set, |l| l.owner as usize == thread)
+        self.victim_among(set, |o| o == thread)
             .or_else(|| self.victim_among(set, |_| true))
             .expect("set is full")
     }
 
-    /// The replacement policy's victim among the valid lines of `set`
-    /// satisfying `pred`: exact LRU ordering or a masked PLRU tree walk.
-    fn victim_among<F: Fn(&L2Line) -> bool>(&self, set: usize, pred: F) -> Option<usize> {
-        let ways = self.cfg.ways as usize;
+    /// The replacement policy's victim among the valid lines of `set` whose
+    /// *owner* satisfies `pred`: exact LRU ordering or a masked PLRU tree
+    /// walk. Ties in LRU clocks break toward the lowest way index (the
+    /// first minimum), matching the original AoS scan order.
+    fn victim_among<F: Fn(usize) -> bool>(&self, set: usize, pred: F) -> Option<usize> {
+        let ways = self.geom.ways;
         let base = set * ways;
-        let lines = &self.lines[base..base + ways];
         match self.replacement {
-            ReplacementKind::TrueLru => lru_of(lines, pred),
+            ReplacementKind::TrueLru => {
+                let mut best: Option<(u64, usize)> = None;
+                for w in 0..ways {
+                    if self.tags[base + w] != INVALID_TAG && pred(self.owners[base + w] as usize)
+                    {
+                        let lru = self.lrus[base + w];
+                        if best.is_none_or(|(b, _)| lru < b) {
+                            best = Some((lru, w));
+                        }
+                    }
+                }
+                best.map(|(_, w)| w)
+            }
             ReplacementKind::TreePlru => {
                 let mut mask = 0u64;
-                for (w, l) in lines.iter().enumerate() {
-                    if l.valid && pred(l) {
+                for w in 0..ways {
+                    if self.tags[base + w] != INVALID_TAG && pred(self.owners[base + w] as usize)
+                    {
                         mask |= 1 << w;
                     }
                 }
@@ -670,12 +915,12 @@ impl PartitionedL2 {
     /// Verifies internal consistency: ownership counters match line owners.
     /// O(cache size); intended for tests and debug assertions.
     pub fn check_invariants(&self) {
-        let ways = self.cfg.ways as usize;
-        for set in 0..self.cfg.num_sets() as usize {
+        let ways = self.geom.ways;
+        for set in 0..self.geom.num_sets() as usize {
             let mut counts = vec![0u16; self.threads];
-            for line in &self.lines[set * ways..(set + 1) * ways] {
-                if line.valid {
-                    counts[line.owner as usize] += 1;
+            for w in set * ways..(set + 1) * ways {
+                if self.tags[w] != INVALID_TAG {
+                    counts[self.owners[w] as usize] += 1;
                 }
             }
             for (t, &count) in counts.iter().enumerate() {
@@ -698,16 +943,6 @@ pub fn equal_split(ways: u32, threads: usize) -> Vec<u32> {
         .collect()
 }
 
-/// Index of the LRU line among those satisfying `pred`, or `None`.
-fn lru_of<F: Fn(&L2Line) -> bool>(lines: &[L2Line], pred: F) -> Option<usize> {
-    lines
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| l.valid && pred(l))
-        .min_by_key(|(_, l)| l.lru)
-        .map(|(i, _)| i)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -720,6 +955,21 @@ mod tests {
     /// Address of distinct line `i` (all map to set 0 in `one_set`).
     fn line(i: u64) -> u64 {
         i * 64
+    }
+
+    #[test]
+    fn find_tag_matches_position_semantics() {
+        // Exercise odd lengths (remainder path), duplicates (first index
+        // wins) and absence, against the reference implementation — for
+        // both the dispatcher and the portable fallback.
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65] {
+            let row: Vec<u64> = (0..len as u64).map(|i| (i * 37) % 11).collect();
+            for needle in 0..12u64 {
+                let expect = row.iter().position(|&t| t == needle);
+                assert_eq!(find_tag(&row, needle), expect, "len {len} needle {needle}");
+                assert_eq!(find_tag_generic(&row, needle), expect, "len {len} needle {needle}");
+            }
+        }
     }
 
     #[test]

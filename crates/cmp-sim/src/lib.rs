@@ -21,12 +21,16 @@
 //! `icp-core` runtime reads at each execution interval, mirroring the
 //! hardware performance monitors of the paper's runtime system (§VI-C).
 
-#![forbid(unsafe_code)]
+// Deny (not forbid): the single exception is the runtime-dispatched SIMD
+// tag scan in `l2`, which carries its own scoped `allow` and safety
+// comments. Everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod config;
 pub mod l2;
+pub mod perf;
 pub mod plru;
 pub mod simulator;
 pub mod stats;
@@ -35,8 +39,9 @@ pub mod trace;
 pub mod umon;
 pub mod victim;
 
-pub use config::{CacheConfig, LatencyConfig, SystemConfig};
+pub use config::{CacheConfig, L2Geometry, LatencyConfig, SystemConfig};
 pub use l2::{EnforcementKind, PartitionMode, PartitionedL2, ReplacementKind};
+pub use perf::PerfReport;
 pub use simulator::{IntervalReport, Simulator, ThreadIntervalStats};
 pub use stats::{GlobalStats, InteractionStats, ThreadCounters};
 pub use stream::{AccessStream, ThreadEvent};

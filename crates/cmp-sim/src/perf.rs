@@ -1,0 +1,144 @@
+//! Host-side throughput observability for simulator runs.
+//!
+//! Simulation studies live and die by simulator throughput: a partitioning
+//! sweep multiplies every per-access cost by billions. This module times a
+//! region of simulation and reports how fast the host chewed through it —
+//! accesses/sec and events/sec — by diffing the simulator's own counters
+//! around the timed closure. Nothing here perturbs simulated behaviour;
+//! the counters it reads are maintained unconditionally.
+//!
+//! The tracked harness in `icp-experiments::hotpath` builds on this to
+//! record a perf trajectory (`BENCH_hotpath.json`) across changes.
+
+use std::time::Instant;
+
+use crate::simulator::Simulator;
+
+/// Throughput of one timed simulation region.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfReport {
+    /// Demand memory accesses simulated over the region (L1 hits + misses,
+    /// summed over threads).
+    pub accesses: u64,
+    /// Stream events consumed over the region (accesses + barriers +
+    /// finishes) — see [`Simulator::events_processed`].
+    pub events: u64,
+    /// Instructions retired over the region, summed over threads.
+    pub instructions: u64,
+    /// Simulated cycles elapsed over the region (wall-clock delta).
+    pub sim_cycles: u64,
+    /// Host seconds the region took (floored at 1 ns so rates stay finite).
+    pub host_secs: f64,
+}
+
+impl PerfReport {
+    /// Simulated demand accesses per host second — the headline number.
+    pub fn accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 / self.host_secs
+    }
+
+    /// Stream events consumed per host second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.host_secs
+    }
+
+    /// Simulated instructions per host second, in millions (classic MIPS).
+    pub fn mips(&self) -> f64 {
+        self.instructions as f64 / self.host_secs / 1e6
+    }
+}
+
+/// (accesses, events, instructions, wall_cycles) as of now.
+fn snapshot(sim: &Simulator) -> (u64, u64, u64, u64) {
+    let stats = sim.stats();
+    let accesses = stats.threads.iter().map(|t| t.l1_hits + t.l1_misses).sum();
+    let instructions = stats.threads.iter().map(|t| t.instructions).sum();
+    (accesses, sim.events_processed(), instructions, sim.wall_cycles())
+}
+
+/// Times `f(sim)` and reports the throughput of whatever it simulated.
+///
+/// Counters are snapshotted before and after, so `measure` composes with
+/// partially-run simulators and can time individual intervals.
+pub fn measure<R>(
+    sim: &mut Simulator,
+    f: impl FnOnce(&mut Simulator) -> R,
+) -> (R, PerfReport) {
+    let (a0, e0, i0, c0) = snapshot(sim);
+    let started = Instant::now();
+    let out = f(sim);
+    let host_secs = started.elapsed().as_secs_f64().max(1e-9);
+    let (a1, e1, i1, c1) = snapshot(sim);
+    let report = PerfReport {
+        accesses: a1 - a0,
+        events: e1 - e0,
+        instructions: i1 - i0,
+        sim_cycles: c1 - c0,
+        host_secs,
+    };
+    (out, report)
+}
+
+/// Runs the simulator to completion under the timer.
+pub fn measure_to_completion(sim: &mut Simulator) -> PerfReport {
+    measure(sim, |s| {
+        while let Some(report) = s.run_interval() {
+            if report.finished {
+                break;
+            }
+        }
+    })
+    .1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, LatencyConfig, SystemConfig};
+    use crate::stream::{ReplayStream, ThreadEvent};
+
+    fn sim_with(events: Vec<ThreadEvent>) -> Simulator {
+        let cfg = SystemConfig {
+            cores: 1,
+            l1: CacheConfig::new(2 * 64 * 2, 2, 64),
+            l2: CacheConfig::new(4 * 64 * 4, 4, 64),
+            latency: LatencyConfig { l1_hit: 1, l2_hit: 10, memory: 100 },
+            interval_instructions: 1000,
+            inclusive: false,
+            coherence: false,
+            prefetch_degree: 0,
+            l2_banks: 0,
+            victim_cache_lines: 0,
+        };
+        Simulator::new(cfg, vec![Box::new(ReplayStream::new(events))])
+    }
+
+    #[test]
+    fn measure_counts_region_deltas() {
+        let events: Vec<ThreadEvent> =
+            (0..10).map(|i| ThreadEvent::access(2, i * 64)).collect();
+        let mut sim = sim_with(events);
+        let report = measure_to_completion(&mut sim);
+        assert_eq!(report.accesses, 10);
+        assert_eq!(report.events, 11); // + the Finished event
+        assert_eq!(report.instructions, 30); // (gap 2 + 1) x 10
+        assert!(report.sim_cycles > 0);
+        assert!(report.accesses_per_sec() > 0.0);
+        assert!(report.events_per_sec() >= report.accesses_per_sec());
+    }
+
+    #[test]
+    fn measure_composes_across_regions() {
+        let events: Vec<ThreadEvent> =
+            (0..10).map(|i| ThreadEvent::access(2, i * 64)).collect();
+        let mut sim = sim_with(events);
+        // First region: one interval; second region: the rest. The deltas
+        // must sum to the whole run.
+        let (_, first) = measure(&mut sim, |s| {
+            s.run_interval();
+        });
+        let second = measure_to_completion(&mut sim);
+        assert_eq!(first.accesses + second.accesses, 10);
+        assert_eq!(first.events + second.events, 11);
+    }
+}

@@ -16,7 +16,7 @@
 //! Figure 17 (cache/CPI monitor → partition engine → configuration unit).
 
 use crate::cache::SetAssocCache;
-use crate::config::SystemConfig;
+use crate::config::{L2Geometry, SystemConfig};
 use crate::l2::PartitionedL2;
 use crate::stats::{GlobalStats, ThreadCounters};
 use crate::stream::{AccessStream, ThreadEvent};
@@ -89,6 +89,30 @@ struct CoreState {
     status: CoreStatus,
 }
 
+/// Events fetched per stream refill. Big enough to amortise the virtual
+/// `fill_batch` call and let generators batch their work; small enough that
+/// a ring stays in L1 (64 events x 24 B = 1.5 KB).
+const EVENT_BATCH: usize = 64;
+
+/// A per-core ring of prefetched stream events. Streams are
+/// generation-only (nothing the simulator does feeds back into them), so
+/// pulling events ahead of consumption cannot change any simulated outcome
+/// — the `batch_equivalence` integration suite pins this down.
+#[derive(Clone, Copy, Debug)]
+struct EventRing {
+    buf: [ThreadEvent; EVENT_BATCH],
+    /// Next unconsumed slot; `pos == len` means empty.
+    pos: usize,
+    /// Filled prefix length of `buf`.
+    len: usize,
+}
+
+impl EventRing {
+    fn new() -> Self {
+        EventRing { buf: [ThreadEvent::Finished; EVENT_BATCH], pos: 0, len: 0 }
+    }
+}
+
 /// The simulated CMP.
 ///
 /// # Examples
@@ -113,10 +137,15 @@ struct CoreState {
 /// ```
 pub struct Simulator {
     cfg: SystemConfig,
+    /// Shift/mask address math for the L2 geometry (shared line size with
+    /// the L1s, per [`SystemConfig::validate`]).
+    geom: L2Geometry,
     l1s: Vec<SetAssocCache>,
     l2: PartitionedL2,
     umon: Option<UtilityMonitor>,
     streams: Vec<Box<dyn AccessStream>>,
+    /// One prefetched-event ring per core (see [`EventRing`]).
+    rings: Vec<EventRing>,
     cores: Vec<CoreState>,
     stats: GlobalStats,
     /// Snapshot of cumulative counters at the last interval boundary.
@@ -125,8 +154,18 @@ pub struct Simulator {
     next_boundary: u64,
     interval_index: usize,
     done: bool,
+    /// Cores whose status is `Finished`. A core never leaves that state,
+    /// so a counter maintained at the single transition site replaces the
+    /// per-event "are we done?" scans over all cores.
+    finished_cores: usize,
+    /// Stream events consumed so far (accesses + barriers + finishes) —
+    /// the denominator of the [`crate::perf`] events/sec rate.
+    events_processed: u64,
     /// Per-bank "busy until" cycle; empty when banking is disabled.
     bank_busy_until: Vec<u64>,
+    /// `l2_banks - 1`: bank count is a power of two (validated), so the
+    /// set-to-bank stripe is a mask instead of a modulo.
+    bank_mask: u64,
     /// Optional victim cache behind the L2.
     victim: Option<VictimCache>,
 }
@@ -142,10 +181,12 @@ impl Simulator {
         assert_eq!(streams.len(), cfg.cores, "one stream per core");
         Simulator {
             cfg,
+            geom: cfg.l2.geometry(),
             l1s: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
             l2: PartitionedL2::new(cfg.l2, cfg.cores),
             umon: None,
             streams,
+            rings: vec![EventRing::new(); cfg.cores],
             cores: vec![CoreState { clock: 0, status: CoreStatus::Running }; cfg.cores],
             stats: GlobalStats::new(cfg.cores),
             interval_base: vec![ThreadCounters::default(); cfg.cores],
@@ -153,7 +194,10 @@ impl Simulator {
             next_boundary: cfg.interval_instructions,
             interval_index: 0,
             done: false,
+            finished_cores: 0,
+            events_processed: 0,
             bank_busy_until: vec![0; cfg.l2_banks as usize],
+            bank_mask: (cfg.l2_banks as u64).saturating_sub(1),
             victim: (cfg.victim_cache_lines > 0)
                 .then(|| VictimCache::new(cfg.victim_cache_lines as usize)),
         }
@@ -238,39 +282,43 @@ impl Simulator {
         if self.done {
             return None;
         }
+        let cores_total = self.cores.len();
         loop {
-            // Choose the runnable core with the smallest clock (ties to the
-            // lowest id, keeping execution deterministic).
-            let next = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.status == CoreStatus::Running)
-                .min_by_key(|(i, c)| (c.clock, *i))
-                .map(|(i, _)| i);
+            // Choose the runnable core with the smallest clock. The manual
+            // strict-`<` sweep keeps the tie-break deterministic (first
+            // minimum = lowest id) without building `(clock, id)` keys per
+            // candidate on every event.
+            let mut t = usize::MAX;
+            let mut best = u64::MAX;
+            for (i, c) in self.cores.iter().enumerate() {
+                if c.status == CoreStatus::Running && c.clock < best {
+                    best = c.clock;
+                    t = i;
+                }
+            }
 
-            let Some(t) = next else {
+            if t == usize::MAX {
                 // Nobody runnable: either everyone finished, or every
                 // unfinished thread is parked at the barrier.
-                if self.cores.iter().all(|c| c.status == CoreStatus::Finished) {
+                if self.finished_cores == cores_total {
                     self.done = true;
                     return Some(self.make_report(true));
                 }
                 self.release_barrier();
                 continue;
-            };
+            }
 
             self.step_core(t);
 
             if self.total_instructions >= self.next_boundary {
                 self.next_boundary += self.cfg.interval_instructions;
-                let all_done = self.cores.iter().all(|c| c.status == CoreStatus::Finished);
+                let all_done = self.finished_cores == cores_total;
                 if all_done {
                     self.done = true;
                 }
                 return Some(self.make_report(all_done));
             }
-            if self.cores.iter().all(|c| c.status == CoreStatus::Finished) {
+            if self.finished_cores == cores_total {
                 self.done = true;
                 return Some(self.make_report(true));
             }
@@ -293,15 +341,37 @@ impl Simulator {
         self.wall_cycles()
     }
 
+    /// Stream events consumed so far (accesses, barriers and finishes),
+    /// summed over cores — the denominator of the [`crate::perf`]
+    /// events/sec rate.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Processes one event of core `t`.
     fn step_core(&mut self, t: ThreadId) {
-        let event = self.streams[t].next_event();
+        // Refill this core's ring when drained; `rings` and `streams` are
+        // disjoint fields, so the stream writes straight into the ring.
+        let ring = &mut self.rings[t];
+        if ring.pos == ring.len {
+            ring.len = self.streams[t].fill_batch(&mut ring.buf);
+            ring.pos = 0;
+        }
+        let event = if ring.pos < ring.len {
+            let e = ring.buf[ring.pos];
+            ring.pos += 1;
+            e
+        } else {
+            // An empty batch from a non-empty buffer: the stream has
+            // nothing left (only possible for non-conforming streams; the
+            // trait contract reserves 0 for empty buffers).
+            ThreadEvent::Finished
+        };
+        self.events_processed += 1;
         match event {
             ThreadEvent::Access { gap, addr, write, mlp_tenths } => {
-                let counters = &mut self.stats.threads[t];
-                counters.instructions += gap as u64 + 1;
-                counters.active_cycles += gap as u64;
-                self.total_instructions += gap as u64 + 1;
+                let gap = gap as u64;
+                self.total_instructions += gap + 1;
                 let mut latency = self.cfg.latency.l1_hit;
                 let l1_res = self.l1s[t].access_rw(addr, write);
                 // L2 bank contention: the access occupies its bank for the
@@ -309,9 +379,14 @@ impl Simulator {
                 // the core until it frees. (Prefetch fills are assumed to
                 // use spare bandwidth and don't reserve banks.)
                 if !l1_res.hit && !self.bank_busy_until.is_empty() {
-                    let bank =
-                        (self.cfg.l2.set_index(addr) % self.bank_busy_until.len() as u64) as usize;
-                    let arrive = self.cores[t].clock + gap as u64 + self.cfg.latency.l1_hit;
+                    // Power-of-two bank count (validated) makes the stripe a
+                    // mask; a single bank needs no address math at all.
+                    let bank = if self.bank_busy_until.len() == 1 {
+                        0
+                    } else {
+                        (self.geom.set_index(addr) & self.bank_mask) as usize
+                    };
+                    let arrive = self.cores[t].clock + gap + self.cfg.latency.l1_hit;
                     let start = arrive.max(self.bank_busy_until[bank]);
                     latency += start - arrive;
                     self.bank_busy_until[bank] = start + self.cfg.latency.l2_hit;
@@ -329,17 +404,29 @@ impl Simulator {
                     }
                     self.stats.threads[t].coherence_invalidations += invalidated;
                 }
+                // Statistic deltas accumulate in locals and fold into the
+                // thread's counter row once at the end: one indexed access
+                // per event instead of one per statistic.
+                let mut d_l1_hits = 0u64;
+                let mut d_l1_misses = 0u64;
+                let mut d_l2_hits = 0u64;
+                let mut d_l2_misses = 0u64;
+                let mut d_prefetch_hits = 0u64;
+                let mut d_victim_hits = 0u64;
+                let mut d_prefetch_fills = 0u64;
+                let mut d_l1_writebacks = 0u64;
+                let mut d_l2_writebacks = 0u64;
                 if l1_res.hit {
-                    self.stats.threads[t].l1_hits += 1;
+                    d_l1_hits = 1;
                 } else {
-                    self.stats.threads[t].l1_misses += 1;
+                    d_l1_misses = 1;
                     if let Some(umon) = self.umon.as_mut() {
                         umon.observe(t, addr);
                     }
                     let res = self.l2.access_rw(t, addr, false);
                     // Victim-cache probe on a demand miss: a hit recovers
                     // the line at L2-hit latency instead of DRAM.
-                    let line_addr = addr / self.cfg.l2.line_bytes * self.cfg.l2.line_bytes;
+                    let line_addr = self.geom.line_addr(addr);
                     let victim_hit = !res.hit
                         && self
                             .victim
@@ -347,19 +434,17 @@ impl Simulator {
                             .and_then(|v| v.take(line_addr))
                             .is_some();
                     if res.hit {
-                        self.stats.threads[t].l2_hits += 1;
-                        if res.prefetched_hit {
-                            self.stats.threads[t].prefetch_hits += 1;
-                        }
+                        d_l2_hits = 1;
+                        d_prefetch_hits = res.prefetched_hit as u64;
                         latency += self.cfg.latency.l2_hit;
                     } else if victim_hit {
                         // The line was already re-installed in the L2 by the
                         // demand fill above; only the timing differs.
-                        self.stats.threads[t].victim_hits += 1;
-                        self.stats.threads[t].l2_misses += 1;
+                        d_victim_hits = 1;
+                        d_l2_misses = 1;
                         latency += self.cfg.latency.l2_hit;
                     } else {
-                        self.stats.threads[t].l2_misses += 1;
+                        d_l2_misses = 1;
                         // The DRAM portion of a miss is divided by the
                         // access's memory-level parallelism: overlapped
                         // (streaming/prefetched) misses cost less stall
@@ -369,17 +454,13 @@ impl Simulator {
                         // Sequential prefetcher: pull in the next lines off
                         // the critical path.
                         for i in 1..=self.cfg.prefetch_degree as u64 {
-                            let paddr = addr + i * self.cfg.l2.line_bytes;
+                            let paddr = addr + (i << self.geom.line_shift);
                             let pres = self.l2.prefetch_fill(t, paddr);
-                            if !pres.hit {
-                                self.stats.threads[t].prefetch_fills += 1;
-                            }
+                            d_prefetch_fills += !pres.hit as u64;
                             if let Some(victim) = pres.evicted_line {
                                 self.on_l2_eviction(victim);
                             }
-                            if pres.wrote_back {
-                                self.stats.threads[t].l2_writebacks += 1;
-                            }
+                            d_l2_writebacks += pres.wrote_back as u64;
                         }
                     }
                     if let Some(victim) = res.evicted_line {
@@ -388,32 +469,39 @@ impl Simulator {
                             vc.insert(victim, t);
                         }
                     }
-                    if res.wrote_back {
-                        self.stats.threads[t].l2_writebacks += 1;
-                    }
+                    d_l2_writebacks += res.wrote_back as u64;
                 }
                 // A dirty L1 victim is written back into the L2 off the
                 // critical path (write-buffer assumption: no added stall,
                 // but it occupies L2 state and counts as write traffic).
                 if let Some(wb_addr) = l1_res.writeback {
-                    self.stats.threads[t].l1_writebacks += 1;
+                    d_l1_writebacks = 1;
                     let res = self.l2.access_rw(t, wb_addr, true);
                     if let Some(victim) = res.evicted_line {
                         self.on_l2_eviction(victim);
                     }
-                    if res.wrote_back {
-                        self.stats.threads[t].l2_writebacks += 1;
-                    }
+                    d_l2_writebacks += res.wrote_back as u64;
                 }
                 let counters = &mut self.stats.threads[t];
-                counters.active_cycles += latency;
-                self.cores[t].clock += gap as u64 + latency;
+                counters.instructions += gap + 1;
+                counters.active_cycles += gap + latency;
+                counters.l1_hits += d_l1_hits;
+                counters.l1_misses += d_l1_misses;
+                counters.l2_hits += d_l2_hits;
+                counters.l2_misses += d_l2_misses;
+                counters.prefetch_hits += d_prefetch_hits;
+                counters.victim_hits += d_victim_hits;
+                counters.prefetch_fills += d_prefetch_fills;
+                counters.l1_writebacks += d_l1_writebacks;
+                counters.l2_writebacks += d_l2_writebacks;
+                self.cores[t].clock += gap + latency;
             }
             ThreadEvent::Barrier => {
                 self.cores[t].status = CoreStatus::AtBarrier;
             }
             ThreadEvent::Finished => {
                 self.cores[t].status = CoreStatus::Finished;
+                self.finished_cores += 1;
             }
         }
     }
@@ -887,6 +975,22 @@ mod tests {
         assert_eq!(hits_off, 0);
         assert!(hits_on > 10, "victim hits {hits_on}");
         assert!(wall_on < wall_off, "victim cache must speed thrash up: {wall_on} vs {wall_off}");
+    }
+
+    #[test]
+    fn events_processed_counts_all_event_kinds() {
+        let cfg = tiny_cfg();
+        let s0 = ReplayStream::new(vec![access(0, 0), ThreadEvent::Barrier, access(0, 64)]);
+        let s1 = ReplayStream::new(vec![access(0, 128), ThreadEvent::Barrier]);
+        let mut sim = Simulator::new(cfg, vec![Box::new(s0), Box::new(s1)]);
+        while let Some(r) = sim.run_interval() {
+            if r.finished {
+                break;
+            }
+        }
+        // Thread 0: access, barrier, access, finished; thread 1: access,
+        // barrier, finished.
+        assert_eq!(sim.events_processed(), 7);
     }
 
     #[test]

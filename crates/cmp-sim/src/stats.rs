@@ -138,7 +138,7 @@ impl ThreadCounters {
 }
 
 /// Whole-run statistics for all threads.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct GlobalStats {
     /// Cumulative per-thread counters.
     pub threads: Vec<ThreadCounters>,

@@ -47,16 +47,60 @@ impl ThreadEvent {
 }
 
 /// A per-thread instruction/access stream consumed by the simulator.
+///
+/// Streams are *generation-only*: the simulator never feeds timing or cache
+/// state back into them, so events may be produced ahead of consumption.
+/// The simulator exploits that with [`Self::fill_batch`], pulling events
+/// into a per-core ring so the per-event virtual dispatch amortises over a
+/// whole batch.
 pub trait AccessStream {
     /// Returns the next event. After returning [`ThreadEvent::Finished`]
     /// the stream will not be polled again.
     fn next_event(&mut self) -> ThreadEvent;
+
+    /// Fills `out` with upcoming events and returns how many were written.
+    ///
+    /// The batch ends early (possibly with fewer events than `out` holds)
+    /// after a [`ThreadEvent::Finished`] is written; the stream is not
+    /// polled again afterwards. Returns 0 only when `out` is empty.
+    /// Implementations must produce exactly the sequence `next_event` would
+    /// — batching is a delivery detail, never a semantic one (the
+    /// `batch_equivalence` integration suite holds implementations to
+    /// this).
+    ///
+    /// The default forwards to [`Self::next_event`]; generators override it
+    /// to produce batches natively.
+    fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
+        let mut n = 0;
+        while n < out.len() {
+            let e = self.next_event();
+            out[n] = e;
+            n += 1;
+            if matches!(e, ThreadEvent::Finished) {
+                break;
+            }
+        }
+        n
+    }
 }
 
 /// Blanket impl so closures can serve as streams in tests.
 impl<F: FnMut() -> ThreadEvent> AccessStream for F {
     fn next_event(&mut self) -> ThreadEvent {
         self()
+    }
+}
+
+/// Delegation for boxed streams, so wrappers and adaptors can hold a
+/// `Box<dyn AccessStream>` and still be streams themselves. Forwards
+/// `fill_batch` too — a boxed generator keeps its native batching.
+impl AccessStream for Box<dyn AccessStream + '_> {
+    fn next_event(&mut self) -> ThreadEvent {
+        (**self).next_event()
+    }
+
+    fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
+        (**self).fill_batch(out)
     }
 }
 
@@ -82,6 +126,22 @@ impl AccessStream for ReplayStream {
         self.pos += 1;
         e
     }
+
+    /// Native batch delivery: one slice copy instead of per-event calls.
+    fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
+        // `pos` can sit past the end once the synthesised `Finished` has
+        // been delivered; clamp before slicing.
+        let pos = self.pos.min(self.events.len());
+        let n = (self.events.len() - pos).min(out.len());
+        out[..n].copy_from_slice(&self.events[pos..pos + n]);
+        self.pos = pos + n;
+        if n < out.len() {
+            out[n] = ThreadEvent::Finished;
+            self.pos += 1;
+            return n + 1;
+        }
+        n
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +158,56 @@ mod tests {
         assert_eq!(s.next_event(), ThreadEvent::Barrier);
         assert_eq!(s.next_event(), ThreadEvent::Finished);
         assert_eq!(s.next_event(), ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn replay_fill_batch_matches_next_event() {
+        let events = vec![
+            ThreadEvent::access(2, 64),
+            ThreadEvent::Barrier,
+            ThreadEvent::access(0, 128),
+        ];
+        let mut batched = ReplayStream::new(events.clone());
+        let mut single = ReplayStream::new(events);
+        let mut buf = [ThreadEvent::Finished; 2];
+        // First batch: full buffer, no Finished yet.
+        assert_eq!(batched.fill_batch(&mut buf), 2);
+        assert_eq!(buf[0], single.next_event());
+        assert_eq!(buf[1], single.next_event());
+        // Second batch: last event + the synthesised Finished.
+        assert_eq!(batched.fill_batch(&mut buf), 2);
+        assert_eq!(buf[0], single.next_event());
+        assert_eq!(buf[1], ThreadEvent::Finished);
+        // Exhausted stream keeps yielding Finished-only batches.
+        assert_eq!(batched.fill_batch(&mut buf), 1);
+        assert_eq!(buf[0], ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn default_fill_batch_stops_after_finished() {
+        // The blanket closure impl uses the default fill_batch.
+        let mut n = 0u32;
+        let mut s = move || {
+            n += 1;
+            if n <= 3 {
+                ThreadEvent::access(0, n as u64 * 64)
+            } else {
+                ThreadEvent::Finished
+            }
+        };
+        let mut buf = [ThreadEvent::Barrier; 8];
+        let filled = AccessStream::fill_batch(&mut s, &mut buf);
+        assert_eq!(filled, 4);
+        assert!(matches!(buf[2], ThreadEvent::Access { .. }));
+        assert_eq!(buf[3], ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn fill_batch_with_empty_buffer_is_zero() {
+        let mut s = ReplayStream::new(vec![ThreadEvent::access(0, 0)]);
+        assert_eq!(s.fill_batch(&mut []), 0);
+        // Nothing consumed.
+        assert_eq!(s.next_event(), ThreadEvent::access(0, 0));
     }
 
     #[test]

@@ -41,9 +41,15 @@ pub struct UtilityMonitor {
     ways: usize,
     threads: usize,
     set_mask: u64,
-    sample_every: u64,
-    line_bytes: u64,
-    num_sets: u64,
+    /// `sample_every - 1`: the stride is a power of two, so "is this set
+    /// sampled" is one AND.
+    sample_mask: u64,
+    /// `log2(sample_every)`, for compressing a sampled set index.
+    sample_shift: u32,
+    /// `log2(line_bytes)`, for shift-based line/tag extraction.
+    line_shift: u32,
+    /// Number of sampled sets (`num_sets >> sample_shift`), cached.
+    sampled: usize,
     /// `threads * sampled_sets` MRU-first tag stacks (each at most `ways`
     /// long).
     stacks: Vec<Vec<u64>>,
@@ -67,9 +73,10 @@ impl UtilityMonitor {
             ways: l2.ways as usize,
             threads,
             set_mask: num_sets - 1,
-            sample_every,
-            line_bytes: l2.line_bytes,
-            num_sets,
+            sample_mask: sample_every - 1,
+            sample_shift: sample_every.trailing_zeros(),
+            line_shift: l2.line_bytes.trailing_zeros(),
+            sampled,
             stacks: vec![Vec::new(); threads * sampled],
             way_hits: vec![0; threads * l2.ways as usize],
             atd_misses: vec![0; threads],
@@ -78,7 +85,7 @@ impl UtilityMonitor {
 
     /// Number of sampled sets.
     pub fn sampled_sets(&self) -> usize {
-        (self.num_sets / self.sample_every) as usize
+        self.sampled
     }
 
     /// Number of profiled threads.
@@ -95,14 +102,14 @@ impl UtilityMonitor {
     /// this is cheap to call for every access.
     pub fn observe(&mut self, thread: ThreadId, addr: u64) {
         debug_assert!(thread < self.threads);
-        let set = (addr / self.line_bytes) & self.set_mask;
-        if !set.is_multiple_of(self.sample_every) {
+        let line = addr >> self.line_shift;
+        let set = line & self.set_mask;
+        if set & self.sample_mask != 0 {
             return;
         }
-        let tag = addr / self.line_bytes;
-        let sampled_idx = (set / self.sample_every) as usize;
-        let sampled = (self.num_sets / self.sample_every) as usize;
-        let stack = &mut self.stacks[thread * sampled + sampled_idx];
+        let tag = line;
+        let sampled_idx = (set >> self.sample_shift) as usize;
+        let stack = &mut self.stacks[thread * self.sampled + sampled_idx];
         if let Some(pos) = stack.iter().position(|&t| t == tag) {
             // Hit at stack distance `pos`: counts toward every allocation of
             // more than `pos` ways. Move to MRU.

@@ -1,0 +1,119 @@
+//! Tracked hot-path throughput runs → `BENCH_hotpath.json` at the repo root.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin bench_hotpath                 # record current numbers
+//! cargo run --release --bin bench_hotpath -- --set-baseline
+//! cargo run --release --bin bench_hotpath -- --events 250000 --repeats 5 --out other.json
+//! ```
+//!
+//! A normal run re-measures the three scenarios and rewrites the `current`
+//! section while carrying the `baseline` section over from the existing
+//! file, so the pre-optimisation numbers stay recorded alongside every
+//! later measurement. `--set-baseline` (re)captures the baseline section
+//! instead — run it once before a performance change, then compare with a
+//! plain run afterwards.
+
+use std::path::{Path, PathBuf};
+
+use icp_experiments::hotpath::{self, HotpathResult, DEFAULT_EVENTS_PER_THREAD};
+use icp_experiments::json::Json;
+
+fn results_json(results: &[HotpathResult]) -> Json {
+    Json::Obj(results.iter().map(|r| (r.name.to_string(), r.to_json())).collect())
+}
+
+/// Repo root: the outermost ancestor of the build-time manifest dir that
+/// still has a `Cargo.toml` (works whether this bin is built from the
+/// `icp-experiments` crate or re-exported from the workspace root).
+fn default_out_path() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .filter(|p| p.join("Cargo.toml").exists())
+        .last()
+        .unwrap_or_else(|| Path::new("."))
+        .join("BENCH_hotpath.json")
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: bench_hotpath [--set-baseline] [--events N] [--repeats N] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut set_baseline = false;
+    let mut events = DEFAULT_EVENTS_PER_THREAD;
+    let mut repeats = 3usize;
+    let mut out_path = default_out_path();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--set-baseline" => set_baseline = true,
+            "--events" => {
+                events = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage_error("--events takes a positive integer"));
+            }
+            "--repeats" => {
+                repeats = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage_error("--repeats takes a positive integer"));
+            }
+            "--out" => {
+                out_path = argv
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage_error("--out takes a path"));
+            }
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
+    }
+
+    eprintln!("running hot-path scenarios ({events} events/thread, best of {repeats})...");
+    let results = hotpath::run_all_best_of(events, repeats);
+    for r in &results {
+        eprintln!(
+            "  {:<18} {:>12.0} accesses/s  {:>12.0} events/s  ({:.3}s host, digest {:016x})",
+            r.name,
+            r.accesses_per_sec(),
+            r.events_per_sec(),
+            r.host_secs,
+            r.digest,
+        );
+    }
+
+    let previous = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|text| Json::parse(&text));
+    let carried = |key: &str| previous.as_ref().and_then(|j| j.get(key)).cloned();
+
+    let measured = results_json(&results);
+    let (baseline, current) = if set_baseline {
+        // A fresh baseline invalidates any previously recorded current run.
+        (Some(measured), None)
+    } else {
+        (carried("baseline"), Some(measured))
+    };
+
+    let mut pairs = vec![
+        ("schema".to_string(), Json::str("icp-bench-hotpath/v1")),
+        ("events_per_thread".to_string(), Json::u64(events as u64)),
+    ];
+    if let Some(b) = baseline {
+        pairs.push(("baseline".to_string(), b));
+    }
+    if let Some(c) = current {
+        pairs.push(("current".to_string(), c));
+    }
+    let doc = Json::Obj(pairs);
+
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write BENCH_hotpath.json");
+    eprintln!("wrote {}", out_path.display());
+}

@@ -70,7 +70,8 @@ pub fn robustness_table(cfg: &ExperimentConfig, seeds: &[u64]) -> Table {
             pct(o.vs_ucp),
         ]);
     }
-    let cols: [(&str, fn(&SeedOutcome) -> f64); 3] = [
+    type OutcomeCol = (&'static str, fn(&SeedOutcome) -> f64);
+    let cols: [OutcomeCol; 3] = [
         ("vs_shared", |o| o.vs_shared),
         ("vs_equal", |o| o.vs_equal),
         ("vs_ucp", |o| o.vs_ucp),

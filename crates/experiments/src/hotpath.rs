@@ -1,0 +1,226 @@
+//! Hot-path throughput scenarios: the tracked performance harness.
+//!
+//! Every figure in this reproduction is bottlenecked on the per-access cost
+//! of the simulator (`Simulator::step_core` → `PartitionedL2::access_rw`),
+//! so this module defines three fixed, deterministic scenarios that time
+//! exactly those paths and nothing else (event sequences are pre-recorded
+//! into [`ReplayStream`]s before the clock starts):
+//!
+//! * `single_access` — one core looping over an L2-resident working set:
+//!   the L1-hit / L2-hit fast path.
+//! * `l2_miss_prefetch` — one core streaming sequentially with a degree-4
+//!   prefetcher: the miss + `prefetch_fill` path.
+//! * `interleaved_4t` — four cores with mixed working sets, 10 % sharing
+//!   and 8 L2 banks under an equal way partition: the full min-clock
+//!   interleaved path the experiment sweeps spend their time in.
+//!
+//! The `bench_hotpath` binary runs these and records the numbers in
+//! `BENCH_hotpath.json` at the repository root so subsequent changes have a
+//! perf trajectory to regress against; the `hotpath` bench in `icp-bench`
+//! wraps the same scenarios for quick interactive runs.
+
+use icp_cmp_sim::stream::{AccessStream, ReplayStream};
+use icp_cmp_sim::{perf, CacheConfig, Simulator, SystemConfig, ThreadEvent, Trace};
+use icp_workloads::{WorkloadBuilder, WorkloadScale};
+
+use crate::json::Json;
+
+/// Throughput measurement of one scenario.
+#[derive(Clone, Debug)]
+pub struct HotpathResult {
+    /// Scenario name (`single_access`, `l2_miss_prefetch`, `interleaved_4t`).
+    pub name: &'static str,
+    /// Demand memory accesses simulated (L1 hits + misses over all threads).
+    pub accesses: u64,
+    /// Thread events delivered (accesses + barriers + finishes).
+    pub events: u64,
+    /// Instructions retired across all threads.
+    pub instructions: u64,
+    /// Simulated wall-clock cycles of the run.
+    pub sim_cycles: u64,
+    /// Host seconds spent simulating.
+    pub host_secs: f64,
+    /// Behavioural digest: total active cycles + L2 misses over threads.
+    /// Identical inputs must produce identical digests across harness
+    /// versions — this is what lets the JSON trajectory double as a
+    /// regression check on simulator semantics.
+    pub digest: u64,
+}
+
+impl HotpathResult {
+    /// Simulated accesses per host second.
+    pub fn accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 / self.host_secs
+    }
+
+    /// Delivered events per host second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.host_secs
+    }
+
+    /// JSON object for the trajectory file.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("accesses", Json::u64(self.accesses)),
+            ("events", Json::u64(self.events)),
+            ("instructions", Json::u64(self.instructions)),
+            ("sim_cycles", Json::u64(self.sim_cycles)),
+            ("host_secs", Json::Num(self.host_secs)),
+            ("accesses_per_sec", Json::Num(self.accesses_per_sec().round())),
+            ("events_per_sec", Json::Num(self.events_per_sec().round())),
+            ("digest", Json::u64(self.digest)),
+        ])
+    }
+}
+
+/// Scale knob: number of recorded events per thread. The default (1 M)
+/// gives sub-second scenario runs on a laptop-class machine while keeping
+/// timer noise under a percent.
+pub const DEFAULT_EVENTS_PER_THREAD: usize = 1_000_000;
+
+/// Paper-shaped system (4-core, 1 MB 64-way L2) with intervals short
+/// enough that the interval machinery is exercised during a run.
+fn base_config(cores: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default();
+    cfg.cores = cores;
+    cfg.interval_instructions = 2_000_000;
+    cfg
+}
+
+/// Runs `sim` to completion under [`perf::measure_to_completion`] and wraps
+/// the report in a [`HotpathResult`].
+fn run_scenario(name: &'static str, mut sim: Simulator) -> HotpathResult {
+    let report = perf::measure_to_completion(&mut sim);
+    let stats = sim.stats();
+    let digest: u64 = stats
+        .threads
+        .iter()
+        .map(|t| {
+            t.active_cycles
+                .wrapping_mul(31)
+                .wrapping_add(t.l2_misses)
+                .wrapping_add(t.l2_hits.wrapping_mul(7))
+        })
+        .fold(sim.wall_cycles(), |acc, x| acc.wrapping_mul(1_000_003).wrapping_add(x));
+    HotpathResult {
+        name,
+        accesses: report.accesses,
+        events: report.events,
+        instructions: report.instructions,
+        sim_cycles: sim.wall_cycles(),
+        host_secs: report.host_secs,
+        digest,
+    }
+}
+
+/// The single-core single-access path: a Zipf-like loop over a working set
+/// that overflows the L1 but fits the L2 (mostly L1 misses + L2 hits — the
+/// way-scan fast path).
+pub fn single_access(events_per_thread: usize) -> HotpathResult {
+    let mut cfg = base_config(1);
+    // One core, but keep the paper L2 so the 64-way scan cost is realistic.
+    cfg.l1 = CacheConfig::new(8 * 1024, 4, 64);
+    let l2_lines = cfg.l2.size_bytes / cfg.l2.line_bytes;
+    let ws_lines = l2_lines / 2;
+    // Multiplicative scramble walks the working set in a non-sequential but
+    // deterministic order, touching every set.
+    let events: Vec<ThreadEvent> = (0..events_per_thread as u64)
+        .map(|i| ThreadEvent::access(1, ((i.wrapping_mul(0x9E37_79B1)) % ws_lines) * 64))
+        .collect();
+    let sim = Simulator::new(cfg, vec![Box::new(ReplayStream::new(events))]);
+    run_scenario("single_access", sim)
+}
+
+/// The L2-miss + prefetch path: one core streaming sequentially through a
+/// region far larger than the L2 with a degree-4 sequential prefetcher, so
+/// every demand access either misses (triggering 4 prefetch fills) or hits
+/// a just-prefetched line.
+pub fn l2_miss_prefetch(events_per_thread: usize) -> HotpathResult {
+    let mut cfg = base_config(1);
+    cfg.prefetch_degree = 4;
+    let events: Vec<ThreadEvent> = (0..events_per_thread as u64)
+        .map(|i| ThreadEvent::Access { gap: 2, addr: i * 64, write: false, mlp_tenths: 40 })
+        .collect();
+    let sim = Simulator::new(cfg, vec![Box::new(ReplayStream::new(events))]);
+    run_scenario("l2_miss_prefetch", sim)
+}
+
+/// The 4-thread interleaved path: a representative mixed workload (one
+/// streaming thread, one cache-friendly, two mid-size, 10 % sharing)
+/// recorded from the synthetic generator and replayed under an equal way
+/// partition with 8 L2 banks.
+pub fn interleaved_4t(events_per_thread: usize) -> HotpathResult {
+    let mut cfg = base_config(4);
+    cfg.l2_banks = 8;
+    let spec = WorkloadBuilder::new("hotpath-4t")
+        .sections(1, 1_000_000_000_000)
+        .shared_region(0.1, 0.8)
+        .thread(|t| t.working_set(2.0).theta(0.5).memory_intensity(0.3).mlp(6.0))
+        .thread(|t| t.working_set(0.05).theta(1.0).memory_intensity(0.25))
+        .thread(|t| t.working_set(0.5).theta(0.8).memory_intensity(0.2))
+        .thread(|t| t.working_set(0.3).theta(0.7).memory_intensity(0.15).mlp(2.0))
+        .build();
+    let mut streams = spec.build_streams(&cfg, WorkloadScale::Figure, 0xB007_5EED);
+    let replays: Vec<Box<dyn AccessStream>> = streams
+        .iter_mut()
+        .map(|s| {
+            let mut pull = || s.next_event();
+            let trace = Trace::record(&mut pull, events_per_thread);
+            Box::new(trace.into_stream()) as Box<dyn AccessStream>
+        })
+        .collect();
+    let mut sim = Simulator::new(cfg, replays);
+    sim.set_partition(&icp_cmp_sim::l2::equal_split(cfg.l2.ways, cfg.cores));
+    run_scenario("interleaved_4t", sim)
+}
+
+/// Runs all three scenarios at the given scale.
+pub fn run_all(events_per_thread: usize) -> Vec<HotpathResult> {
+    vec![
+        single_access(events_per_thread),
+        l2_miss_prefetch(events_per_thread),
+        interleaved_4t(events_per_thread),
+    ]
+}
+
+/// Runs every scenario `repeats` times and keeps the fastest run of each
+/// (standard best-of-N to squeeze out scheduler/turbo noise). Panics if
+/// repeats of a scenario disagree on the behavioural digest — that would
+/// mean the simulator is not deterministic.
+pub fn run_all_best_of(events_per_thread: usize, repeats: usize) -> Vec<HotpathResult> {
+    assert!(repeats > 0);
+    let mut best: Vec<HotpathResult> = run_all(events_per_thread);
+    for _ in 1..repeats {
+        for (b, r) in best.iter_mut().zip(run_all(events_per_thread)) {
+            assert_eq!(b.digest, r.digest, "{}: non-deterministic run", r.name);
+            if r.host_secs < b.host_secs {
+                *b = r;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_run_and_report() {
+        // Tiny scale: correctness of the harness, not throughput.
+        for r in run_all(2_000) {
+            assert!(r.accesses > 0, "{}: no accesses", r.name);
+            assert!(r.events > r.accesses / 2, "{}: event undercount", r.name);
+            assert!(r.accesses_per_sec() > 0.0);
+            assert!(r.sim_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let a = interleaved_4t(2_000);
+        let b = interleaved_4t(2_000);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.sim_cycles, b.sim_cycles);
+    }
+}

@@ -56,7 +56,171 @@ impl Json {
         Json::Num(v as f64)
     }
 
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
 
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the subset this writer emits: no `\u` escapes
+    /// beyond what [`Json::Str`] emission produces, no exponents outside
+    /// `f64::from_str`'s grammar). Returns `None` on malformed input or
+    /// trailing garbage — callers treat that as "no previous file".
+    pub fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = Self::parse_value(bytes, &mut pos)?;
+        Self::skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn eat(bytes: &[u8], pos: &mut usize, lit: &str) -> Option<()> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<Json> {
+        Self::skip_ws(bytes, pos);
+        match *bytes.get(*pos)? {
+            b'n' => Self::eat(bytes, pos, "null").map(|_| Json::Null),
+            b't' => Self::eat(bytes, pos, "true").map(|_| Json::Bool(true)),
+            b'f' => Self::eat(bytes, pos, "false").map(|_| Json::Bool(false)),
+            b'"' => Self::parse_string(bytes, pos).map(Json::Str),
+            b'[' => {
+                *pos += 1;
+                let mut items = Vec::new();
+                Self::skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                loop {
+                    items.push(Self::parse_value(bytes, pos)?);
+                    Self::skip_ws(bytes, pos);
+                    match bytes.get(*pos)? {
+                        b',' => *pos += 1,
+                        b']' => {
+                            *pos += 1;
+                            return Some(Json::Arr(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'{' => {
+                *pos += 1;
+                let mut pairs = Vec::new();
+                Self::skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Some(Json::Obj(pairs));
+                }
+                loop {
+                    Self::skip_ws(bytes, pos);
+                    let key = Self::parse_string(bytes, pos)?;
+                    Self::skip_ws(bytes, pos);
+                    if bytes.get(*pos) != Some(&b':') {
+                        return None;
+                    }
+                    *pos += 1;
+                    pairs.push((key, Self::parse_value(bytes, pos)?));
+                    Self::skip_ws(bytes, pos);
+                    match bytes.get(*pos)? {
+                        b',' => *pos += 1,
+                        b'}' => {
+                            *pos += 1;
+                            return Some(Json::Obj(pairs));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            _ => {
+                let start = *pos;
+                while *pos < bytes.len()
+                    && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&bytes[start..*pos])
+                    .ok()?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|n| n.is_finite())
+                    .map(Json::Num)
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return None;
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match *bytes.get(*pos)? {
+                b'"' => {
+                    *pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match *bytes.get(*pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(bytes.get(*pos + 1..*pos + 5)?).ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            *pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    *pos += 1;
+                }
+                c if c < 0x80 => {
+                    out.push(c as char);
+                    *pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let s = std::str::from_utf8(&bytes[*pos..]).ok()?;
+                    let ch = s.chars().next()?;
+                    out.push(ch);
+                    *pos += ch.len_utf8();
+                }
+            }
+        }
+    }
 
     fn write(&self, out: &mut String) {
         match self {
@@ -247,6 +411,36 @@ mod tests {
         };
         assert!(balance('{', '}'));
         assert!(balance('[', ']'));
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let j = Json::obj(vec![
+            ("xs", Json::Arr(vec![Json::u64(1), Json::Num(2.5), Json::Null])),
+            ("name", Json::str("a\"b\\c\nd\u{1}é")),
+            ("ok", Json::Bool(false)),
+            ("nested", Json::obj(vec![("k", Json::Arr(vec![]))])),
+        ]);
+        assert_eq!(Json::parse(&j.to_string()), Some(j));
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_rejects_garbage() {
+        assert_eq!(
+            Json::parse(" { \"a\" : [ 1 , 2 ] } \n"),
+            Some(Json::obj(vec![("a", Json::Arr(vec![Json::u64(1), Json::u64(2)]))]))
+        );
+        assert_eq!(Json::parse("{\"a\":1} trailing"), None);
+        assert_eq!(Json::parse("{\"a\":}"), None);
+        assert_eq!(Json::parse(""), None);
+    }
+
+    #[test]
+    fn get_and_as_f64() {
+        let j = Json::obj(vec![("n", Json::u64(7))]);
+        assert_eq!(j.get("n").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Null.get("n"), None);
     }
 
     #[test]

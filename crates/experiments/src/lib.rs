@@ -17,6 +17,7 @@
 
 pub mod chart;
 pub mod figures;
+pub mod hotpath;
 pub mod json;
 pub mod parallel;
 pub mod runner;

@@ -3,11 +3,12 @@
 //! Each simulation run is single-threaded and deterministic; sweeps over
 //! (benchmark × scheme) pairs are embarrassingly parallel, so we fan those
 //! out over OS threads with a shared atomic work index — the standard
-//! "parallelise the outer loop" advice for HPC harnesses. Results come back
-//! in input order regardless of completion order.
+//! "parallelise the outer loop" advice for HPC harnesses. Each worker
+//! accumulates `(index, output)` pairs in a private buffer (claiming work
+//! costs one atomic increment, finishing it costs nothing), and the buffers
+//! are stitched back into input order after the threads join.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Runs `f` over every element of `inputs` using up to
 /// `std::thread::available_parallelism` worker threads, returning outputs
@@ -33,22 +34,37 @@ where
         return inputs.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&inputs[i]);
-                *slots[i].lock().expect("worker never panics while holding the lock") = Some(out);
-            });
-        }
+    let buffers: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&inputs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
+    // Stitch back into input order: each index appears exactly once across
+    // the buffers (the atomic hands indices out uniquely).
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    for (i, out) in buffers.into_iter().flatten() {
+        debug_assert!(slots[i].is_none());
+        slots[i] = Some(out);
+    }
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("no panic").expect("every slot filled"))
+        .map(|s| s.expect("every index claimed by exactly one worker"))
         .collect()
 }
 

@@ -149,12 +149,6 @@ impl SyntheticStream {
         }
     }
 
-    /// Address of the private line with Zipf rank `rank` under `phase`.
-    fn private_addr(&self, phase: &PhaseRt, rank: u64) -> u64 {
-        let line = (rank * phase.mult) % phase.ws_lines;
-        self.base + line * self.line_bytes
-    }
-
     /// Advances the phase machine by `retired` instructions.
     fn advance_phase(&mut self, retired: u64) {
         self.insts_into_phase += retired;
@@ -163,6 +157,47 @@ impl SyntheticStream {
             self.insts_into_phase = 0;
             self.cur_phase = (self.cur_phase + 1) % self.phases.len();
         }
+    }
+
+    /// Generates one event. This is the statically-dispatched core of both
+    /// `next_event` and the native `fill_batch`; the current phase is
+    /// borrowed in place (no per-event clone of the sampling state).
+    #[inline]
+    fn generate(&mut self) -> ThreadEvent {
+        if self.finished {
+            return ThreadEvent::Finished;
+        }
+        if self.insts_left_in_section == 0 {
+            self.sections_left -= 1;
+            if self.sections_left == 0 {
+                self.finished = true;
+                return ThreadEvent::Finished;
+            }
+            self.insts_left_in_section = self.section_budget;
+            return ThreadEvent::Barrier;
+        }
+        let phase = &self.phases[self.cur_phase];
+        // Gap: uniform in [0, 2*mean], clamped so the section budget is hit
+        // exactly.
+        let mut gap = self.rng.next_bounded(phase.gap_bound) as u32;
+        if (gap as u64 + 1) > self.insts_left_in_section {
+            gap = (self.insts_left_in_section - 1) as u32;
+        }
+        let addr = if self.rng.next_bool(phase.shared_fraction) {
+            let rank = self.shared_zipf.sample(&mut self.rng);
+            let line = (rank * self.shared_mult) % self.shared_ws_lines;
+            self.shared_base + line * self.line_bytes
+        } else {
+            let rank = phase.zipf.sample(&mut self.rng);
+            let line = (rank * phase.mult) % phase.ws_lines;
+            self.base + line * self.line_bytes
+        };
+        let write = self.rng.next_bool(phase.write_fraction);
+        let mlp_tenths = phase.mlp_tenths;
+        let retired = gap as u64 + 1;
+        self.insts_left_in_section -= retired;
+        self.advance_phase(retired);
+        ThreadEvent::Access { gap, addr, write, mlp_tenths }
     }
 }
 
@@ -178,38 +213,22 @@ fn scale_insts(insts: u64, factor: f64) -> u64 {
 
 impl AccessStream for SyntheticStream {
     fn next_event(&mut self) -> ThreadEvent {
-        if self.finished {
-            return ThreadEvent::Finished;
-        }
-        if self.insts_left_in_section == 0 {
-            self.sections_left -= 1;
-            if self.sections_left == 0 {
-                self.finished = true;
-                return ThreadEvent::Finished;
+        self.generate()
+    }
+
+    /// Native batch generation: one virtual call covers a whole buffer of
+    /// statically-dispatched `generate` calls.
+    fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
+        let mut n = 0;
+        while n < out.len() {
+            let e = self.generate();
+            out[n] = e;
+            n += 1;
+            if matches!(e, ThreadEvent::Finished) {
+                break;
             }
-            self.insts_left_in_section = self.section_budget;
-            return ThreadEvent::Barrier;
         }
-        let phase = self.phases[self.cur_phase].clone();
-        // Gap: uniform in [0, 2*mean], clamped so the section budget is hit
-        // exactly.
-        let mut gap = self.rng.next_bounded(phase.gap_bound) as u32;
-        if (gap as u64 + 1) > self.insts_left_in_section {
-            gap = (self.insts_left_in_section - 1) as u32;
-        }
-        let addr = if self.rng.next_bool(phase.shared_fraction) {
-            let rank = self.shared_zipf.sample(&mut self.rng);
-            let line = (rank * self.shared_mult) % self.shared_ws_lines;
-            self.shared_base + line * self.line_bytes
-        } else {
-            let rank = phase.zipf.sample(&mut self.rng);
-            self.private_addr(&phase, rank)
-        };
-        let write = self.rng.next_bool(phase.write_fraction);
-        let retired = gap as u64 + 1;
-        self.insts_left_in_section -= retired;
-        self.advance_phase(retired);
-        ThreadEvent::Access { gap, addr, write, mlp_tenths: phase.mlp_tenths }
+        n
     }
 }
 
@@ -277,6 +296,26 @@ mod tests {
         let mut s2 = SyntheticStream::new(&b, &b.threads[0], 0, &c, WorkloadScale::Test, 42);
         for _ in 0..2000 {
             assert_eq!(s1.next_event(), s2.next_event());
+        }
+    }
+
+    #[test]
+    fn fill_batch_matches_next_event_sequence() {
+        let b = spec();
+        let c = cfg();
+        let mut batched = SyntheticStream::new(&b, &b.threads[0], 0, &c, WorkloadScale::Test, 13);
+        let mut single = SyntheticStream::new(&b, &b.threads[0], 0, &c, WorkloadScale::Test, 13);
+        // Odd buffer size so batch boundaries never align with sections.
+        let mut buf = [ThreadEvent::Finished; 17];
+        loop {
+            let n = batched.fill_batch(&mut buf);
+            assert!(n > 0);
+            for &e in &buf[..n] {
+                assert_eq!(e, single.next_event());
+            }
+            if matches!(buf[n - 1], ThreadEvent::Finished) {
+                break;
+            }
         }
     }
 
