@@ -1,0 +1,132 @@
+//! `icp-lint`: the workspace lint pass as a CLI.
+//!
+//! ```text
+//! cargo run -p icp-analysis --bin icp-lint -- [--root DIR] [--config FILE]
+//!                                             [--json FILE] [-D|--deny] [-q]
+//! ```
+//!
+//! Walks the workspace, applies rules R1–R4 from `analysis.toml` (found at
+//! `--root`, or overridden with `--config`), prints one diagnostic per
+//! finding, optionally writes the JSON report, and exits non-zero when
+//! findings exist and severity is `deny` (the config default; `-D` forces it
+//! regardless of config).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use icp_analysis::{analyze_workspace, Config, RULE_NAMES};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    deny: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: None,
+        deny: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
+            "--config" => args.config = Some(it.next().ok_or("--config needs a value")?.into()),
+            "--json" => args.json = Some(it.next().ok_or("--json needs a value")?.into()),
+            "-D" | "--deny" => args.deny = true,
+            "-q" | "--quiet" => args.quiet = true,
+            "-h" | "--help" => {
+                println!(
+                    "icp-lint: repo-specific static analysis (rules R1-R4)\n\n\
+                     USAGE: icp-lint [--root DIR] [--config FILE] [--json FILE] [-D] [-q]\n\n\
+                     OPTIONS:\n  \
+                     --root DIR     workspace root to scan (default .)\n  \
+                     --config FILE  analysis.toml (default <root>/analysis.toml)\n  \
+                     --json FILE    write the machine-readable report here\n  \
+                     -D, --deny     exit non-zero on any finding, overriding config severity\n  \
+                     -q, --quiet    suppress per-finding diagnostics"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("icp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("analysis.toml"));
+    let cfg = if config_path.exists() {
+        match Config::load(&config_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("icp-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        // No config: all rules enabled with defaults (R3 then has no module
+        // list and reports nothing; R2 has no allowlist and flags every
+        // unsafe).
+        Config::default()
+    };
+    let unknown = cfg.unknown_rule_names(RULE_NAMES);
+    if !unknown.is_empty() {
+        eprintln!(
+            "icp-lint: unknown rule table(s) in {}: {} (known: {})",
+            config_path.display(),
+            unknown.join(", "),
+            RULE_NAMES.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = match analyze_workspace(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("icp-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !args.quiet {
+        for f in &report.findings {
+            println!("{f}");
+        }
+    }
+    if let Some(json_path) = &args.json {
+        if let Err(e) = std::fs::write(json_path, report.to_json()) {
+            eprintln!("icp-lint: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let deny = args.deny || cfg.severity == "deny";
+    if !args.quiet {
+        println!(
+            "icp-lint: {} file(s), {} finding(s) [{}]",
+            report.files_scanned,
+            report.findings.len(),
+            if deny { "deny" } else { "warn" }
+        );
+    }
+    if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,295 @@
+//! `analysis.toml` parsing.
+//!
+//! The environment has no registry access, so instead of the `toml` crate
+//! this is a minimal hand-rolled parser for the subset the lint actually
+//! uses: `[section.subsection]` headers and `key = value` pairs where a
+//! value is a boolean, a quoted string, or a (single- or multi-line) array
+//! of quoted strings. Unknown keys are preserved (and reported by
+//! [`Config::unknown_rule_names`]) so a typo'd rule name fails loudly
+//! instead of silently disabling a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A parsed configuration value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// `true` / `false`.
+    Bool(bool),
+    /// `"..."`.
+    Str(String),
+    /// `["a", "b"]`.
+    List(Vec<String>),
+}
+
+/// Parse error with 1-based line context.
+#[derive(Clone, Debug)]
+pub struct ConfigError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analysis.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Per-rule settings: an `enabled` flag plus free-form string lists.
+#[derive(Clone, Debug, Default)]
+pub struct RuleConfig {
+    /// Keys under the rule's `[rules.<name>]` table.
+    pub keys: BTreeMap<String, Value>,
+}
+
+impl RuleConfig {
+    /// The rule's `enabled` key; rules default to enabled.
+    pub fn enabled(&self) -> bool {
+        match self.keys.get("enabled") {
+            Some(Value::Bool(b)) => *b,
+            _ => true,
+        }
+    }
+
+    /// A string-list key (`modules`, `allow`, ...); empty if absent.
+    pub fn list(&self, key: &str) -> &[String] {
+        match self.keys.get(key) {
+            Some(Value::List(v)) => v,
+            _ => &[],
+        }
+    }
+}
+
+/// The lint configuration: global settings plus per-rule tables.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Path prefixes (relative to the workspace root, `/`-separated)
+    /// excluded from the walk. `target` is always excluded.
+    pub exclude: Vec<String>,
+    /// `deny` (findings fail the run) or `warn` (report only). The binary's
+    /// `-D` flag forces `deny`.
+    pub severity: String,
+    /// Per-rule tables keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Parses a configuration from TOML text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config { severity: "deny".to_string(), ..Config::default() };
+        let mut section: Vec<String> = Vec::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest.strip_suffix(']').ok_or_else(|| ConfigError {
+                    line: lineno,
+                    message: format!("malformed section header: {raw:?}"),
+                })?;
+                section = name.split('.').map(|s| s.trim().to_string()).collect();
+                continue;
+            }
+            let (key, val_text) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("expected `key = value`, got {raw:?}"),
+            })?;
+            let key = key.trim().to_string();
+            let mut val_text = val_text.trim().to_string();
+            // Multi-line array: keep consuming lines until brackets balance.
+            if val_text.starts_with('[') {
+                while !brackets_balanced(&val_text) {
+                    let (_, next) = lines.next().ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: "unterminated array".to_string(),
+                    })?;
+                    val_text.push(' ');
+                    val_text.push_str(strip_comment(next).trim());
+                }
+            }
+            let value = parse_value(&val_text, lineno)?;
+            cfg.insert(&section, key, value, lineno)?;
+        }
+        Ok(cfg)
+    }
+
+    /// Loads and parses `path`.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ConfigError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Config::parse(&text)
+    }
+
+    /// The table for `rule`, or a default (enabled, empty lists).
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Rule tables that don't correspond to any known rule name — almost
+    /// certainly a typo that would otherwise silently disable enforcement.
+    pub fn unknown_rule_names(&self, known: &[&str]) -> Vec<String> {
+        self.rules
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .cloned()
+            .collect()
+    }
+
+    fn insert(
+        &mut self,
+        section: &[String],
+        key: String,
+        value: Value,
+        lineno: usize,
+    ) -> Result<(), ConfigError> {
+        match section {
+            [s] if s == "lint" => match (key.as_str(), &value) {
+                ("exclude", Value::List(v)) => self.exclude = v.clone(),
+                ("severity", Value::Str(s)) if s == "deny" || s == "warn" => {
+                    self.severity = s.clone();
+                }
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown or mistyped [lint] key `{key}`"),
+                    })
+                }
+            },
+            [s, rule] if s == "rules" => {
+                self.rules.entry(rule.clone()).or_default().keys.insert(key, value);
+            }
+            _ => {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown section [{}]", section.join(".")),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Strips a trailing `# comment` that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ConfigError> {
+    let text = text.trim();
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let s = inner.strip_suffix('"').ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("unterminated string: {text:?}"),
+        })?;
+        return Ok(Value::Str(s.to_string()));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("unterminated array: {text:?}"),
+        })?;
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part, lineno)? {
+                Value::Str(s) => items.push(s),
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("arrays may only hold strings: {part:?}"),
+                    })
+                }
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    Err(ConfigError { line: lineno, message: format!("unsupported value: {text:?}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_arrays() {
+        let cfg = Config::parse(
+            "# header\n[lint]\nseverity = \"warn\"\nexclude = [\"a/b\", \"c\"] # trailing\n\n\
+             [rules.no_panic]\nenabled = true\nmodules = [\n  \"x.rs\",\n  \"y.rs\",\n]\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.severity, "warn");
+        assert_eq!(cfg.exclude, ["a/b", "c"]);
+        let r = cfg.rule("no_panic");
+        assert!(r.enabled());
+        assert_eq!(r.list("modules"), ["x.rs", "y.rs"]);
+    }
+
+    #[test]
+    fn defaults_are_enabled_deny_empty() {
+        let cfg = Config::parse("").expect("empty ok");
+        assert_eq!(cfg.severity, "deny");
+        assert!(cfg.rule("anything").enabled());
+        assert!(cfg.rule("anything").list("allow").is_empty());
+    }
+
+    #[test]
+    fn disabled_rule_round_trips() {
+        let cfg = Config::parse("[rules.safety_comment]\nenabled = false\n").expect("ok");
+        assert!(!cfg.rule("safety_comment").enabled());
+    }
+
+    #[test]
+    fn unknown_rules_are_surfaced() {
+        let cfg = Config::parse("[rules.no_pancake]\nenabled = false\n").expect("ok");
+        assert_eq!(cfg.unknown_rule_names(&["no_panic"]), ["no_pancake"]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Config::parse("[lint\n").is_err());
+        assert!(Config::parse("[lint]\nseverity = 5\n").is_err());
+        assert!(Config::parse("[lint]\nnot_a_key = true\n").is_err());
+        assert!(Config::parse("[wat]\nx = true\n").is_err());
+    }
+}

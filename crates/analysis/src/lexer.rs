@@ -1,0 +1,302 @@
+//! A lightweight Rust lexer for the lint pass.
+//!
+//! The external `syn` crate is unavailable in this build environment, so the
+//! lint rules run over a hand-rolled token stream instead of an AST. The
+//! lexer understands exactly what the rules need to be sound against: line
+//! and (nested) block comments, string/char/byte/raw-string literals, and
+//! lifetimes — so that an `unwrap()` inside a doc comment or a `panic!`
+//! inside a string literal can never produce a finding. Everything else is
+//! identifiers, numbers and single-character punctuation.
+
+/// The kind of one lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `unwrap`, ...).
+    Ident,
+    /// Numeric literal (lexed as one blob; rules never inspect digits).
+    Number,
+    /// String, char, byte or raw-string literal (contents dropped).
+    Literal,
+    /// `// ...` comment, including doc comments. Text retained for
+    /// `SAFETY:` detection.
+    LineComment,
+    /// `/* ... */` comment (nesting handled). Text retained.
+    BlockComment,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any single punctuation character: `{ } [ ] ( ) . , ; / % ! # ...`.
+    Punct(char),
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// Token text. Empty for `Literal`/`Number` (rules don't need it);
+    /// comment text and identifier names are retained.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs run to the end of
+/// the input (the lint is diagnostic tooling, not a compiler front end).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    // Advances `line` over every newline in b[from..to].
+    let count_lines = |from: usize, to: usize, b: &[char]| -> u32 {
+        b[from..to].iter().filter(|&&c| c == '\n').count() as u32
+    };
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            let start = i;
+            let start_line = line;
+            if b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::LineComment,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            } else {
+                i += 2;
+                let mut depth = 1;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(start, i, &b);
+                toks.push(Token {
+                    kind: TokKind::BlockComment,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# (any # count).
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let start = i;
+            let start_line = line;
+            // Skip prefix letters.
+            while i < n && (b[i] == 'r' || b[i] == 'b') {
+                i += 1;
+            }
+            let mut hashes = 0;
+            while i < n && b[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // opening quote
+            loop {
+                if i >= n {
+                    break;
+                }
+                if b[i] == '"' {
+                    let mut j = i + 1;
+                    let mut h = 0;
+                    while j < n && b[j] == '#' && h < hashes {
+                        h += 1;
+                        j += 1;
+                    }
+                    if h == hashes {
+                        i = j;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            line += count_lines(start, i, &b);
+            toks.push(Token { kind: TokKind::Literal, text: String::new(), line: start_line });
+            continue;
+        }
+        // Normal strings (and byte strings — the `b` lexes as an ident
+        // immediately before, which is harmless).
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            line += count_lines(start, i.min(n), &b);
+            toks.push(Token { kind: TokKind::Literal, text: String::new(), line: start_line });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < n && (b[i + 1].is_alphanumeric() || b[i + 1] == '_') {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' && j == i + 2 {
+                    // 'x' — a char literal.
+                    toks.push(Token { kind: TokKind::Literal, text: String::new(), line });
+                    i = j + 1;
+                    continue;
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Escaped char literal: '\n', '\'', '\u{...}'.
+            let mut j = i + 1;
+            if j < n && b[j] == '\\' {
+                j += 2;
+                // \u{...}
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+            }
+            while j < n && b[j] != '\'' {
+                j += 1;
+            }
+            toks.push(Token { kind: TokKind::Literal, text: String::new(), line });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numbers (including suffixes like 0xFFu64, 1.5e3; lexed greedily).
+        if c.is_ascii_digit() {
+            while i < n
+                && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit())
+            {
+                i += 1;
+            }
+            toks.push(Token { kind: TokKind::Number, text: String::new(), line });
+            continue;
+        }
+        // Everything else: single punctuation char.
+        toks.push(Token { kind: TokKind::Punct(c), text: String::new(), line });
+        i += 1;
+    }
+    toks
+}
+
+/// Whether position `i` (on an `r`/`b`) starts a raw string literal.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    // r" r#" br" br#" rb... — scan letters then hashes then a quote.
+    let mut j = i;
+    let mut letters = 0;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    if letters == 0 || !b[i..j].contains(&'r') {
+        return false;
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = lex("let x = \"panic!\"; // unwrap()\n/* expect( */ y");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+        assert!(toks.iter().any(|t| t.kind == TokKind::LineComment && t.text.contains("unwrap")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::BlockComment));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Literal).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_skip_contents() {
+        let toks = lex("let s = r#\"unsafe { panic!() }\"#; end");
+        assert!(toks.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(toks.iter().any(|t| t.is_ident("end")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[1].is_ident("x"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,122 @@
+//! `icp-analysis`: repo-specific static analysis for the ICP workspace.
+//!
+//! PR 1 moved the simulator's correctness onto implicit invariants — SoA
+//! cache layouts, AVX2 tag scans behind runtime dispatch, occupancy-counter
+//! shortcuts. This crate is the machine check that keeps those invariants
+//! enforceable as the hot path keeps evolving:
+//!
+//! * a **lint pass** ([`rules`]) over the whole workspace, run both as a
+//!   tier-1 test (`cargo test -p icp-analysis`) and as a binary
+//!   (`cargo run -p icp-analysis --bin icp-lint`), enforcing the repo's
+//!   unsafe/panic/allocation discipline (rules R1–R4; see [`rules`]);
+//! * configuration via `analysis.toml` ([`config`]) with per-rule allow
+//!   lists, so every waiver is recorded and reviewable;
+//! * a machine-readable JSON report ([`report`]) uploaded as a CI artifact.
+//!
+//! The runtime half of the story — the partition-invariant sanitizer — lives
+//! in `icp-cmp-sim` behind the `sanitize` cargo feature; this crate is the
+//! compile-time half. No external parser crates are available in this build
+//! environment, so the pass runs on a hand-rolled lexer ([`lexer`]) rather
+//! than `syn`; the lexer understands comments, strings and lifetimes, which
+//! is what soundness of these rules actually requires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use report::AnalysisReport;
+pub use rules::{Finding, RULE_NAMES};
+
+/// Directories never descended into, regardless of configuration.
+const ALWAYS_EXCLUDED: &[&str] = &["target", ".git"];
+
+/// Recursively collects the workspace's `.rs` files under `root`, skipping
+/// `target/`, hidden directories, and the configured exclude prefixes.
+/// Paths come back workspace-relative with `/` separators, sorted.
+pub fn collect_rust_files(root: &Path, exclude: &[String]) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = rel_str(root, &path);
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if ALWAYS_EXCLUDED.contains(&name.as_str())
+                    || name.starts_with('.')
+                    || is_excluded(&rel, exclude)
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") && !is_excluded(&rel, exclude) {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs every enabled rule over the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<AnalysisReport> {
+    let files = collect_rust_files(root, &cfg.exclude)?;
+    let mut findings = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = rel_str(root, path);
+        findings.extend(rules::check_file(&rel, &src, cfg));
+    }
+    Ok(AnalysisReport {
+        root: root.display().to_string(),
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+/// Workspace-relative `/`-separated path of `path` under `root`.
+fn rel_str(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Whether `rel` starts with any exclude prefix.
+fn is_excluded(rel: &str, exclude: &[String]) -> bool {
+    exclude.iter().any(|e| {
+        let e = e.trim_end_matches('/');
+        rel == e || rel.starts_with(&format!("{e}/"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusion_is_prefix_based() {
+        assert!(is_excluded("a/b/c.rs", &["a/b".to_string()]));
+        assert!(is_excluded("a/b", &["a/b/".to_string()]));
+        assert!(!is_excluded("a/bc/d.rs", &["a/b".to_string()]));
+    }
+
+    #[test]
+    fn walk_finds_own_sources_and_skips_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files =
+            collect_rust_files(root, &["tests/fixtures".to_string()]).expect("walk succeeds");
+        let rels: Vec<String> = files.iter().map(|f| rel_str(root, f)).collect();
+        assert!(rels.iter().any(|r| r == "src/lib.rs"), "{rels:?}");
+        assert!(rels.iter().all(|r| !r.starts_with("tests/fixtures/")), "{rels:?}");
+    }
+}

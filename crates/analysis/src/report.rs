@@ -1,0 +1,111 @@
+//! Machine-readable JSON report for CI artifacts.
+//!
+//! Hand-rolled serialization (no registry access for `serde`), mirroring the
+//! writer idiom in `icp-experiments::json`. Schema:
+//!
+//! ```json
+//! {
+//!   "schema": "icp-lint/v1",
+//!   "root": "...",
+//!   "files_scanned": 42,
+//!   "findings": [{"rule": "...", "file": "...", "line": 7, "message": "..."}],
+//!   "counts": {"safety_comment": 0, ...}
+//! }
+//! ```
+
+use crate::rules::{Finding, RULE_NAMES};
+
+/// The result of one workspace analysis.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Root the walk started from (as given).
+    pub root: String,
+    /// Number of `.rs` files lexed and checked.
+    pub files_scanned: usize,
+    /// All findings, in file-walk order.
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// Findings for one rule.
+    pub fn count(&self, rule: &str) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Whether the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Serializes the report (stable field order, `\n`-terminated).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.findings.len() * 128);
+        out.push_str("{\"schema\":\"icp-lint/v1\",\"root\":");
+        json_string(&mut out, &self.root);
+        out.push_str(&format!(",\"files_scanned\":{},\"findings\":[", self.files_scanned));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":");
+            json_string(&mut out, f.rule);
+            out.push_str(",\"file\":");
+            json_string(&mut out, &f.file);
+            out.push_str(&format!(",\"line\":{},\"message\":", f.line));
+            json_string(&mut out, &f.message);
+            out.push('}');
+        }
+        out.push_str("],\"counts\":{");
+        for (i, rule) in RULE_NAMES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, rule);
+            out.push_str(&format!(":{}", self.count(rule)));
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, escapes).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let report = AnalysisReport {
+            root: ".".to_string(),
+            files_scanned: 2,
+            findings: vec![Finding {
+                rule: "no_panic",
+                file: "a/b.rs".to_string(),
+                line: 3,
+                message: "said \"boom\"\n".to_string(),
+            }],
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"files_scanned\":2"), "{j}");
+        assert!(j.contains("\\\"boom\\\"\\n"), "{j}");
+        assert!(j.contains("\"no_panic\":1"), "{j}");
+        assert!(j.contains("\"safety_comment\":0"), "{j}");
+        assert!(!report.is_clean());
+    }
+}

@@ -1,0 +1,540 @@
+//! The lint rules (R1–R4) over the lexed token stream.
+//!
+//! The walker tracks just enough structure — brace depth, the current
+//! function, `#[cfg(test)]` regions, `#[hot_path]` markers — to scope each
+//! rule the way the repo's conventions demand:
+//!
+//! * **R1 `safety_comment`** — every `unsafe` block / `unsafe fn` carries a
+//!   `// SAFETY:` comment (or a `# Safety` doc section) nearby.
+//! * **R2 `unsafe_allowlist`** — `unsafe` appears only in an allowlisted
+//!   module set (today: the SIMD intrinsics in `cmp-sim/src/l2.rs`).
+//! * **R3 `no_panic`** — no `.unwrap()` / `.expect()` / `panic!` /
+//!   division-or-modulo-inside-indexing in hot-path modules, outside
+//!   `#[cfg(test)]`.
+//! * **R4 `no_alloc_hot_path`** — no heap allocation (`Vec::new`, `vec!`,
+//!   `Box::new`, `format!`, container `clone()`, `push`, `collect`, ...)
+//!   inside functions marked `#[hot_path]`.
+//!
+//! Waivers live in `analysis.toml` as `allow` lists of `"file.rs::function"`
+//! entries (or bare `"file.rs"` for a whole file), so every exception is
+//! recorded in one reviewable place.
+
+use crate::config::Config;
+use crate::lexer::{lex, TokKind, Token};
+
+/// Names of all implemented rules, for config validation.
+pub const RULE_NAMES: &[&str] =
+    &["safety_comment", "unsafe_allowlist", "no_panic", "no_alloc_hot_path"];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}:{}: {}", self.rule, self.file, self.line, self.message)
+    }
+}
+
+/// Keywords that can directly precede a `[` without it being an index
+/// expression (array literals, slice types, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "in", "return", "if", "else", "match", "const", "static", "let", "as", "ref",
+    "move", "box", "dyn", "where", "break", "yield",
+];
+
+/// Scope kind tracked by the walker.
+#[derive(Clone, Debug)]
+struct Scope {
+    /// Brace depth at which this scope's `{` opened.
+    open_depth: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` (inherited by nested scopes).
+    is_test: bool,
+    /// Function carries `#[hot_path]` (inherited by closures within).
+    hot: bool,
+    /// Function name if this scope is a function body.
+    fn_name: Option<String>,
+}
+
+/// Lints one file. `rel_path` is the workspace-relative path used both for
+/// module matching and in findings.
+// The walker keys each arm on a token and then applies the rule's full
+// predicate inside; folding those predicates into match guards (as
+// `collapsible_match` suggests) would bury them in the pattern column.
+#[allow(clippy::collapsible_match)]
+pub fn check_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let lines: Vec<&str> = src.lines().collect();
+    let toks = lex(src);
+    // Comments are handled via raw source lines (R1); the structural walk
+    // only sees significant tokens.
+    let sig: Vec<&Token> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+
+    let r1 = cfg.rule("safety_comment");
+    let r2 = cfg.rule("unsafe_allowlist");
+    let r3 = cfg.rule("no_panic");
+    let r4 = cfg.rule("no_alloc_hot_path");
+    let r2_allowed = path_in(rel_path, r2.list("modules"));
+    let r3_applies = path_in(rel_path, r3.list("modules"));
+
+    let mut findings = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut paren_depth: u32 = 0;
+    let mut bracket_depth: u32 = 0;
+    // Attribute state pending until the next `fn`/`mod` item.
+    let mut pending_test = false;
+    let mut pending_hot = false;
+    let mut pending_fn: Option<String> = None;
+    let mut pending_mod = false;
+
+    let mut i = 0;
+    while i < sig.len() {
+        let t = sig[i];
+        let in_test = pending_test || scopes.iter().any(|s| s.is_test);
+        let cur_fn = scopes.iter().rev().find_map(|s| s.fn_name.clone());
+        let cur_hot = scopes.iter().any(|s| s.hot);
+
+        match &t.kind {
+            TokKind::Punct('#') => {
+                // Attribute: `#[...]` (outer) or `#![...]` (inner).
+                let mut j = i + 1;
+                let inner = j < sig.len() && sig[j].is_punct('!');
+                if inner {
+                    j += 1;
+                }
+                if j < sig.len() && sig[j].is_punct('[') {
+                    let (idents, end) = scan_group(&sig, j);
+                    if !inner {
+                        let has = |s: &str| idents.iter().any(|id| id == s);
+                        if (has("cfg") && has("test") && !has("not"))
+                            || idents.first().is_some_and(|id| id == "test")
+                        {
+                            pending_test = true;
+                        }
+                        if has("hot_path") {
+                            pending_hot = true;
+                        }
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            TokKind::Punct('{') => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    scopes.push(Scope {
+                        open_depth: depth,
+                        is_test: in_test,
+                        hot: pending_hot || cur_hot,
+                        fn_name: Some(name),
+                    });
+                    pending_hot = false;
+                    pending_test = false;
+                } else if pending_mod {
+                    scopes.push(Scope {
+                        open_depth: depth,
+                        is_test: in_test,
+                        hot: false,
+                        fn_name: None,
+                    });
+                    pending_mod = false;
+                    pending_test = false;
+                    pending_hot = false;
+                }
+            }
+            TokKind::Punct('}') => {
+                if scopes.last().is_some_and(|s| s.open_depth == depth) {
+                    scopes.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct('(') => paren_depth += 1,
+            TokKind::Punct(')') => paren_depth = paren_depth.saturating_sub(1),
+            TokKind::Punct(';') => {
+                if paren_depth == 0 && bracket_depth == 0 {
+                    // `fn f();` (trait decl) or `mod m;`: the pending item
+                    // had no body.
+                    pending_fn = None;
+                    pending_mod = false;
+                    pending_test = false;
+                    pending_hot = false;
+                }
+            }
+            TokKind::Ident => match t.text.as_str() {
+                "fn" => {
+                    if let Some(name) = sig.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                        pending_fn = Some(name.text.clone());
+                    }
+                }
+                "mod" => pending_mod = true,
+                "struct" | "enum" | "use" | "type" | "macro_rules" => {
+                    // Attributes on non-fn/mod items don't carry over.
+                    pending_test = false;
+                    pending_hot = false;
+                }
+                "unsafe" => {
+                    // R2: unsafe outside the allowlisted module set.
+                    if r2.enabled() && !r2_allowed {
+                        findings.push(Finding {
+                            rule: "unsafe_allowlist",
+                            file: rel_path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "`unsafe` is not permitted in this module (R2); the \
+                                 allowlisted set is {:?} — extend `analysis.toml` only \
+                                 with a reviewed justification",
+                                r2.list("modules")
+                            ),
+                        });
+                    }
+                    // R1: SAFETY comment nearby.
+                    if r1.enabled()
+                        && !allowed(&r1, rel_path, cur_fn.as_deref())
+                        && !has_safety_comment(&lines, t.line)
+                    {
+                        let what = match sig.get(i + 1) {
+                            Some(n) if n.is_ident("fn") => "`unsafe fn` without a `# Safety` doc section or `// SAFETY:` comment",
+                            Some(n) if n.is_ident("impl") || n.is_ident("trait") => {
+                                "`unsafe impl`/`unsafe trait` without a `// SAFETY:` comment"
+                            }
+                            _ => "unsafe block without a `// SAFETY:` comment",
+                        };
+                        findings.push(Finding {
+                            rule: "safety_comment",
+                            file: rel_path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "{what} (R1): document why every precondition of the \
+                                 unsafe operation holds at this call site"
+                            ),
+                        });
+                    }
+                }
+                "unwrap" | "expect" => {
+                    if r3.enabled()
+                        && r3_applies
+                        && !in_test
+                        && i > 0
+                        && sig[i - 1].is_punct('.')
+                        && sig.get(i + 1).is_some_and(|n| n.is_punct('('))
+                        && !allowed(&r3, rel_path, cur_fn.as_deref())
+                    {
+                        findings.push(Finding {
+                            rule: "no_panic",
+                            file: rel_path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "`.{}()` in hot-path module{} (R3): handle the None/Err \
+                                 case or add an `analysis.toml` waiver naming the \
+                                 invariant that makes it unreachable",
+                                t.text,
+                                cur_fn.as_deref().map(|f| format!(" (fn `{f}`)")).unwrap_or_default()
+                            ),
+                        });
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    if r3.enabled()
+                        && r3_applies
+                        && !in_test
+                        && sig.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                        && !allowed(&r3, rel_path, cur_fn.as_deref())
+                    {
+                        findings.push(Finding {
+                            rule: "no_panic",
+                            file: rel_path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "`{}!` in hot-path module{} (R3): hot-path code must \
+                                 not contain panicking macros",
+                                t.text,
+                                cur_fn.as_deref().map(|f| format!(" (fn `{f}`)")).unwrap_or_default()
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+
+        // R3: division/modulo inside an index expression. `[` counts as
+        // indexing when it directly follows an expression tail (identifier,
+        // `]` or `)`), excluding keywords that start array literals.
+        if t.is_punct('[') {
+            bracket_depth += 1;
+            let is_index = i > 0
+                && match &sig[i - 1].kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&sig[i - 1].text.as_str()),
+                    TokKind::Punct(']') | TokKind::Punct(')') => true,
+                    _ => false,
+                };
+            if r3.enabled() && r3_applies && !in_test && is_index {
+                let (_, end) = scan_group(&sig, i);
+                if let Some(bad) = sig[i..end]
+                    .iter()
+                    .find(|x| x.is_punct('/') || x.is_punct('%'))
+                {
+                    if !allowed(&r3, rel_path, cur_fn.as_deref()) {
+                        findings.push(Finding {
+                            rule: "no_panic",
+                            file: rel_path.to_string(),
+                            line: bad.line,
+                            message: "division/modulo inside an index expression in a \
+                                      hot-path module (R3): hoist the quotient into a \
+                                      named local so the bounds reasoning is visible \
+                                      (and the compiler can lift the div out of the loop)"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        if t.is_punct(']') {
+            bracket_depth = bracket_depth.saturating_sub(1);
+        }
+
+        // R4: heap allocation inside #[hot_path] functions.
+        if r4.enabled() && cur_hot && !in_test && !allowed(&r4, rel_path, cur_fn.as_deref()) {
+            if let Some(what) = alloc_pattern(&sig, i) {
+                findings.push(Finding {
+                    rule: "no_alloc_hot_path",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "heap allocation (`{what}`) inside `#[hot_path]` fn `{}` (R4): \
+                         preallocate in the constructor or use a fixed-size buffer",
+                        cur_fn.as_deref().unwrap_or("?")
+                    ),
+                });
+            }
+        }
+
+        i += 1;
+    }
+    findings
+}
+
+/// Scans a bracket group starting at `sig[open]` (must be `[`, `(` or `{`);
+/// returns the identifiers inside and the index one past the closing
+/// delimiter. All three delimiter kinds nest.
+fn scan_group(sig: &[&Token], open: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < sig.len() {
+        match sig[j].kind {
+            TokKind::Punct('[') | TokKind::Punct('(') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(']') | TokKind::Punct(')') | TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, j + 1);
+                }
+            }
+            TokKind::Ident => idents.push(sig[j].text.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (idents, j)
+}
+
+/// Whether a `// SAFETY:` (or `# Safety` doc) comment sits within the 10
+/// lines above `line` or the 2 lines after (SAFETY-inside-block style).
+/// Attribute lines between the comment and the `unsafe` keyword are fine —
+/// the window just has to contain the comment.
+fn has_safety_comment(lines: &[&str], line: u32) -> bool {
+    let idx = line as usize - 1; // 0-based line of the unsafe token
+    let lo = idx.saturating_sub(10);
+    let hi = (idx + 3).min(lines.len());
+    lines[lo..hi].iter().any(|l| {
+        let c = l.trim_start();
+        (c.contains("SAFETY:") && (c.starts_with("//") || c.contains("// SAFETY:")))
+            || (c.starts_with("///") && c.contains("# Safety"))
+    })
+}
+
+/// Heap-allocation pattern starting at `sig[i]`; returns a label for the
+/// diagnostic. Matches `Vec::new`, `Vec::with_capacity`, `Box::new`,
+/// `String::new/from/with_capacity`, `vec!`, `format!`, `.to_vec()`,
+/// `.to_string()`, `.to_owned()`, `.clone()`, `.push()`, `.collect()`.
+#[allow(clippy::collapsible_match)]
+fn alloc_pattern(sig: &[&Token], i: usize) -> Option<String> {
+    let t = sig[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let nxt = |k: usize| sig.get(i + k);
+    match t.text.as_str() {
+        "Vec" | "Box" | "String" => {
+            if nxt(1).is_some_and(|a| a.is_punct(':'))
+                && nxt(2).is_some_and(|a| a.is_punct(':'))
+                && nxt(3).is_some_and(|a| {
+                    a.kind == TokKind::Ident
+                        && matches!(a.text.as_str(), "new" | "with_capacity" | "from")
+                })
+            {
+                return Some(format!("{}::{}", t.text, sig[i + 3].text));
+            }
+        }
+        "vec" | "format" => {
+            if nxt(1).is_some_and(|a| a.is_punct('!')) {
+                return Some(format!("{}!", t.text));
+            }
+        }
+        "to_vec" | "to_string" | "to_owned" | "clone" | "push" | "collect" => {
+            if i > 0 && sig[i - 1].is_punct('.') && nxt(1).is_some_and(|a| a.is_punct('(')) {
+                return Some(format!(".{}()", t.text));
+            }
+        }
+        _ => {}
+    }
+    None
+}
+
+/// Whether `rel_path` matches any entry in `modules` (suffix match on
+/// `/`-separated paths, so entries can be as precise as needed).
+fn path_in(rel_path: &str, modules: &[String]) -> bool {
+    modules.iter().any(|m| rel_path == m || rel_path.ends_with(&format!("/{m}")))
+}
+
+/// Whether the rule's `allow` list waives findings at this location.
+/// Entries: `"file.rs"` (whole file) or `"file.rs::function"`.
+fn allowed(rule: &crate::config::RuleConfig, rel_path: &str, cur_fn: Option<&str>) -> bool {
+    let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    rule.list("allow").iter().any(|entry| match entry.split_once("::") {
+        Some((f, func)) => {
+            (f == file_name || rel_path == f || rel_path.ends_with(&format!("/{f}")))
+                && cur_fn == Some(func)
+        }
+        None => {
+            entry == file_name || rel_path == entry.as_str()
+                || rel_path.ends_with(&format!("/{entry}"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(toml: &str) -> Config {
+        Config::parse(toml).expect("test config parses")
+    }
+
+    #[test]
+    fn r1_flags_missing_safety_comment() {
+        let src = "fn f() {\n    unsafe { danger() };\n}\n";
+        let f = check_file("crates/x/src/l2.rs", src, &cfg("[rules.unsafe_allowlist]\nmodules = [\"l2.rs\"]\n"));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "safety_comment");
+    }
+
+    #[test]
+    fn r1_accepts_safety_comment_above_attributes() {
+        let src = "fn f() {\n    // SAFETY: verified above.\n    #[allow(unsafe_code)]\n    unsafe { danger() };\n}\n";
+        let f = check_file("crates/x/src/l2.rs", src, &cfg("[rules.unsafe_allowlist]\nmodules = [\"l2.rs\"]\n"));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r1_accepts_safety_doc_on_unsafe_fn() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// Caller upholds X.\nunsafe fn g() {}\n";
+        let f = check_file("crates/x/src/l2.rs", src, &cfg("[rules.unsafe_allowlist]\nmodules = [\"l2.rs\"]\n"));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r2_flags_unsafe_outside_allowlist() {
+        let src = "// SAFETY: fine.\nfn f() { unsafe { danger() } }\n";
+        let f = check_file("crates/x/src/other.rs", src, &cfg("[rules.unsafe_allowlist]\nmodules = [\"l2.rs\"]\n"));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unsafe_allowlist");
+    }
+
+    #[test]
+    fn r2_ignores_unsafe_in_strings_comments_and_idents() {
+        let src = "#![forbid(unsafe_code)]\n// unsafe here\nfn f() { let s = \"unsafe\"; }\n";
+        let f = check_file("crates/x/src/other.rs", src, &cfg(""));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    const R3_CFG: &str = "[rules.no_panic]\nmodules = [\"hot.rs\"]\n";
+
+    #[test]
+    fn r3_flags_unwrap_expect_panic() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"msg\");\n    panic!(\"boom\");\n}\n";
+        let f = check_file("crates/x/src/hot.rs", src, &cfg(R3_CFG));
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "no_panic"));
+    }
+
+    #[test]
+    fn r3_skips_tests_and_other_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(check_file("crates/x/src/hot.rs", src, &cfg(R3_CFG)).is_empty());
+        let src2 = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        assert!(check_file("crates/x/src/cold.rs", src2, &cfg(R3_CFG)).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_div_mod_in_index() {
+        let src = "fn f(v: &[u8], i: usize, n: usize) -> u8 {\n    v[i % n]\n}\n";
+        let f = check_file("crates/x/src/hot.rs", src, &cfg(R3_CFG));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("index"));
+        // Div outside indexing and array literals stay clean.
+        let ok = "fn g(a: usize, b: usize) -> [usize; 2] {\n    let q = a / b;\n    [q; 2]\n}\n";
+        assert!(check_file("crates/x/src/hot.rs", ok, &cfg(R3_CFG)).is_empty());
+    }
+
+    #[test]
+    fn r3_allowlist_waives_by_function() {
+        let src = "fn good() -> u8 { 1 }\nfn waived(x: Option<u8>) -> u8 { x.expect(\"invariant\") }\n";
+        let c = cfg("[rules.no_panic]\nmodules = [\"hot.rs\"]\nallow = [\"hot.rs::waived\"]\n");
+        assert!(check_file("crates/x/src/hot.rs", src, &c).is_empty());
+        let c2 = cfg(R3_CFG);
+        assert_eq!(check_file("crates/x/src/hot.rs", src, &c2).len(), 1);
+    }
+
+    #[test]
+    fn r4_flags_alloc_only_in_hot_fns() {
+        let src = "#[hot_path]\nfn hot() {\n    let v = Vec::new();\n    let s = format!(\"x\");\n    let c = v.clone();\n}\nfn cold() { let v: Vec<u8> = Vec::new(); }\n";
+        let f = check_file("crates/x/src/any.rs", src, &cfg(""));
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "no_alloc_hot_path"));
+    }
+
+    #[test]
+    fn r4_recognises_qualified_attribute() {
+        let src = "#[icp_hot_path::hot_path]\nfn hot() { let b = Box::new(3); }\n";
+        let f = check_file("crates/x/src/any.rs", src, &cfg(""));
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn r4_closures_inherit_hotness() {
+        let src = "#[hot_path]\nfn hot(v: &[u8]) {\n    v.iter().for_each(|x| { let s = x.to_string(); });\n}\n";
+        let f = check_file("crates/x/src/any.rs", src, &cfg(""));
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn disabled_rules_report_nothing() {
+        let src = "fn f() { unsafe { x() } }\n";
+        let c = cfg("[rules.safety_comment]\nenabled = false\n[rules.unsafe_allowlist]\nenabled = false\n");
+        assert!(check_file("a.rs", src, &c).is_empty());
+    }
+}

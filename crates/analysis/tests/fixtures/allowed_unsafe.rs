@@ -1,0 +1,7 @@
+// Fixture: clean unsafe usage inside the allowlisted module — R2 permits the
+// module, and the SAFETY comment satisfies R1.
+
+fn read_first(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer to at least one readable byte.
+    unsafe { *p }
+}

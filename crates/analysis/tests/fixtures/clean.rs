@@ -1,0 +1,20 @@
+// Fixture: fully clean file — no rule may produce a finding here, even with
+// mentions of unsafe, unwrap() and panic! in comments and "panic! strings".
+
+fn checked_quota(v: &[u32], t: usize) -> u32 {
+    // An unwrap() here would trip R3 if this file were a hot module.
+    v.get(t).copied().unwrap_or(0)
+}
+
+#[hot_path]
+fn hot_sum(v: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for &x in v {
+        acc += u64::from(x);
+    }
+    acc
+}
+
+fn describe() -> &'static str {
+    "unsafe { panic!() } is fine inside a string literal"
+}

@@ -1,0 +1,7 @@
+// Fixture: R1 violation — an unsafe block with no SAFETY comment.
+// (Also an R2 violation under the fixture config, which allowlists only
+// allowed_unsafe.rs; the self-test asserts both rules fire.)
+
+fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

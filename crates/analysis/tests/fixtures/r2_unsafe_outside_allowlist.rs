@@ -1,0 +1,7 @@
+// Fixture: R2 violation — unsafe (with a proper SAFETY comment, so R1 is
+// satisfied) in a module that is not on the unsafe allowlist.
+
+fn read_first(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer to at least one readable byte.
+    unsafe { *p }
+}

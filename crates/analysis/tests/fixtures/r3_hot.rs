@@ -1,0 +1,28 @@
+// Fixture: R3 violations — unwrap/expect/panic! and div-mod indexing in a
+// module the fixture config declares hot-path. The test module at the bottom
+// must NOT be flagged.
+
+fn quota(v: &[u32], t: usize) -> u32 {
+    v.get(t).copied().unwrap()
+}
+
+fn quota2(v: &[u32], t: usize) -> u32 {
+    v.get(t).copied().expect("in range")
+}
+
+fn boom() {
+    panic!("hot paths must not panic");
+}
+
+fn fold(v: &[u32], i: usize, n: usize) -> u32 {
+    v[i % n]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = [1u32];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: R4 violations — heap allocation inside #[hot_path] functions.
+// The unmarked sibling does the same and must NOT be flagged.
+
+#[hot_path]
+fn hot_scan(tags: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &t in tags {
+        out.push(t);
+    }
+    let _label = format!("{} tags", out.len());
+    out.clone()
+}
+
+fn cold_scan(tags: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &t in tags {
+        out.push(t);
+    }
+    out
+}

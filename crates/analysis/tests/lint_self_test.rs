@@ -1,0 +1,138 @@
+//! Fixture-based self-tests for the lint pass, plus the tier-1 gate that the
+//! real workspace is clean.
+//!
+//! Each rule R1–R4 has a fixture under `tests/fixtures/` seeding a deliberate
+//! violation; the tests assert the rule fires with a pointed diagnostic (and
+//! that the clean fixtures stay clean). The binary is exercised end to end:
+//! non-zero exit on the fixture tree, zero exit on the actual repository.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use icp_analysis::{analyze_workspace, rules::check_file, Config, RULE_NAMES};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+fn fixture_cfg() -> Config {
+    Config::load(&fixtures_dir().join("analysis.toml")).expect("fixture config parses")
+}
+
+fn check_fixture(name: &str) -> Vec<icp_analysis::Finding> {
+    let src = std::fs::read_to_string(fixtures_dir().join(name)).expect("fixture readable");
+    check_file(name, &src, &fixture_cfg())
+}
+
+#[test]
+fn r1_fixture_fires_safety_comment() {
+    let f = check_fixture("r1_missing_safety.rs");
+    let r1: Vec<_> = f.iter().filter(|x| x.rule == "safety_comment").collect();
+    assert_eq!(r1.len(), 1, "{f:?}");
+    assert!(r1[0].message.contains("SAFETY"), "{}", r1[0].message);
+    assert_eq!(r1[0].line, 6);
+}
+
+#[test]
+fn r2_fixture_fires_unsafe_allowlist() {
+    let f = check_fixture("r2_unsafe_outside_allowlist.rs");
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].rule, "unsafe_allowlist");
+    assert!(f[0].message.contains("allowed_unsafe.rs"), "{}", f[0].message);
+}
+
+#[test]
+fn r3_fixture_fires_no_panic_for_each_pattern() {
+    let f = check_fixture("r3_hot.rs");
+    let r3: Vec<_> = f.iter().filter(|x| x.rule == "no_panic").collect();
+    assert_eq!(r3.len(), 4, "{f:?}");
+    assert!(r3.iter().any(|x| x.message.contains(".unwrap()")));
+    assert!(r3.iter().any(|x| x.message.contains(".expect()")));
+    assert!(r3.iter().any(|x| x.message.contains("`panic!`")));
+    assert!(r3.iter().any(|x| x.message.contains("index expression")));
+}
+
+#[test]
+fn r4_fixture_fires_no_alloc_only_in_marked_fn() {
+    let f = check_fixture("r4_hot.rs");
+    let r4: Vec<_> = f.iter().filter(|x| x.rule == "no_alloc_hot_path").collect();
+    assert_eq!(r4.len(), 4, "{f:?}");
+    for x in &r4 {
+        assert!(x.message.contains("`hot_scan`"), "{}", x.message);
+    }
+    let labels: Vec<&str> = ["Vec::new", ".push()", "format!", ".clone()"]
+        .into_iter()
+        .filter(|l| r4.iter().any(|x| x.message.contains(l)))
+        .collect();
+    assert_eq!(labels.len(), 4, "{r4:?}");
+}
+
+#[test]
+fn clean_fixtures_stay_clean() {
+    assert!(check_fixture("clean.rs").is_empty());
+    assert!(check_fixture("allowed_unsafe.rs").is_empty());
+}
+
+#[test]
+fn binary_exits_nonzero_on_seeded_violations() {
+    let json = std::env::temp_dir().join("icp-lint-fixture-report.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_icp-lint"))
+        .args(["--root"])
+        .arg(fixtures_dir())
+        .args(["-D", "--json"])
+        .arg(&json)
+        .output()
+        .expect("icp-lint runs");
+    assert!(!out.status.success(), "fixtures must fail the lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["safety_comment", "unsafe_allowlist", "no_panic", "no_alloc_hot_path"] {
+        assert!(stdout.contains(rule), "missing {rule} diagnostic in:\n{stdout}");
+    }
+    let report = std::fs::read_to_string(&json).expect("JSON report written");
+    assert!(report.contains("\"schema\":\"icp-lint/v1\""), "{report}");
+    assert!(report.contains("\"no_panic\":4"), "{report}");
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn binary_exits_zero_on_this_repository() {
+    let out = Command::new(env!("CARGO_BIN_EXE_icp-lint"))
+        .args(["--root"])
+        .arg(repo_root())
+        .args(["-D", "-q"])
+        .output()
+        .expect("icp-lint runs");
+    assert!(
+        out.status.success(),
+        "the repository must lint clean:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn workspace_analysis_is_clean_and_scans_the_hot_path() {
+    let root = repo_root();
+    let cfg = Config::load(&root.join("analysis.toml")).expect("repo analysis.toml parses");
+    assert!(cfg.unknown_rule_names(RULE_NAMES).is_empty(), "typo'd rule table");
+    let report = analyze_workspace(&root, &cfg).expect("walk succeeds");
+    assert!(
+        report.is_clean(),
+        "workspace findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The walk must actually cover the modules the rules exist for.
+    assert!(report.files_scanned > 50, "only scanned {}", report.files_scanned);
+}

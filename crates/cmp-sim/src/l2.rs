@@ -27,6 +27,7 @@ use crate::config::{CacheConfig, L2Geometry};
 use crate::plru;
 use crate::stats::InteractionStats;
 use crate::ThreadId;
+use icp_hot_path::hot_path;
 
 /// Replacement policy underlying the partition enforcement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -77,12 +78,13 @@ pub enum PartitionMode {
 /// line address (`addr >> line_shift`), which cannot reach `u64::MAX` for
 /// any line size > 1 byte, so validity needs no separate bit and the hit
 /// scan is a single-comparison sweep over a contiguous tag row.
-const INVALID_TAG: u64 = u64::MAX;
+pub(crate) const INVALID_TAG: u64 = u64::MAX;
 
 /// Portable tag scan: each 8-way block is reduced to one "any match"
 /// test (a branchless OR of equalities the compiler can vectorise) and
 /// only a matching block is rescanned for the position.
 #[inline]
+#[hot_path]
 fn find_tag_generic(row: &[u64], tag: u64) -> Option<usize> {
     let mut chunks = row.chunks_exact(8);
     let mut base = 0;
@@ -117,6 +119,7 @@ fn find_tag_generic(row: &[u64], tag: u64) -> Option<usize> {
 /// dependent sig-then-tag load chain costs more than the saved tag-row
 /// bytes at these footprints.)
 #[inline]
+#[hot_path]
 fn find_tag(row: &[u64], tag: u64) -> Option<usize> {
     #[cfg(target_arch = "x86_64")]
     {
@@ -136,6 +139,14 @@ fn find_tag(row: &[u64], tag: u64) -> Option<usize> {
 /// block pays for per-lane mask extraction. Lane masks are little-endian
 /// in way order, so `trailing_zeros` of the combined mask is exactly the
 /// first matching way — the same way `position` would return.
+///
+/// # Safety
+///
+/// The caller must verify at runtime that the CPU supports AVX2 (e.g. via
+/// `is_x86_feature_detected!("avx2")`) before calling; executing the 256-bit
+/// instructions on a non-AVX2 CPU is undefined behaviour. All memory accesses
+/// stay within `row` (loop bounds are checked against `row.len()` and the
+/// loads are unaligned), so no other precondition exists.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(unsafe_code)]
@@ -146,10 +157,17 @@ unsafe fn find_tag_avx2(row: &[u64], tag: u64) -> Option<usize> {
     let ptr = row.as_ptr();
     let mut w = 0;
     while w + 16 <= n {
-        let e0 = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w) as *const __m256i), needle);
-        let e1 = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w + 4) as *const __m256i), needle);
-        let e2 = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w + 8) as *const __m256i), needle);
-        let e3 = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w + 12) as *const __m256i), needle);
+        // SAFETY: `w + 16 <= n` bounds every offset; `ptr` derives from a
+        // live `&[u64]` so `ptr.add(w + 12)..+4` is in-bounds; loadu permits
+        // unaligned reads.
+        let (e0, e1, e2, e3) = unsafe {
+            (
+                _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w) as *const __m256i), needle),
+                _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w + 4) as *const __m256i), needle),
+                _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w + 8) as *const __m256i), needle),
+                _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w + 12) as *const __m256i), needle),
+            )
+        };
         let any = _mm256_or_si256(_mm256_or_si256(e0, e1), _mm256_or_si256(e2, e3));
         if _mm256_testz_si256(any, any) == 0 {
             let mask = (_mm256_movemask_pd(_mm256_castsi256_pd(e0)) as u32)
@@ -161,7 +179,10 @@ unsafe fn find_tag_avx2(row: &[u64], tag: u64) -> Option<usize> {
         w += 16;
     }
     while w + 4 <= n {
-        let eq = _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w) as *const __m256i), needle);
+        // SAFETY: `w + 4 <= n` keeps the 4-lane unaligned load inside `row`.
+        let eq = unsafe {
+            _mm256_cmpeq_epi64(_mm256_loadu_si256(ptr.add(w) as *const __m256i), needle)
+        };
         let mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32;
         if mask != 0 {
             return Some(w + mask.trailing_zeros() as usize);
@@ -180,6 +201,12 @@ unsafe fn find_tag_avx2(row: &[u64], tag: u64) -> Option<usize> {
 /// Bitmask (bit `i` = `owners[i] == th`) over the first 32 entries of an
 /// owner-byte row: one vector compare instead of 32 scalar ones. Feeds
 /// the victim sweep, which then loads LRU clocks only for matching ways.
+///
+/// # Safety
+///
+/// The caller must verify AVX2 support at runtime before calling, and must
+/// pass `owners` with `owners.len() >= 32`: the single unaligned 256-bit
+/// load reads exactly 32 bytes from the start of the slice.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(unsafe_code)]
@@ -187,7 +214,7 @@ unsafe fn owner_match_mask_avx2(owners: &[u8], th: u8) -> u32 {
     use std::arch::x86_64::*;
     debug_assert!(owners.len() >= 32);
     // SAFETY: caller guarantees at least 32 bytes; unaligned load.
-    let v = _mm256_loadu_si256(owners.as_ptr() as *const __m256i);
+    let v = unsafe { _mm256_loadu_si256(owners.as_ptr() as *const __m256i) };
     let eq = _mm256_cmpeq_epi8(v, _mm256_set1_epi8(th as i8));
     _mm256_movemask_epi8(eq) as u32
 }
@@ -233,10 +260,10 @@ pub struct L2AccessResult {
 pub struct PartitionedL2 {
     cfg: CacheConfig,
     /// Shift/mask address math precomputed from `cfg`.
-    geom: L2Geometry,
-    threads: usize,
-    mode: PartitionMode,
-    replacement: ReplacementKind,
+    pub(crate) geom: L2Geometry,
+    pub(crate) threads: usize,
+    pub(crate) mode: PartitionMode,
+    pub(crate) replacement: ReplacementKind,
     enforcement: EnforcementKind,
     /// One PLRU tree (u64 of node bits) per set; unused under `TrueLru`.
     plru_bits: Vec<u64>,
@@ -245,30 +272,36 @@ pub struct PartitionedL2 {
     // branch-light `&[u64]` scan) instead of striding through 32-byte line
     // records, and the miss path reads each parallel array on demand.
     /// Line tags; [`INVALID_TAG`] marks an empty way.
-    tags: Vec<u64>,
+    pub(crate) tags: Vec<u64>,
     /// LRU clocks (valid ways only).
-    lrus: Vec<u64>,
+    pub(crate) lrus: Vec<u64>,
     /// Allocating thread of each line; partition bookkeeping follows the
     /// allocator, not later sharers.
-    owners: Vec<u8>,
+    pub(crate) owners: Vec<u8>,
     /// Thread that last touched each line; drives interaction
     /// classification.
-    last_accessors: Vec<u8>,
+    pub(crate) last_accessors: Vec<u8>,
     /// Set by stores (or dirty L1 writebacks); a dirty victim is written
     /// back to memory.
-    dirty: Vec<bool>,
+    pub(crate) dirty: Vec<bool>,
     /// Brought in by the prefetcher and not yet demand-referenced.
-    prefetched: Vec<bool>,
+    pub(crate) prefetched: Vec<bool>,
     /// Per-set per-thread current way counts: `sets * threads`, row-major by
     /// set. These are the §V "current assignment" counters.
-    owned: Vec<u16>,
+    pub(crate) owned: Vec<u16>,
     /// Per-thread target way quotas (the §V "target assignment" counters);
     /// meaningful only in `Partitioned` mode. Always sums to `cfg.ways`.
-    targets: Vec<u32>,
+    pub(crate) targets: Vec<u32>,
+    /// Sanitizer shadow state: per `(set, thread)` grandfathered quota
+    /// excess — the amount by which `owned` may legally exceed `targets`
+    /// (free-way fills and pre-repartition residue). Maintained by the
+    /// `sanitize` module; absent from release builds.
+    #[cfg(feature = "sanitize")]
+    pub(crate) quota_baseline: Vec<u16>,
     /// Per-thread (start, len) set ranges; meaningful only in
     /// `SetPartitioned` mode.
     set_ranges: Vec<(u32, u32)>,
-    clock: u64,
+    pub(crate) clock: u64,
     hits: Vec<u64>,
     misses: Vec<u64>,
     /// Dirty evictions written back to memory, attributed to the line's
@@ -308,6 +341,8 @@ impl PartitionedL2 {
             prefetched: vec![false; n],
             owned: vec![0; sets * threads],
             targets: equal_split(cfg.ways, threads),
+            #[cfg(feature = "sanitize")]
+            quota_baseline: vec![0; sets * threads],
             set_ranges: Vec::new(),
             clock: 0,
             hits: vec![0; threads],
@@ -404,6 +439,8 @@ impl PartitionedL2 {
         if self.enforcement == EnforcementKind::Reconfigure {
             self.reconfigure_to_targets();
         }
+        #[cfg(feature = "sanitize")]
+        self.sanitize_rebaseline();
     }
 
     /// Instantly trims every thread to its quota in every set by
@@ -513,6 +550,7 @@ impl PartitionedL2 {
 
     /// Performs a read or write access by `thread` to `addr`
     /// (write-allocate, write-back).
+    #[hot_path]
     pub fn access_rw(&mut self, thread: ThreadId, addr: u64, write: bool) -> L2AccessResult {
         debug_assert!(thread < self.threads);
         self.clock += 1;
@@ -562,6 +600,8 @@ impl PartitionedL2 {
         // Miss path.
         self.misses[thread] += 1;
         let victim = self.choose_victim(set, thread);
+        #[cfg(feature = "sanitize")]
+        self.sanitize_victim_check(set, victim, thread);
         let (evicted_other, evicted_line, wrote_back) =
             self.evict_for_fill(set, victim, thread);
         let i = base + victim;
@@ -575,6 +615,8 @@ impl PartitionedL2 {
             plru::touch(&mut self.plru_bits[set], ways as u32, victim as u32);
         }
         self.owned[set * self.threads + thread] += 1;
+        #[cfg(feature = "sanitize")]
+        self.sanitize_note_fill(set, thread, evicted_line.is_none());
         L2AccessResult {
             hit: false,
             inter_thread_hit: false,
@@ -588,6 +630,7 @@ impl PartitionedL2 {
     /// Maps `addr` to the set `thread` uses: the natural index, or folded
     /// into the thread's private range under set partitioning.
     #[inline]
+    #[hot_path]
     fn map_set(&self, thread: ThreadId, addr: u64) -> usize {
         match self.mode {
             PartitionMode::SetPartitioned => {
@@ -605,6 +648,7 @@ impl PartitionedL2 {
     /// classifies the eviction. Returns
     /// `(evicted_other, evicted_line, wrote_back)`.
     #[inline]
+    #[hot_path]
     fn evict_for_fill(
         &mut self,
         set: usize,
@@ -617,6 +661,8 @@ impl PartitionedL2 {
         }
         let prev_owner = self.owners[i] as usize;
         self.owned[set * self.threads + prev_owner] -= 1;
+        #[cfg(feature = "sanitize")]
+        self.sanitize_note_evict(set, prev_owner, thread);
         let was_dirty = self.dirty[i];
         if was_dirty {
             self.writebacks[prev_owner] += 1;
@@ -637,6 +683,7 @@ impl PartitionedL2 {
     /// touch the demand hit/miss or interaction counters. Returns the
     /// evicted line (for inclusive back-invalidation) and whether the fill
     /// displaced another thread's line.
+    #[hot_path]
     pub fn prefetch_fill(&mut self, thread: ThreadId, addr: u64) -> L2AccessResult {
         debug_assert!(thread < self.threads);
         let tag = self.geom.tag(addr);
@@ -656,6 +703,8 @@ impl PartitionedL2 {
         }
         self.clock += 1;
         let victim = self.choose_victim(set, thread);
+        #[cfg(feature = "sanitize")]
+        self.sanitize_victim_check(set, victim, thread);
         let (evicted_other, evicted_line, wrote_back) =
             self.evict_for_fill(set, victim, thread);
         // Prefetched lines are inserted at LRU-adjacent priority (half a
@@ -672,6 +721,8 @@ impl PartitionedL2 {
             plru::touch(&mut self.plru_bits[set], ways as u32, victim as u32);
         }
         self.owned[set * self.threads + thread] += 1;
+        #[cfg(feature = "sanitize")]
+        self.sanitize_note_fill(set, thread, evicted_line.is_none());
         L2AccessResult {
             hit: false,
             inter_thread_hit: false,
@@ -683,6 +734,7 @@ impl PartitionedL2 {
     }
 
     /// Picks a victim way in `set` for a miss by `thread`, per §V.
+    #[hot_path]
     fn choose_victim(&self, set: usize, thread: ThreadId) -> usize {
         let ways = self.geom.ways;
         let base = set * ways;
@@ -946,6 +998,48 @@ pub fn equal_split(ways: u32, threads: usize) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Miri smoke tests run `cargo miri test -p icp-cmp-sim portable_`:
+    /// these exercise only the portable scalar paths (no runtime SIMD
+    /// dispatch), so the interpreter can check them without AVX2 shims.
+    #[test]
+    fn portable_find_tag_generic_matches_reference() {
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64] {
+            let row: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+            for needle in 0..(n as u64 * 3 + 4) {
+                let expect = row.iter().position(|&t| t == needle);
+                assert_eq!(find_tag_generic(&row, needle), expect, "n={n} needle={needle}");
+            }
+        }
+    }
+
+    #[test]
+    fn portable_find_tag_generic_finds_first_duplicate() {
+        let mut row = vec![7u64; 20];
+        row[3] = 9;
+        assert_eq!(find_tag_generic(&row, 7), Some(0));
+        assert_eq!(find_tag_generic(&row, 9), Some(3));
+        assert_eq!(find_tag_generic(&row, 8), None);
+    }
+
+    #[test]
+    fn portable_partitioned_access_and_repartition() {
+        let mut l2 = one_set();
+        l2.set_targets(&[4, 2, 1, 1]);
+        for t in 0..4 {
+            for i in 0..4u64 {
+                l2.access(t, line(t as u64 * 4 + i));
+            }
+        }
+        l2.check_invariants();
+        l2.set_targets(&[1, 1, 2, 4]);
+        for t in 0..4 {
+            for i in 0..4u64 {
+                l2.access(t, line(16 + t as u64 * 4 + i));
+            }
+        }
+        l2.check_invariants();
+    }
 
     /// 1 set x 8 ways cache: makes quota interactions easy to reason about.
     fn one_set() -> PartitionedL2 {

@@ -26,12 +26,15 @@
 // comments. Everything else stays safe Rust.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod config;
 pub mod l2;
 pub mod perf;
 pub mod plru;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod simulator;
 pub mod stats;
 pub mod stream;

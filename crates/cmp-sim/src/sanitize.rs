@@ -1,0 +1,492 @@
+//! Runtime partition-invariant sanitizer (the `sanitize` cargo feature).
+//!
+//! When enabled, the simulator shadow-verifies the SoA caches at every
+//! event-batch boundary and on every fill:
+//!
+//! * **Occupancy** — each set's per-thread `owned` counters equal a recount
+//!   of the valid lines' owner bytes.
+//! * **Tag uniqueness** — no two valid ways of a set hold the same tag (a
+//!   duplicate would make the hit scan nondeterministic).
+//! * **LRU consistency** — every valid line's LRU clock is in
+//!   `1..=self.clock`, and no two valid lines of a set share a clock (each
+//!   access stamps a fresh global clock value, so duplicates mean
+//!   corruption).
+//! * **Victim legality** — each miss's victim choice respects the paper's
+//!   §V policy: an under-quota thread evicts another thread's line
+//!   (preferring over-quota owners); a thread at/over quota self-evicts
+//!   unless it owns nothing in the set.
+//! * **Quota discipline** — a thread's per-set excess over its way target
+//!   never exceeds the *grandfathered baseline*: the excess it legally
+//!   acquired from free-way fills, a first-line steal, or lines it already
+//!   held when the partition was (re)applied. Replacement-based enforcement
+//!   converges gradually (§V), so excess may persist — but it must only
+//!   shrink while the set is full.
+//!
+//! Violations panic with full `set`/`way`/`thread` context via
+//! [`PartitionedL2::sanitize_assert`]; [`PartitionedL2::sanitize_check`]
+//! returns them as values for tests. The checks cost roughly an order of
+//! magnitude of hot-path throughput and are never compiled in by default.
+
+use crate::cache::SetAssocCache;
+use crate::l2::{PartitionMode, PartitionedL2};
+use crate::simulator::Simulator;
+use crate::ThreadId;
+use std::fmt;
+
+/// A detected invariant violation, with enough context to locate the
+/// corrupted state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A per-set ownership counter disagrees with a recount of the lines.
+    OccupancyMismatch {
+        /// Set index.
+        set: usize,
+        /// Thread whose counter is wrong.
+        thread: ThreadId,
+        /// The stored `owned` counter.
+        counter: u16,
+        /// Valid lines in the set actually owned by `thread`.
+        recount: u16,
+    },
+    /// Two valid ways of one set hold the same tag.
+    DuplicateTag {
+        /// Set index.
+        set: usize,
+        /// The duplicated tag.
+        tag: u64,
+        /// First way holding it.
+        first_way: usize,
+        /// Second way holding it.
+        second_way: usize,
+    },
+    /// A valid line's owner byte does not name a real thread.
+    BadOwner {
+        /// Set index.
+        set: usize,
+        /// Way index.
+        way: usize,
+        /// The stored owner byte.
+        owner: u8,
+        /// Number of threads sharing the cache.
+        threads: usize,
+    },
+    /// A valid line's LRU clock is zero or ahead of the global clock.
+    LruOutOfRange {
+        /// Set index.
+        set: usize,
+        /// Way index.
+        way: usize,
+        /// The stored LRU clock.
+        lru: u64,
+        /// The cache's global clock.
+        clock: u64,
+    },
+    /// Two valid lines of one set share an LRU clock value.
+    DuplicateLru {
+        /// Set index.
+        set: usize,
+        /// First way.
+        first_way: usize,
+        /// Second way.
+        second_way: usize,
+        /// The shared clock value.
+        lru: u64,
+    },
+    /// A thread holds more ways in a set than its quota plus the
+    /// grandfathered baseline allows.
+    QuotaExceeded {
+        /// Set index.
+        set: usize,
+        /// Offending thread.
+        thread: ThreadId,
+        /// Ways currently owned in the set.
+        owned: u16,
+        /// The thread's way quota.
+        target: u32,
+        /// Grandfathered legal excess.
+        baseline: u16,
+    },
+    /// A victim choice broke the §V replacement-based enforcement policy.
+    IllegalVictim {
+        /// Set index.
+        set: usize,
+        /// Chosen victim way.
+        way: usize,
+        /// Thread performing the fill.
+        accessor: ThreadId,
+        /// Owner of the chosen victim line.
+        victim_owner: ThreadId,
+        /// Accessor's owned count in the set (before the eviction).
+        owned: u16,
+        /// Accessor's way quota.
+        target: u32,
+        /// Why the choice is illegal.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Violation::OccupancyMismatch { set, thread, counter, recount } => write!(
+                f,
+                "occupancy mismatch: set {set} thread {thread}: counter says {counter} \
+                 ways owned, recount of line owners says {recount}"
+            ),
+            Violation::DuplicateTag { set, tag, first_way, second_way } => write!(
+                f,
+                "duplicate tag {tag:#x} in set {set}: ways {first_way} and {second_way} \
+                 both hold it"
+            ),
+            Violation::BadOwner { set, way, owner, threads } => write!(
+                f,
+                "bad owner byte: set {set} way {way} names thread {owner} but only \
+                 {threads} threads exist"
+            ),
+            Violation::LruOutOfRange { set, way, lru, clock } => write!(
+                f,
+                "LRU clock out of range: set {set} way {way} has lru {lru}, valid range \
+                 is 1..={clock}"
+            ),
+            Violation::DuplicateLru { set, first_way, second_way, lru } => write!(
+                f,
+                "duplicate LRU clock {lru} in set {set}: ways {first_way} and \
+                 {second_way} (each access stamps a unique clock)"
+            ),
+            Violation::QuotaExceeded { set, thread, owned, target, baseline } => write!(
+                f,
+                "quota exceeded: set {set} thread {thread} owns {owned} ways against a \
+                 target of {target} with a grandfathered baseline of {baseline}"
+            ),
+            Violation::IllegalVictim { set, way, accessor, victim_owner, owned, target, reason } => {
+                write!(
+                    f,
+                    "illegal victim: set {set} way {way} (owner {victim_owner}) chosen for \
+                     a fill by thread {accessor} (owns {owned}, target {target}): {reason}"
+                )
+            }
+        }
+    }
+}
+
+impl PartitionedL2 {
+    /// Verifies every batch-level invariant, returning the first violation.
+    ///
+    /// Checks, in order: owner bytes name real threads; per-set occupancy
+    /// counters match a recount; valid tags are unique per set; valid LRU
+    /// clocks are in `1..=clock` and unique per set; and (in partitioned
+    /// mode) each thread's per-set quota excess stays within its
+    /// grandfathered baseline.
+    pub fn sanitize_check(&self) -> Result<(), Violation> {
+        let ways = self.geom.ways;
+        let sets = self.geom.num_sets() as usize;
+        let mut counts = vec![0u16; self.threads];
+        // Reusable scratch for duplicate detection: sort-and-adjacent-scan
+        // keeps the per-set cost O(ways log ways) — the check runs once per
+        // event batch, so a quadratic sweep would dominate sanitized runs.
+        let mut by_tag: Vec<(u64, usize)> = Vec::with_capacity(ways);
+        let mut by_lru: Vec<(u64, usize)> = Vec::with_capacity(ways);
+        for set in 0..sets {
+            let base = set * ways;
+            counts.fill(0);
+            by_tag.clear();
+            by_lru.clear();
+            for w in 0..ways {
+                let i = base + w;
+                if self.tags[i] == crate::l2::INVALID_TAG {
+                    continue;
+                }
+                let owner = self.owners[i];
+                if (owner as usize) >= self.threads {
+                    return Err(Violation::BadOwner { set, way: w, owner, threads: self.threads });
+                }
+                counts[owner as usize] += 1;
+                if self.lrus[i] == 0 || self.lrus[i] > self.clock {
+                    return Err(Violation::LruOutOfRange {
+                        set,
+                        way: w,
+                        lru: self.lrus[i],
+                        clock: self.clock,
+                    });
+                }
+                by_tag.push((self.tags[i], w));
+                by_lru.push((self.lrus[i], w));
+            }
+            by_tag.sort_unstable();
+            by_lru.sort_unstable();
+            for pair in by_tag.windows(2) {
+                if pair[0].0 == pair[1].0 {
+                    return Err(Violation::DuplicateTag {
+                        set,
+                        tag: pair[0].0,
+                        first_way: pair[0].1,
+                        second_way: pair[1].1,
+                    });
+                }
+            }
+            for pair in by_lru.windows(2) {
+                if pair[0].0 == pair[1].0 {
+                    return Err(Violation::DuplicateLru {
+                        set,
+                        first_way: pair[0].1,
+                        second_way: pair[1].1,
+                        lru: pair[0].0,
+                    });
+                }
+            }
+            for (t, &recount) in counts.iter().enumerate() {
+                let counter = self.owned[set * self.threads + t];
+                if counter != recount {
+                    return Err(Violation::OccupancyMismatch { set, thread: t, counter, recount });
+                }
+            }
+            if self.mode == PartitionMode::Partitioned {
+                for t in 0..self.threads {
+                    let owned = self.owned[set * self.threads + t];
+                    let target = self.targets[t];
+                    let baseline = self.quota_baseline[set * self.threads + t];
+                    let excess = (owned as u32).saturating_sub(target) as u16;
+                    if excess > baseline {
+                        return Err(Violation::QuotaExceeded {
+                            set,
+                            thread: t,
+                            owned,
+                            target,
+                            baseline,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Self::sanitize_check`], but panics with the violation.
+    ///
+    /// # Panics
+    /// Panics on the first detected invariant violation.
+    pub fn sanitize_assert(&self) {
+        if let Err(v) = self.sanitize_check() {
+            panic!("sanitize: L2: {v}");
+        }
+    }
+
+    /// Per-fill victim-legality check, called with the chosen victim way
+    /// *before* [`Self::evict_for_fill`] mutates the counters. Encodes the
+    /// §V policy exactly:
+    ///
+    /// * filling a free (invalid) way is always legal;
+    /// * an accessor at/over quota that owns lines must self-evict;
+    /// * an under-quota accessor that could evict someone else must not
+    ///   self-evict, and must prefer a victim whose owner is over quota
+    ///   whenever one exists.
+    pub(crate) fn sanitize_victim_check(&self, set: usize, victim: usize, thread: ThreadId) {
+        if self.mode != PartitionMode::Partitioned {
+            return;
+        }
+        let i = set * self.geom.ways + victim;
+        if self.tags[i] == crate::l2::INVALID_TAG {
+            return; // free-way fill
+        }
+        let row = &self.owned[set * self.threads..(set + 1) * self.threads];
+        let owner = self.owners[i] as usize;
+        let owned = row[thread];
+        let target = self.targets[thread];
+        let fail = |reason: &'static str| -> ! {
+            panic!(
+                "sanitize: L2: {}",
+                Violation::IllegalVictim {
+                    set,
+                    way: victim,
+                    accessor: thread,
+                    victim_owner: owner,
+                    owned,
+                    target,
+                    reason,
+                }
+            )
+        };
+        if (owned as u32) >= target {
+            // At/over quota: self-evict, unless we own nothing here (a
+            // thread must always be able to make progress).
+            if owned > 0 && owner != thread {
+                fail("accessor is at/over quota and owns lines, must self-evict");
+            }
+        } else {
+            // Under quota: take someone else's line when one exists...
+            if owner == thread && (owned as usize) < self.geom.ways {
+                fail("accessor is under quota, must evict another thread");
+            }
+            // ...preferring owners that are over their own quota.
+            let over_exists = (0..self.threads)
+                .any(|t| t != thread && (row[t] as u32) > self.targets[t] && row[t] > 0);
+            if over_exists && (row[owner] as u32) <= self.targets[owner] {
+                fail("an over-quota owner exists but the victim's owner is not over quota");
+            }
+        }
+    }
+
+    /// Quota-baseline bookkeeping after a fill (`owned` already
+    /// incremented). `was_free` is true when the fill took an invalid way.
+    /// Raising the baseline is legal only for free-way fills and a
+    /// first-line steal (an at/over-quota thread that owned nothing);
+    /// anything else is an enforcement failure and panics immediately.
+    pub(crate) fn sanitize_note_fill(&mut self, set: usize, thread: ThreadId, was_free: bool) {
+        if self.mode != PartitionMode::Partitioned {
+            return;
+        }
+        let idx = set * self.threads + thread;
+        let owned = self.owned[idx];
+        let excess = (owned as u32).saturating_sub(self.targets[thread]) as u16;
+        if excess > self.quota_baseline[idx] {
+            if was_free || owned == 1 {
+                self.quota_baseline[idx] = excess;
+            } else {
+                panic!(
+                    "sanitize: L2: {}",
+                    Violation::QuotaExceeded {
+                        set,
+                        thread,
+                        owned,
+                        target: self.targets[thread],
+                        baseline: self.quota_baseline[idx],
+                    }
+                );
+            }
+        }
+    }
+
+    /// Quota-baseline bookkeeping after an eviction (`owned` already
+    /// decremented): once excess shrinks it may never grow back while the
+    /// set stays full, so the baseline ratchets down with it. A self-evict
+    /// (`prev_owner == filler`) is half of an atomic evict-then-refill that
+    /// leaves the count unchanged, so it must not move the ratchet.
+    pub(crate) fn sanitize_note_evict(&mut self, set: usize, prev_owner: ThreadId, filler: ThreadId) {
+        if prev_owner == filler {
+            return;
+        }
+        let idx = set * self.threads + prev_owner;
+        let excess = (self.owned[idx] as u32).saturating_sub(self.targets[prev_owner]) as u16;
+        if excess < self.quota_baseline[idx] {
+            self.quota_baseline[idx] = excess;
+        }
+    }
+
+    /// Recomputes the grandfathered baselines from the current contents.
+    /// Called when a partition is (re)applied: whatever excess each thread
+    /// holds at that instant is legal residue that replacement will erode.
+    pub(crate) fn sanitize_rebaseline(&mut self) {
+        for set in 0..self.geom.num_sets() as usize {
+            for t in 0..self.threads {
+                let idx = set * self.threads + t;
+                self.quota_baseline[idx] =
+                    (self.owned[idx] as u32).saturating_sub(self.targets[t]) as u16;
+            }
+        }
+    }
+
+    /// Test-only corruption: shifts a `(set, thread)` ownership counter by
+    /// `delta` without touching any line, desynchronising it from the
+    /// recount. For exercising the sanitizer itself.
+    #[doc(hidden)]
+    pub fn corrupt_owned_for_test(&mut self, set: usize, thread: ThreadId, delta: i32) {
+        let idx = set * self.threads + thread;
+        self.owned[idx] = (self.owned[idx] as i32 + delta) as u16;
+    }
+
+    /// Test-only corruption: rewrites a valid line's owner byte *and keeps
+    /// the ownership counters consistent*, so the occupancy check passes
+    /// but quota discipline can be violated.
+    #[doc(hidden)]
+    pub fn corrupt_owner_for_test(&mut self, set: usize, way: usize, new_owner: ThreadId) {
+        let i = set * self.geom.ways + way;
+        assert_ne!(self.tags[i], crate::l2::INVALID_TAG, "way must hold a valid line");
+        let old = self.owners[i] as usize;
+        self.owners[i] = new_owner as u8;
+        self.owned[set * self.threads + old] -= 1;
+        self.owned[set * self.threads + new_owner] += 1;
+    }
+
+    /// Test-only corruption: overwrites a line's LRU clock.
+    #[doc(hidden)]
+    pub fn corrupt_lru_for_test(&mut self, set: usize, way: usize, lru: u64) {
+        self.lrus[set * self.geom.ways + way] = lru;
+    }
+}
+
+impl SetAssocCache {
+    /// Verifies the private-cache invariants: valid tags unique per set and
+    /// valid LRU clocks in `1..=clock` and unique per set.
+    pub fn sanitize_check(&self) -> Result<(), Violation> {
+        let ways = self.geom.ways;
+        let mut by_tag: Vec<(u64, usize)> = Vec::with_capacity(ways);
+        let mut by_lru: Vec<(u64, usize)> = Vec::with_capacity(ways);
+        for set in 0..self.geom.num_sets() as usize {
+            let base = set * ways;
+            by_tag.clear();
+            by_lru.clear();
+            for w in 0..ways {
+                let i = base + w;
+                if self.tags[i] == crate::cache::INVALID_TAG {
+                    continue;
+                }
+                if self.lrus[i] == 0 || self.lrus[i] > self.clock {
+                    return Err(Violation::LruOutOfRange {
+                        set,
+                        way: w,
+                        lru: self.lrus[i],
+                        clock: self.clock,
+                    });
+                }
+                by_tag.push((self.tags[i], w));
+                by_lru.push((self.lrus[i], w));
+            }
+            by_tag.sort_unstable();
+            by_lru.sort_unstable();
+            for pair in by_tag.windows(2) {
+                if pair[0].0 == pair[1].0 {
+                    return Err(Violation::DuplicateTag {
+                        set,
+                        tag: pair[0].0,
+                        first_way: pair[0].1,
+                        second_way: pair[1].1,
+                    });
+                }
+            }
+            for pair in by_lru.windows(2) {
+                if pair[0].0 == pair[1].0 {
+                    return Err(Violation::DuplicateLru {
+                        set,
+                        first_way: pair[0].1,
+                        second_way: pair[1].1,
+                        lru: pair[0].0,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Simulator {
+    /// Test-only mutable access to the shared L2 for injecting corruption.
+    #[doc(hidden)]
+    pub fn l2_mut_for_test(&mut self) -> &mut PartitionedL2 {
+        &mut self.l2
+    }
+
+    /// Runs the full shadow verification: the shared L2 and every private
+    /// L1. Called automatically at each event-batch boundary; public so
+    /// tests can force a check at interesting points.
+    ///
+    /// # Panics
+    /// Panics with component context (`L2` / `L1[i]`) on any violation.
+    pub fn sanitize_batch_check(&self) {
+        self.l2.sanitize_assert();
+        for (i, l1) in self.l1s.iter().enumerate() {
+            if let Err(v) = l1.sanitize_check() {
+                panic!("sanitize: L1[{i}]: {v}");
+            }
+        }
+    }
+}

@@ -23,6 +23,7 @@ use crate::stream::{AccessStream, ThreadEvent};
 use crate::umon::UtilityMonitor;
 use crate::victim::VictimCache;
 use crate::ThreadId;
+use icp_hot_path::hot_path;
 
 /// Per-thread statistics for one execution interval.
 #[derive(Clone, Copy, Debug)]
@@ -57,9 +58,7 @@ impl IntervalReport {
         self.threads
             .iter()
             .enumerate()
-            .max_by(|(i, a), (j, b)| {
-                a.cpi.partial_cmp(&b.cpi).unwrap().then(j.cmp(i))
-            })
+            .max_by(|(i, a), (j, b)| a.cpi.total_cmp(&b.cpi).then(j.cmp(i)))
             .map(|(i, _)| i)
             .expect("at least one thread")
     }
@@ -140,8 +139,8 @@ pub struct Simulator {
     /// Shift/mask address math for the L2 geometry (shared line size with
     /// the L1s, per [`SystemConfig::validate`]).
     geom: L2Geometry,
-    l1s: Vec<SetAssocCache>,
-    l2: PartitionedL2,
+    pub(crate) l1s: Vec<SetAssocCache>,
+    pub(crate) l2: PartitionedL2,
     umon: Option<UtilityMonitor>,
     streams: Vec<Box<dyn AccessStream>>,
     /// One prefetched-event ring per core (see [`EventRing`]).
@@ -349,7 +348,15 @@ impl Simulator {
     }
 
     /// Processes one event of core `t`.
+    #[hot_path]
     fn step_core(&mut self, t: ThreadId) {
+        // Shadow-verify the caches at every batch boundary: the ring is
+        // about to refill, so the check runs once per EVENT_BATCH events
+        // per core. O(cache size) — the feature's documented cost.
+        #[cfg(feature = "sanitize")]
+        if self.rings[t].pos == self.rings[t].len {
+            self.sanitize_batch_check();
+        }
         // Refill this core's ring when drained; `rings` and `streams` are
         // disjoint fields, so the stream writes straight into the ring.
         let ring = &mut self.rings[t];

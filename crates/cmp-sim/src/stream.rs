@@ -6,6 +6,8 @@
 //! `icp-workloads` crate provides synthetic generators; traces or other
 //! sources can implement [`AccessStream`] too.
 
+use icp_hot_path::hot_path;
+
 /// One event in a thread's instruction stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ThreadEvent {
@@ -128,6 +130,7 @@ impl AccessStream for ReplayStream {
     }
 
     /// Native batch delivery: one slice copy instead of per-event calls.
+    #[hot_path]
     fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
         // `pos` can sit past the end once the synthesised `Finished` has
         // been delivered; clamp before slicing.

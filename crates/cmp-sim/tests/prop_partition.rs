@@ -1,0 +1,135 @@
+//! Hand-rolled property test for the partitioned L2 (the environment has no
+//! `proptest`; `icp_numeric::rng::Xoshiro256` drives the case generation).
+//!
+//! Property: under any random access sequence interleaved with random
+//! repartitions,
+//!
+//! * the per-set ownership counters always equal a recount of the lines
+//!   (checked by [`PartitionedL2::check_invariants`], and by the sanitizer's
+//!   stricter [`sanitize_check`] when the `sanitize` feature is on);
+//! * no thread's per-set ownership ever exceeds its quota by more than the
+//!   excess it already held when the current partition was applied plus any
+//!   free-way cold fills — i.e. while a set is full, quota excess only
+//!   shrinks ("quota-excess monotonicity").
+//!
+//! Runs both with and without `--features sanitize`: the shadow tracking
+//! below is independent of the sanitizer's own baseline bookkeeping, so each
+//! cross-checks the other.
+
+use icp_cmp_sim::{CacheConfig, PartitionedL2, ReplacementKind};
+use icp_numeric::rng::Xoshiro256;
+
+/// Random quota vector: `threads` non-negative integers summing to `ways`.
+fn random_targets(rng: &mut Xoshiro256, threads: usize, ways: u32) -> Vec<u32> {
+    let mut t = vec![0u32; threads];
+    for _ in 0..ways {
+        t[rng.next_bounded(threads as u64) as usize] += 1;
+    }
+    t
+}
+
+/// Per-(set, thread) allowed excess, recomputed the way the invariant is
+/// stated: at each repartition it grandfathers current holdings; a cold
+/// free-way fill may raise it; otherwise observed excess must not grow.
+struct ExcessShadow {
+    sets: usize,
+    threads: usize,
+    allowed: Vec<u32>,
+}
+
+impl ExcessShadow {
+    fn new(sets: usize, threads: usize) -> Self {
+        ExcessShadow { sets, threads, allowed: vec![0; sets * threads] }
+    }
+
+    fn rebaseline(&mut self, l2: &PartitionedL2, targets: &[u32]) {
+        for set in 0..self.sets {
+            for (t, &target) in targets.iter().enumerate() {
+                self.allowed[set * self.threads + t] =
+                    l2.ways_owned_in_set(set, t).saturating_sub(target);
+            }
+        }
+    }
+
+    /// Checks every (set, thread) excess against the allowance; cold fills
+    /// (set not yet full) may still legally raise it.
+    fn check(&mut self, l2: &PartitionedL2, targets: &[u32], ways: u32, case: u64, step: usize) {
+        for set in 0..self.sets {
+            let filled: u32 = (0..self.threads).map(|t| l2.ways_owned_in_set(set, t)).sum();
+            for (t, &target) in targets.iter().enumerate() {
+                let excess = l2.ways_owned_in_set(set, t).saturating_sub(target);
+                let slot = &mut self.allowed[set * self.threads + t];
+                if excess > *slot {
+                    // Legal only while the set still had free ways (cold
+                    // fills) or as a first-line steal by a zero-quota
+                    // thread; both imply the thread now owns >= 1 way and
+                    // the new excess becomes the allowance.
+                    assert!(
+                        filled <= ways || l2.ways_owned_in_set(set, t) == 1,
+                        "case {case} step {step}: set {set} thread {t} excess grew \
+                         {prev} -> {excess} with the set full",
+                        prev = *slot,
+                    );
+                    *slot = excess;
+                } else {
+                    *slot = excess;
+                }
+            }
+        }
+    }
+}
+
+fn run_case(case: u64, replacement: ReplacementKind) {
+    let mut rng = Xoshiro256::seed_from_u64(0x1C9_0000 + case);
+    let threads = 2 + rng.next_bounded(3) as usize; // 2..=4
+    let sets = 1 << rng.next_bounded(3); // 1, 2 or 4
+    let ways: u32 = 8;
+    let line = 64u64;
+    let cfg = CacheConfig::new(sets as u64 * ways as u64 * line, ways, line);
+    let mut l2 = PartitionedL2::new(cfg, threads);
+    l2.set_replacement(replacement);
+
+    let mut targets = random_targets(&mut rng, threads, ways);
+    l2.set_targets(&targets);
+    let mut shadow = ExcessShadow::new(sets, threads);
+    shadow.rebaseline(&l2, &targets);
+
+    // A working set a few times the cache so misses keep happening.
+    let lines = (sets as u64) * (ways as u64) * 4;
+    for step in 0..600 {
+        if rng.next_bool(0.02) {
+            // Random repartition mid-stream: contents are not flushed, the
+            // new quotas phase in via replacement.
+            targets = random_targets(&mut rng, threads, ways);
+            l2.set_targets(&targets);
+            shadow.rebaseline(&l2, &targets);
+        }
+        let t = rng.next_bounded(threads as u64) as usize;
+        let addr = rng.next_bounded(lines) * line;
+        l2.access_rw(t, addr, rng.next_bool(0.3));
+        // Occupancy counters == recount, every step.
+        l2.check_invariants();
+        shadow.check(&l2, &targets, ways, case, step);
+        // Quotas are never breached beyond the allowance even transiently.
+        for set in 0..sets {
+            let filled: u32 = (0..threads).map(|th| l2.ways_owned_in_set(set, th)).sum();
+            assert!(filled <= ways, "case {case}: set {set} overfull ({filled}/{ways})");
+        }
+        #[cfg(feature = "sanitize")]
+        l2.sanitize_assert();
+    }
+}
+
+#[test]
+fn random_accesses_and_repartitions_keep_invariants_true_lru() {
+    for case in 0..40 {
+        run_case(case, ReplacementKind::TrueLru);
+    }
+}
+
+#[test]
+fn random_accesses_and_repartitions_keep_invariants_tree_plru() {
+    for case in 0..40 {
+        run_case(case, ReplacementKind::TreePlru);
+    }
+}

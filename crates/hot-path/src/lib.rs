@@ -1,0 +1,32 @@
+//! The `#[hot_path]` marker attribute.
+//!
+//! Marks a function as part of the simulator's innermost loop. The attribute
+//! expands to exactly the item it was applied to — zero tokens added, zero
+//! runtime cost — but the `icp-analysis` lint pass recognises it and enforces
+//! rule R4 (no heap allocation: `Vec::new`/`push`, `Box::new`, `format!`,
+//! container `clone()`, …) inside any function that carries it.
+//!
+//! Using a real attribute rather than a naming convention means the marker
+//! travels with the code through refactors, shows up in rustdoc, and cannot
+//! silently drift out of sync with the lint's configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use icp_hot_path::hot_path;
+//!
+//! #[hot_path]
+//! fn inner_loop(xs: &[u64]) -> u64 {
+//!     xs.iter().sum()
+//! }
+//! assert_eq!(inner_loop(&[1, 2, 3]), 6);
+//! ```
+
+use proc_macro::TokenStream;
+
+/// Marks a function as hot-path code (see the crate docs). Expands to the
+/// unmodified item.
+#[proc_macro_attribute]
+pub fn hot_path(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
