@@ -1,13 +1,15 @@
 //! Hot-path throughput bench: `cargo bench -p icp-bench --bench hotpath`.
 //!
-//! Self-contained harness (no external bench framework): runs the three
+//! Self-contained harness (no external bench framework): runs the five
 //! tracked scenarios from `icp_experiments::hotpath` several times and
 //! reports best/median accesses-per-second. The canonical tracked numbers
 //! come from `cargo run --release --bin bench_hotpath`, which writes
 //! `BENCH_hotpath.json` at the repo root; this bench is the quick
 //! interactive front-end over the same scenario code.
 
-use icp_experiments::hotpath::{interleaved_4t, l2_miss_prefetch, single_access, HotpathResult};
+use icp_experiments::hotpath::{
+    gen_only, interleaved_4t, l2_miss_prefetch, pipeline_4t, single_access, HotpathResult,
+};
 
 const EVENTS_PER_THREAD: usize = 500_000;
 const RUNS: usize = 5;
@@ -28,4 +30,6 @@ fn main() {
     bench("single_access", single_access);
     bench("l2_miss_prefetch", l2_miss_prefetch);
     bench("interleaved_4t", interleaved_4t);
+    bench("gen_only", gen_only);
+    bench("pipeline_4t", pipeline_4t);
 }

@@ -88,31 +88,43 @@ impl SetAssocCache {
         let ways = self.geom.ways;
         let base = set * ways;
 
-        // One fused sweep: find the hit way, or — when there is none — the
-        // LRU victim. Invalid ways hold `lru == 0`, below every valid
-        // timestamp, so the first minimum fills invalid ways before
-        // evicting (and in way order, matching the pre-SoA behaviour).
-        let mut victim = 0;
-        let mut best = u64::MAX;
-        for w in 0..ways {
-            let i = base + w;
-            if self.tags[i] == tag {
-                self.lrus[i] = self.clock;
-                // Store only on writes: a clean-read hit (the common case)
-                // leaves the dirty row untouched.
-                if write {
-                    self.dirty[i] = true;
-                }
-                self.hits += 1;
-                return CacheAccess { hit: true, writeback: None };
+        // Hit scan first, victim scan only on a miss: hits (the common
+        // case) never touch the LRU row beyond their own slot, and the
+        // branchless equality sweep over a short contiguous tag row
+        // vectorises. A matching tag is unique, so the last assignment is
+        // the only one.
+        let tags = &self.tags[base..base + ways];
+        let mut hit_way = usize::MAX;
+        for (w, &t) in tags.iter().enumerate() {
+            if t == tag {
+                hit_way = w;
             }
-            if self.lrus[i] < best {
-                best = self.lrus[i];
+        }
+        if hit_way != usize::MAX {
+            let i = base + hit_way;
+            self.lrus[i] = self.clock;
+            // Store only on writes: a clean-read hit (the common case)
+            // leaves the dirty row untouched.
+            if write {
+                self.dirty[i] = true;
+            }
+            self.hits += 1;
+            return CacheAccess { hit: true, writeback: None };
+        }
+        // Miss: fill an invalid way, else evict LRU. Invalid ways hold
+        // `lru == 0`, below every valid timestamp, so the first minimum
+        // fills invalid ways before evicting (and in way order, matching
+        // the pre-SoA behaviour).
+        self.misses += 1;
+        let lrus = &self.lrus[base..base + ways];
+        let mut victim = 0;
+        let mut best = lrus[0];
+        for (w, &l) in lrus.iter().enumerate().skip(1) {
+            if l < best {
+                best = l;
                 victim = w;
             }
         }
-        // Miss: fill an invalid way, else evict LRU.
-        self.misses += 1;
         let i = base + victim;
         let writeback = if self.tags[i] != INVALID_TAG && self.dirty[i] {
             Some(self.geom.tag_to_addr(self.tags[i]))

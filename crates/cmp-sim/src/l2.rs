@@ -80,6 +80,63 @@ pub enum PartitionMode {
 /// scan is a single-comparison sweep over a contiguous tag row.
 pub(crate) const INVALID_TAG: u64 = u64::MAX;
 
+/// Entries in the way-hint table (power of two). 64 K one-byte entries
+/// keep the table L1-resident next to the hot tag rows.
+const WAY_HINT_ENTRIES: usize = 1 << 16;
+/// Way-hint value meaning "no prediction". Larger than any way index
+/// (ways <= 64), so the bounds check rejects it like any stale hint.
+const NO_HINT: u8 = u8::MAX;
+
+/// Slot of `tag` in the way-hint table: a multiplicative (Fibonacci) hash
+/// so neighbouring line addresses spread across the table.
+#[inline]
+#[hot_path]
+fn hint_index(tag: u64) -> usize {
+    (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - 16)) as usize
+}
+
+/// Packed line-metadata flags (see [`PartitionedL2::meta`]): the line is
+/// dirty and a victim eviction must write it back.
+const META_DIRTY: u16 = 1 << 0;
+/// The line was brought in by the prefetcher and not yet demand-referenced.
+const META_PREFETCHED: u16 = 1 << 1;
+/// High byte of the metadata word: the last-accessor thread id.
+const META_ACCESSOR_SHIFT: u32 = 8;
+
+/// SIMD tier for the tag/owner scans, detected once per cache at
+/// construction: the `is_x86_feature_detected!` macro's cached-atomic
+/// check is cheap but not free on paths taken millions of times per run,
+/// so the hot loops branch on a plain field instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SimdTier {
+    /// Autovectorised generic code only.
+    Portable,
+    /// 256-bit scans ([`find_tag_avx2`], [`owner_match_mask_avx2`]).
+    Avx2,
+    /// 512-bit scans with k-mask classification; requires AVX-512F +
+    /// AVX-512BW (and AVX2, so this tier may also call the 256-bit
+    /// kernels).
+    Avx512,
+}
+
+impl SimdTier {
+    fn detect() -> SimdTier {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx2")
+            {
+                return SimdTier::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdTier::Avx2;
+            }
+        }
+        SimdTier::Portable
+    }
+}
+
 /// Portable tag scan: each 8-way block is reduced to one "any match"
 /// test (a branchless OR of equalities the compiler can vectorise) and
 /// only a matching block is rescanned for the position.
@@ -110,21 +167,24 @@ fn find_tag_generic(row: &[u64], tag: u64) -> Option<usize> {
     None
 }
 
-/// First index of `tag` in `row`. The tag-row sweep runs once per L2
-/// access (and again per miss for the free-way probe), so at L2
-/// associativities (64-way here) it is the simulator's single hottest
-/// loop; `Iterator::position`'s per-element early exit defeats
-/// vectorisation, hence the explicit treatment. (A one-byte signature
-/// prefilter was tried and measured ~30% *slower* end to end: the
-/// dependent sig-then-tag load chain costs more than the saved tag-row
-/// bytes at these footprints.)
-#[inline]
-#[hot_path]
+/// First index of `tag` in `row`, dispatched through runtime feature
+/// detection. The hot paths go through [`PartitionedL2::find_tag_cached`]
+/// (same kernels, tier resolved once at construction); this standalone
+/// dispatcher remains as the reference entry point the kernel-equivalence
+/// test exercises. (A signature prefilter was tried and measured *slower*
+/// end to end: the dependent sig-then-tag load chain costs more than the
+/// saved tag-row bytes at these footprints.)
+#[cfg(test)]
 fn find_tag(row: &[u64], tag: u64) -> Option<usize> {
     #[cfg(target_arch = "x86_64")]
     {
         // Runtime-dispatched (the detection macro caches in an atomic), so
-        // the build stays portable to baseline x86-64.
+        // the build stays portable to baseline x86-64. Widest ISA first.
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F presence was just verified.
+            #[allow(unsafe_code)]
+            return unsafe { find_tag_avx512(row, tag) };
+        }
         if std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 presence was just verified.
             #[allow(unsafe_code)]
@@ -132,6 +192,68 @@ fn find_tag(row: &[u64], tag: u64) -> Option<usize> {
         }
     }
     find_tag_generic(row, tag)
+}
+
+/// AVX-512 `find_tag`: 8 ways per 512-bit compare, with the per-lane result
+/// delivered directly as a k-mask — no movemask recomposition. 32 ways per
+/// iteration (four compares) share one "any match" branch; mask bits are
+/// little-endian in way order, so `trailing_zeros` of the combined mask is
+/// the first matching way, identical to `position` semantics.
+///
+/// # Safety
+///
+/// The caller must verify at runtime that the CPU supports AVX-512F (e.g.
+/// via `is_x86_feature_detected!("avx512f")`) before calling; executing
+/// 512-bit instructions elsewhere is undefined behaviour. All memory
+/// accesses stay within `row` (loop bounds are checked against `row.len()`
+/// and the loads are unaligned), so no other precondition exists.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(unsafe_code)]
+unsafe fn find_tag_avx512(row: &[u64], tag: u64) -> Option<usize> {
+    use std::arch::x86_64::*;
+    let needle = _mm512_set1_epi64(tag as i64);
+    let n = row.len();
+    let ptr = row.as_ptr();
+    let mut w = 0;
+    while w + 32 <= n {
+        // SAFETY: `w + 32 <= n` bounds every offset; `ptr` derives from a
+        // live `&[u64]` so `ptr.add(w + 24)..+8` is in-bounds; loadu permits
+        // unaligned reads.
+        let (m0, m1, m2, m3) = unsafe {
+            (
+                _mm512_cmpeq_epu64_mask(_mm512_loadu_si512(ptr.add(w) as *const _), needle),
+                _mm512_cmpeq_epu64_mask(_mm512_loadu_si512(ptr.add(w + 8) as *const _), needle),
+                _mm512_cmpeq_epu64_mask(_mm512_loadu_si512(ptr.add(w + 16) as *const _), needle),
+                _mm512_cmpeq_epu64_mask(_mm512_loadu_si512(ptr.add(w + 24) as *const _), needle),
+            )
+        };
+        let mask = (m0 as u32)
+            | ((m1 as u32) << 8)
+            | ((m2 as u32) << 16)
+            | ((m3 as u32) << 24);
+        if mask != 0 {
+            return Some(w + mask.trailing_zeros() as usize);
+        }
+        w += 32;
+    }
+    while w + 8 <= n {
+        // SAFETY: `w + 8 <= n` keeps the 8-lane unaligned load inside `row`.
+        let m = unsafe {
+            _mm512_cmpeq_epu64_mask(_mm512_loadu_si512(ptr.add(w) as *const _), needle)
+        };
+        if m != 0 {
+            return Some(w + m.trailing_zeros() as usize);
+        }
+        w += 8;
+    }
+    while w < n {
+        if row[w] == tag {
+            return Some(w);
+        }
+        w += 1;
+    }
+    None
 }
 
 /// AVX2 `find_tag`: 16 ways per iteration — four 4×64-bit equality
@@ -219,6 +341,77 @@ unsafe fn owner_match_mask_avx2(owners: &[u8], th: u8) -> u32 {
     _mm256_movemask_epi8(eq) as u32
 }
 
+/// Bitmask (bit `i` = `owners[i] == th`) over a full 64-entry owner row:
+/// one 512-bit byte compare delivers the whole row as a `__mmask64`.
+///
+/// # Safety
+///
+/// The caller must verify at runtime that the CPU supports AVX-512F and
+/// AVX-512BW before calling, and must pass `owners.len() == 64`: the single
+/// unaligned load reads exactly 64 bytes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+#[allow(unsafe_code)]
+unsafe fn owner_match_mask_avx512(owners: &[u8], th: u8) -> u64 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(owners.len(), 64);
+    // SAFETY: caller guarantees exactly 64 owner bytes; unaligned load.
+    let v = unsafe { _mm512_loadu_si512(owners.as_ptr() as *const _) };
+    _mm512_cmpeq_epi8_mask(v, _mm512_set1_epi8(th as i8))
+}
+
+/// First index of the minimum LRU clock among the ways selected by `mask`
+/// (bit `i` = way `i` is a candidate), over a full 64-way row. Candidate
+/// lanes are min-reduced with non-candidates blended to `u32::MAX`; a
+/// masked equality rescan recovers the way index. LRU clocks are globally
+/// unique (every access writes a fresh clock, and the wrap-time rebase
+/// preserves distinctness), so exactly one candidate carries the minimum
+/// and the rescan cannot be ambiguous — the index matches what a
+/// first-minimum scalar sweep would return. Returns `None` for an empty
+/// mask.
+///
+/// # Safety
+///
+/// The caller must verify at runtime that the CPU supports AVX-512F before
+/// calling, and must pass `lrus.len() == 64`: each pass reads exactly four
+/// unaligned 16-lane vectors.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(unsafe_code)]
+unsafe fn masked_lru_argmin_avx512(lrus: &[u32], mask: u64) -> Option<usize> {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(lrus.len(), 64);
+    if mask == 0 {
+        return None;
+    }
+    let sentinel = _mm512_set1_epi32(-1); // u32::MAX in every lane
+    let lp = lrus.as_ptr();
+    let mut best = sentinel;
+    for i in 0..4 {
+        // SAFETY: `lrus.len() == 64` makes `lp.add(i * 16)..+16` in-bounds
+        // for every `i < 4`; unaligned load.
+        let v = unsafe { _mm512_loadu_si512(lp.add(i * 16) as *const _) };
+        let m16 = ((mask >> (i * 16)) & 0xFFFF) as __mmask16;
+        // Non-candidate lanes take the sentinel; valid clocks never reach it
+        // (the clock rebases at `u32::MAX`).
+        best = _mm512_min_epu32(best, _mm512_mask_mov_epi32(sentinel, m16, v));
+    }
+    let min = _mm512_reduce_min_epu32(best);
+    let needle = _mm512_set1_epi32(min as i32);
+    for i in 0..4 {
+        // SAFETY: same bounds as the first pass; the row is hot in L1 now.
+        let v = unsafe { _mm512_loadu_si512(lp.add(i * 16) as *const _) };
+        let m16 = ((mask >> (i * 16)) & 0xFFFF) as __mmask16;
+        let eq = _mm512_mask_cmpeq_epu32_mask(m16, v, needle);
+        if eq != 0 {
+            return Some(i * 16 + eq.trailing_zeros() as usize);
+        }
+    }
+    // Unreachable: a non-empty mask guarantees some candidate lane equals
+    // the reduced minimum. Kept as a defensive fallback for the caller.
+    None
+}
+
 /// Outcome of one L2 access, consumed by the simulator for timing and
 /// statistics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -273,19 +466,23 @@ pub struct PartitionedL2 {
     // records, and the miss path reads each parallel array on demand.
     /// Line tags; [`INVALID_TAG`] marks an empty way.
     pub(crate) tags: Vec<u64>,
-    /// LRU clocks (valid ways only).
-    pub(crate) lrus: Vec<u64>,
+    /// LRU clocks (valid ways only). `u32` halves the victim sweep's
+    /// memory traffic versus `u64`; [`Self::bump_clock`] rank-compresses
+    /// every stored clock if the counter ever reaches `u32::MAX`, so
+    /// ordering (and therefore every replacement decision) is identical to
+    /// an unbounded clock.
+    pub(crate) lrus: Vec<u32>,
     /// Allocating thread of each line; partition bookkeeping follows the
     /// allocator, not later sharers.
     pub(crate) owners: Vec<u8>,
-    /// Thread that last touched each line; drives interaction
-    /// classification.
-    pub(crate) last_accessors: Vec<u8>,
-    /// Set by stores (or dirty L1 writebacks); a dirty victim is written
-    /// back to memory.
-    pub(crate) dirty: Vec<bool>,
-    /// Brought in by the prefetcher and not yet demand-referenced.
-    pub(crate) prefetched: Vec<bool>,
+    /// Packed per-line metadata: low byte holds the dirty
+    /// ([`META_DIRTY`]) and prefetched ([`META_PREFETCHED`]) flags, high
+    /// byte the thread that last touched the line (drives interaction
+    /// classification). One `u16` instead of three parallel arrays keeps
+    /// the whole record on the cache line the hit path already fetches —
+    /// the line metadata working set is far larger than the host caches,
+    /// so every separate array is an extra random-access miss.
+    pub(crate) meta: Vec<u16>,
     /// Per-set per-thread current way counts: `sets * threads`, row-major by
     /// set. These are the §V "current assignment" counters.
     pub(crate) owned: Vec<u16>,
@@ -301,13 +498,24 @@ pub struct PartitionedL2 {
     /// Per-thread (start, len) set ranges; meaningful only in
     /// `SetPartitioned` mode.
     set_ranges: Vec<(u32, u32)>,
-    pub(crate) clock: u64,
+    pub(crate) clock: u32,
     hits: Vec<u64>,
     misses: Vec<u64>,
     /// Dirty evictions written back to memory, attributed to the line's
     /// owner.
     writebacks: Vec<u64>,
     interactions: InteractionStats,
+    /// SIMD tier detected at construction (see [`SimdTier`]).
+    simd: SimdTier,
+    /// Way predictor: last known way of a line, indexed by [`hint_index`]
+    /// of its tag. Purely advisory — every prediction is verified with one
+    /// tag load before use and falls back to the full row scan, and a tag
+    /// occurs at most once per set (fills only follow failed scans), so a
+    /// verified hint is exactly what the scan would return. Typical L2
+    /// reference streams re-touch recently installed lines (every L1
+    /// writeback does), making this a 1-load fast path past the 64-way
+    /// sweep.
+    way_hints: Vec<u8>,
 }
 
 impl PartitionedL2 {
@@ -336,9 +544,7 @@ impl PartitionedL2 {
             tags: vec![INVALID_TAG; n],
             lrus: vec![0; n],
             owners: vec![0; n],
-            last_accessors: vec![0; n],
-            dirty: vec![false; n],
-            prefetched: vec![false; n],
+            meta: vec![0; n],
             owned: vec![0; sets * threads],
             targets: equal_split(cfg.ways, threads),
             #[cfg(feature = "sanitize")]
@@ -349,7 +555,32 @@ impl PartitionedL2 {
             misses: vec![0; threads],
             writebacks: vec![0; threads],
             interactions: InteractionStats::default(),
+            simd: SimdTier::detect(),
+            way_hints: vec![NO_HINT; WAY_HINT_ENTRIES],
         }
+    }
+
+    /// [`find_tag`] with the dispatch branch resolved from the cached
+    /// [`SimdTier`] instead of the detection macro's atomic check.
+    #[inline]
+    #[hot_path]
+    fn find_tag_cached(&self, row: &[u64], tag: u64) -> Option<usize> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if self.simd == SimdTier::Avx512 {
+                // SAFETY: `simd` holds `Avx512` only when runtime detection
+                // saw AVX-512F at construction.
+                #[allow(unsafe_code)]
+                return unsafe { find_tag_avx512(row, tag) };
+            }
+            if self.simd == SimdTier::Avx2 {
+                // SAFETY: `simd` holds `Avx2` only when runtime detection
+                // saw AVX2 at construction.
+                #[allow(unsafe_code)]
+                return unsafe { find_tag_avx2(row, tag) };
+            }
+        }
+        find_tag_generic(row, tag)
     }
 
     /// Selects the replacement policy (builder style).
@@ -465,12 +696,11 @@ impl PartitionedL2 {
                         })
                         .min_by_key(|&w| self.lrus[base + w])
                         .expect("owned counter says lines exist");
-                    if self.dirty[base + victim] {
+                    if self.meta[base + victim] & META_DIRTY != 0 {
                         self.writebacks[t] += 1;
                     }
                     self.tags[base + victim] = INVALID_TAG;
-                    self.dirty[base + victim] = false;
-                    self.prefetched[base + victim] = false;
+                    self.meta[base + victim] = 0;
                     self.owned[set * self.threads + t] -= 1;
                 }
             }
@@ -553,7 +783,7 @@ impl PartitionedL2 {
     #[hot_path]
     pub fn access_rw(&mut self, thread: ThreadId, addr: u64, write: bool) -> L2AccessResult {
         debug_assert!(thread < self.threads);
-        self.clock += 1;
+        self.bump_clock();
         let tag = self.geom.tag(addr);
         debug_assert_ne!(tag, INVALID_TAG, "address too close to u64::MAX");
         let set = self.map_set(thread, addr);
@@ -561,30 +791,45 @@ impl PartitionedL2 {
         let base = set * ways;
         self.interactions.total_accesses += 1;
 
-        // Hit path: any thread can hit on any line. The scan is a pure
-        // equality sweep over the set's contiguous tag row — invalid ways
-        // hold INVALID_TAG and can never match.
-        let hit_way = find_tag(&self.tags[base..base + ways], tag);
+        // Hit path: any thread can hit on any line. The way predictor
+        // short-circuits the row sweep with a single verified tag load;
+        // on a stale or cold hint the scan runs as before (invalid ways
+        // hold INVALID_TAG and can never match) and refreshes the hint.
+        let h = hint_index(tag);
+        let hinted = self.way_hints[h] as usize;
+        let hit_way = if hinted < ways && self.tags[base + hinted] == tag {
+            Some(hinted)
+        } else {
+            let found = self.find_tag_cached(&self.tags[base..base + ways], tag);
+            if let Some(w) = found {
+                self.way_hints[h] = w as u8;
+            }
+            found
+        };
         if let Some(w) = hit_way {
             let i = base + w;
             self.lrus[i] = self.clock;
-            // Conditional stores: only touch the metadata bytes whose value
-            // actually changes, so the common same-thread clean-read hit
-            // leaves those cache lines unwritten.
-            if write {
-                self.dirty[i] = true;
-            }
             if self.replacement == ReplacementKind::TreePlru {
                 plru::touch(&mut self.plru_bits[set], ways as u32, w as u32);
             }
-            let inter = self.last_accessors[i] as usize != thread;
+            // One packed metadata word covers dirty, prefetched and
+            // last-accessor; the store is conditional so the common
+            // same-thread clean-read hit leaves the word unwritten.
+            let m = self.meta[i];
+            let inter = (m >> META_ACCESSOR_SHIFT) as usize != thread;
             if inter {
-                self.last_accessors[i] = thread as u8;
                 self.interactions.inter_thread_hits += 1;
             }
-            let prefetched_hit = self.prefetched[i];
-            if prefetched_hit {
-                self.prefetched[i] = false;
+            let prefetched_hit = m & META_PREFETCHED != 0;
+            let mut nm = m & !META_PREFETCHED;
+            if write {
+                nm |= META_DIRTY;
+            }
+            if inter {
+                nm = (nm & 0x00FF) | ((thread as u16) << META_ACCESSOR_SHIFT);
+            }
+            if nm != m {
+                self.meta[i] = nm;
             }
             self.hits[thread] += 1;
             return L2AccessResult {
@@ -606,11 +851,11 @@ impl PartitionedL2 {
             self.evict_for_fill(set, victim, thread);
         let i = base + victim;
         self.tags[i] = tag;
+        self.way_hints[h] = victim as u8;
         self.lrus[i] = self.clock;
-        self.dirty[i] = write;
+        self.meta[i] =
+            ((thread as u16) << META_ACCESSOR_SHIFT) | if write { META_DIRTY } else { 0 };
         self.owners[i] = thread as u8;
-        self.last_accessors[i] = thread as u8;
-        self.prefetched[i] = false;
         if self.replacement == ReplacementKind::TreePlru {
             plru::touch(&mut self.plru_bits[set], ways as u32, victim as u32);
         }
@@ -663,7 +908,7 @@ impl PartitionedL2 {
         self.owned[set * self.threads + prev_owner] -= 1;
         #[cfg(feature = "sanitize")]
         self.sanitize_note_evict(set, prev_owner, thread);
-        let was_dirty = self.dirty[i];
+        let was_dirty = self.meta[i] & META_DIRTY != 0;
         if was_dirty {
             self.writebacks[prev_owner] += 1;
         }
@@ -691,7 +936,19 @@ impl PartitionedL2 {
         let set = self.map_set(thread, addr);
         let ways = self.geom.ways;
         let base = set * ways;
-        if find_tag(&self.tags[base..base + ways], tag).is_some() {
+        // Presence probe with the same verified way-hint fast path as
+        // `access_rw` (residency is all that matters here).
+        let h = hint_index(tag);
+        let hinted = self.way_hints[h] as usize;
+        let resident = (hinted < ways && self.tags[base + hinted] == tag)
+            || match self.find_tag_cached(&self.tags[base..base + ways], tag) {
+                Some(w) => {
+                    self.way_hints[h] = w as u8;
+                    true
+                }
+                None => false,
+            };
+        if resident {
             return L2AccessResult {
                 hit: true,
                 inter_thread_hit: false,
@@ -701,7 +958,7 @@ impl PartitionedL2 {
                 prefetched_hit: false,
             };
         }
-        self.clock += 1;
+        self.bump_clock();
         let victim = self.choose_victim(set, thread);
         #[cfg(feature = "sanitize")]
         self.sanitize_victim_check(set, victim, thread);
@@ -712,11 +969,10 @@ impl PartitionedL2 {
         // clock is the common simplification).
         let i = base + victim;
         self.tags[i] = tag;
+        self.way_hints[h] = victim as u8;
         self.lrus[i] = self.clock;
-        self.dirty[i] = false;
+        self.meta[i] = ((thread as u16) << META_ACCESSOR_SHIFT) | META_PREFETCHED;
         self.owners[i] = thread as u8;
-        self.last_accessors[i] = thread as u8;
-        self.prefetched[i] = true;
         if self.replacement == ReplacementKind::TreePlru {
             plru::touch(&mut self.plru_bits[set], ways as u32, victim as u32);
         }
@@ -733,6 +989,41 @@ impl PartitionedL2 {
         }
     }
 
+    /// Advances the LRU clock. The clock and every stored LRU stamp are
+    /// `u32` (half the victim sweep's memory traffic); if the counter ever
+    /// reaches the last assignable value the stored clocks are
+    /// rank-compressed to `1..=k` in order — distinctness and relative
+    /// order are preserved exactly, so replacement decisions match an
+    /// unbounded clock bit for bit. `u32::MAX` itself is never assigned:
+    /// it is the sweep sentinel for "not a candidate".
+    #[inline]
+    #[hot_path]
+    fn bump_clock(&mut self) {
+        if self.clock >= u32::MAX - 1 {
+            self.rebase_lru_clocks();
+        }
+        self.clock += 1;
+    }
+
+    /// Rank-compresses all stored LRU clocks to `1..=k` preserving order
+    /// (cold: runs at most once per ~4 billion accesses). Zero entries
+    /// (never-used ways) stay zero; nonzero stamps are globally distinct —
+    /// every one came from a distinct clock value — so ranking keeps them
+    /// distinct.
+    #[cold]
+    fn rebase_lru_clocks(&mut self) {
+        let mut stamps: Vec<u32> = self.lrus.iter().copied().filter(|&l| l != 0).collect();
+        stamps.sort_unstable();
+        for l in self.lrus.iter_mut() {
+            if *l != 0 {
+                // Distinct stamps make the rank unambiguous; the stamp is
+                // present by construction, so `partition_point` finds it.
+                *l = stamps.partition_point(|&x| x < *l) as u32 + 1;
+            }
+        }
+        self.clock = stamps.len() as u32;
+    }
+
     /// Picks a victim way in `set` for a miss by `thread`, per §V.
     #[hot_path]
     fn choose_victim(&self, set: usize, thread: ThreadId) -> usize {
@@ -747,12 +1038,23 @@ impl PartitionedL2 {
         let owned_row = &self.owned[set * self.threads..(set + 1) * self.threads];
         let valid: usize = owned_row.iter().map(|&c| c as usize).sum();
         if valid < ways {
-            return find_tag(&self.tags[base..base + ways], INVALID_TAG)
+            return self.find_tag_cached(&self.tags[base..base + ways], INVALID_TAG)
                 .expect("assignment counters say a way is free");
         }
 
         if self.replacement == ReplacementKind::TreePlru {
             return self.choose_victim_masked(set, thread, owned_row);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        if ways == 64 && self.simd == SimdTier::Avx512 {
+            // SAFETY: `simd` holds `Avx512` only when runtime detection saw
+            // AVX-512F + AVX-512BW at construction, and `ways == 64` gives
+            // the exact row lengths the kernels require.
+            #[allow(unsafe_code)]
+            return unsafe {
+                self.choose_victim_avx512(set, thread, owned_row, &self.lrus[base..base + ways])
+            };
         }
 
         // True LRU over a full set: one fused sweep computes every
@@ -786,12 +1088,13 @@ impl PartitionedL2 {
             // consumed lowest-first, preserving way order.
             let th = thread as u8;
             let mut best_w = usize::MAX;
-            let mut best_lru = u64::MAX;
+            let mut best_lru = u32::MAX;
             let mut w = 0;
             #[cfg(target_arch = "x86_64")]
-            if std::arch::is_x86_feature_detected!("avx2") {
+            if self.simd != SimdTier::Portable {
                 while w + 32 <= ways {
-                    // SAFETY: AVX2 verified above; slice has >= 32 bytes.
+                    // SAFETY: any non-portable tier implies AVX2 was
+                    // detected at construction; slice has >= 32 bytes.
                     #[allow(unsafe_code)]
                     let mut bits = unsafe { owner_match_mask_avx2(&owners[w..], th) };
                     while bits != 0 {
@@ -805,11 +1108,11 @@ impl PartitionedL2 {
                     w += 32;
                 }
             }
-            // Portable path and tail: foreign ways map to a `u64::MAX` key
+            // Portable path and tail: foreign ways map to a `u32::MAX` key
             // so the sweep stays branchless (valid LRU clocks never reach
             // the sentinel, so a foreign way can't win).
             while w < ways {
-                let key = if owners[w] == th { lrus[w] } else { u64::MAX };
+                let key = if owners[w] == th { lrus[w] } else { u32::MAX };
                 if key < best_lru {
                     best_lru = key;
                     best_w = w;
@@ -836,9 +1139,9 @@ impl PartitionedL2 {
         // their own quota so the set converges to the target; fall back to
         // any other thread's LRU line; if every line is ours already
         // (inconsistent quotas), self-evict.
-        let mut best_over = (u64::MAX, usize::MAX);
-        let mut best_other = (u64::MAX, usize::MAX);
-        let mut best_own = (u64::MAX, usize::MAX);
+        let mut best_over = (u32::MAX, usize::MAX);
+        let mut best_other = (u32::MAX, usize::MAX);
+        let mut best_own = (u32::MAX, usize::MAX);
         for w in 0..ways {
             let lru = lrus[w];
             let o = owners[w] as usize;
@@ -863,6 +1166,74 @@ impl PartitionedL2 {
         }
         debug_assert_ne!(best_own.1, usize::MAX, "set is full");
         best_own.1
+    }
+
+    /// The full-set true-LRU §V victim policy for 64-way sets on AVX-512:
+    /// every candidate class (own lines, other threads' lines, over-quota
+    /// owners' lines) is built as a `__mmask64` — one byte-compare per
+    /// involved thread — and fed to the masked LRU argmin, replacing the
+    /// scalar per-way classification sweeps. Globally-unique LRU clocks
+    /// make this pick exactly the way the scalar path would.
+    ///
+    /// # Safety
+    ///
+    /// The caller must verify at runtime that the CPU supports AVX-512F and
+    /// AVX-512BW, and must pass the set's full LRU row with
+    /// `self.geom.ways == 64` (so owner rows are exactly 64 bytes). The set
+    /// must be full (every way valid), which the occupancy check in
+    /// [`Self::choose_victim`] establishes.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    #[allow(unsafe_code)]
+    unsafe fn choose_victim_avx512(
+        &self,
+        set: usize,
+        thread: ThreadId,
+        owned_row: &[u16],
+        lrus: &[u32],
+    ) -> usize {
+        let base = set * self.geom.ways;
+        let owners = &self.owners[base..base + 64];
+        if self.mode != PartitionMode::Partitioned {
+            // Unpartitioned: global LRU. Set-partitioned: the range is
+            // exclusively the accessor's, so plain LRU within the set is
+            // already isolation.
+            // SAFETY: preconditions forwarded from the caller.
+            return unsafe { masked_lru_argmin_avx512(lrus, u64::MAX) }.unwrap_or(0);
+        }
+        // SAFETY: preconditions forwarded from the caller (64-byte row).
+        let own = unsafe { owner_match_mask_avx512(owners, thread as u8) };
+        if (owned_row[thread] as u32) >= self.targets[thread] {
+            // At/over quota: evict our own LRU line ("thread-wise LRU");
+            // owning nothing in this set, steal the set-global victim.
+            // SAFETY: preconditions forwarded from the caller.
+            if let Some(w) = unsafe { masked_lru_argmin_avx512(lrus, own) } {
+                return w;
+            }
+            // SAFETY: preconditions forwarded from the caller.
+            return unsafe { masked_lru_argmin_avx512(lrus, u64::MAX) }.unwrap_or(0);
+        }
+        // Under quota: prefer victims whose owners are over their own quota
+        // so the set converges to the target; fall back to any other
+        // thread's LRU line; if every line is ours (inconsistent quotas),
+        // self-evict. The set is full, so `!own` is exactly "other".
+        let mut over = 0u64;
+        for (o, &owned) in owned_row.iter().enumerate() {
+            if o != thread && (owned as u32) > self.targets[o] {
+                // SAFETY: preconditions forwarded from the caller.
+                over |= unsafe { owner_match_mask_avx512(owners, o as u8) };
+            }
+        }
+        // SAFETY: preconditions forwarded from the caller.
+        if let Some(w) = unsafe { masked_lru_argmin_avx512(lrus, over) } {
+            return w;
+        }
+        // SAFETY: preconditions forwarded from the caller.
+        if let Some(w) = unsafe { masked_lru_argmin_avx512(lrus, !own) } {
+            return w;
+        }
+        // SAFETY: preconditions forwarded from the caller.
+        unsafe { masked_lru_argmin_avx512(lrus, own) }.unwrap_or(0)
     }
 
     /// The §V victim policy via masked (P)LRU predicate walks — the
@@ -898,7 +1269,7 @@ impl PartitionedL2 {
         let base = set * ways;
         match self.replacement {
             ReplacementKind::TrueLru => {
-                let mut best: Option<(u64, usize)> = None;
+                let mut best: Option<(u32, usize)> = None;
                 for w in 0..ways {
                     if self.tags[base + w] != INVALID_TAG && pred(self.owners[base + w] as usize)
                     {

@@ -31,7 +31,9 @@
 pub mod cache;
 pub mod config;
 pub mod l2;
+pub mod packed;
 pub mod perf;
+pub mod pipeline;
 pub mod plru;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
@@ -44,7 +46,9 @@ pub mod victim;
 
 pub use config::{CacheConfig, L2Geometry, LatencyConfig, SystemConfig};
 pub use l2::{EnforcementKind, PartitionMode, PartitionedL2, ReplacementKind};
+pub use packed::{PackedReplayStream, PackedTrace};
 pub use perf::PerfReport;
+pub use pipeline::{PipelinedStream, TakeStream};
 pub use simulator::{IntervalReport, Simulator, ThreadIntervalStats};
 pub use stats::{GlobalStats, InteractionStats, ThreadCounters};
 pub use stream::{AccessStream, ThreadEvent};

@@ -1,0 +1,451 @@
+//! Packed struct-of-arrays trace storage and zero-copy shared replay.
+//!
+//! [`Trace`] keeps a `Vec<ThreadEvent>` — 24 bytes per event of which a
+//! replay touches every byte. A [`PackedTrace`] stores the same sequence
+//! column-wise (`gaps`/`addrs`/`mlps` arrays, a write bitmap, and barrier
+//! positions), cutting the replay's memory traffic to ~14 bytes per event,
+//! and is immutable after construction so any number of replay streams can
+//! share one materialisation behind an [`Arc`] — the record-once,
+//! simulate-many-schemes pattern the experiment sweeps use (each suite
+//! workload is generated exactly once per sweep and replayed zero-copy for
+//! every partitioning scheme).
+
+use std::sync::Arc;
+
+use icp_hot_path::hot_path;
+
+use crate::stream::{AccessStream, ThreadEvent};
+use crate::trace::Trace;
+
+/// An immutable event sequence in packed struct-of-arrays form.
+///
+/// Accesses live in parallel columns indexed by *access number*; barriers
+/// are stored out of line as the access number they precede (non-decreasing,
+/// with duplicates encoding consecutive barriers). The trailing `Finished`
+/// is implicit, as in [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use icp_cmp_sim::{PackedTrace, ThreadEvent};
+/// use icp_cmp_sim::stream::AccessStream;
+///
+/// let packed = PackedTrace::from_events(&[
+///     ThreadEvent::access(3, 0x40),
+///     ThreadEvent::Barrier,
+///     ThreadEvent::access(0, 0x80),
+/// ]);
+/// let shared = std::sync::Arc::new(packed);
+/// let mut replay = PackedTrace::stream(&shared); // zero-copy
+/// assert_eq!(replay.next_event(), ThreadEvent::access(3, 0x40));
+/// assert_eq!(replay.next_event(), ThreadEvent::Barrier);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PackedTrace {
+    /// Non-memory instruction gap of each access.
+    gaps: Vec<u32>,
+    /// Byte address of each access.
+    addrs: Vec<u64>,
+    /// Memory-level parallelism (tenths) of each access.
+    mlps: Vec<u16>,
+    /// Store flags, one bit per access (bit `i & 63` of word `i >> 6`).
+    writes: Vec<u64>,
+    /// Barrier markers: entry `b` means a barrier fires after `b` accesses
+    /// have been delivered. Non-decreasing; equal entries are consecutive
+    /// barriers.
+    barriers: Vec<u64>,
+}
+
+impl PackedTrace {
+    /// Creates an empty packed trace.
+    pub fn new() -> Self {
+        PackedTrace::default()
+    }
+
+    /// Packs an explicit event sequence (ignoring anything after a
+    /// `Finished`).
+    pub fn from_events(events: &[ThreadEvent]) -> Self {
+        let mut p = PackedTrace::new();
+        for &e in events {
+            match e {
+                ThreadEvent::Access { gap, addr, write, mlp_tenths } => {
+                    p.push_access(gap, addr, write, mlp_tenths);
+                }
+                ThreadEvent::Barrier => p.push_barrier(),
+                ThreadEvent::Finished => break,
+            }
+        }
+        p
+    }
+
+    /// Packs a recorded [`Trace`].
+    pub fn from_trace(trace: &Trace) -> Self {
+        PackedTrace::from_events(trace.events())
+    }
+
+    /// Drains `stream` until it finishes (or `max_events` events — accesses
+    /// plus barriers — have been recorded) and packs everything, pulling
+    /// through the batch API so native generators amortise their dispatch.
+    ///
+    /// The recorded prefix is exactly what [`Trace::record`] would store;
+    /// when the limit truncates mid-stream, up to one batch of surplus
+    /// events may have been generated and discarded.
+    pub fn record<S: AccessStream>(stream: &mut S, max_events: usize) -> Self {
+        let mut p = PackedTrace::new();
+        let mut buf = [ThreadEvent::Finished; 256];
+        'record: while p.len() < max_events {
+            let n = stream.fill_batch(&mut buf);
+            if n == 0 {
+                break;
+            }
+            for &e in &buf[..n] {
+                if p.len() == max_events {
+                    break 'record;
+                }
+                match e {
+                    ThreadEvent::Access { gap, addr, write, mlp_tenths } => {
+                        p.push_access(gap, addr, write, mlp_tenths);
+                    }
+                    ThreadEvent::Barrier => p.push_barrier(),
+                    ThreadEvent::Finished => break 'record,
+                }
+            }
+        }
+        p
+    }
+
+    /// Appends one access.
+    pub fn push_access(&mut self, gap: u32, addr: u64, write: bool, mlp_tenths: u16) {
+        let i = self.gaps.len();
+        if i.is_multiple_of(64) {
+            self.writes.push(0);
+        }
+        if write {
+            self.writes[i >> 6] |= 1 << (i & 63);
+        }
+        self.gaps.push(gap);
+        self.addrs.push(addr);
+        self.mlps.push(mlp_tenths);
+    }
+
+    /// Appends a barrier at the current position.
+    pub fn push_barrier(&mut self) {
+        self.barriers.push(self.gaps.len() as u64);
+    }
+
+    /// Number of packed accesses.
+    pub fn accesses(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Number of packed barriers.
+    pub fn barriers(&self) -> usize {
+        self.barriers.len()
+    }
+
+    /// Total packed events (accesses + barriers, excluding the implicit
+    /// `Finished`).
+    pub fn len(&self) -> usize {
+        self.gaps.len() + self.barriers.len()
+    }
+
+    /// True when nothing was packed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total instructions the trace retires when replayed.
+    pub fn instructions(&self) -> u64 {
+        self.gaps.iter().map(|&g| g as u64 + 1).sum()
+    }
+
+    /// Heap bytes held by the packed columns (capacity, not length) —
+    /// lets harnesses report the footprint advantage over `Vec<ThreadEvent>`.
+    pub fn packed_bytes(&self) -> usize {
+        self.gaps.capacity() * 4
+            + self.addrs.capacity() * 8
+            + self.mlps.capacity() * 2
+            + self.writes.capacity() * 8
+            + self.barriers.capacity() * 8
+    }
+
+    /// Unpacks into the equivalent event sequence (tests/interchange; the
+    /// hot path replays in place via [`PackedReplayStream`]).
+    pub fn to_events(&self) -> Vec<ThreadEvent> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stream = PackedReplayStream::new(Arc::new(self.clone()));
+        loop {
+            match stream.next_event() {
+                ThreadEvent::Finished => break,
+                e => out.push(e),
+            }
+        }
+        out
+    }
+
+    /// Unpacks into a [`Trace`].
+    pub fn to_trace(&self) -> Trace {
+        Trace::from_events(self.to_events())
+    }
+
+    /// A zero-copy replay stream over a shared packed trace.
+    pub fn stream(this: &Arc<Self>) -> PackedReplayStream {
+        PackedReplayStream::new(Arc::clone(this))
+    }
+}
+
+/// A stream replaying a shared [`PackedTrace`], then `Finished` forever.
+///
+/// Cloning the stream (or creating several via [`PackedTrace::stream`])
+/// shares the packed columns — replays for different partitioning schemes
+/// cost two cursor words each, not a copy of the trace.
+#[derive(Clone, Debug)]
+pub struct PackedReplayStream {
+    trace: Arc<PackedTrace>,
+    /// Next access column index to deliver.
+    next_access: usize,
+    /// Next barrier marker to fire.
+    next_barrier: usize,
+}
+
+impl PackedReplayStream {
+    /// Creates a replay cursor at the start of `trace`.
+    pub fn new(trace: Arc<PackedTrace>) -> Self {
+        PackedReplayStream { trace, next_access: 0, next_barrier: 0 }
+    }
+
+    /// Decodes access `i` from the packed columns.
+    #[inline]
+    #[hot_path]
+    fn access_at(t: &PackedTrace, i: usize) -> ThreadEvent {
+        ThreadEvent::Access {
+            gap: t.gaps[i],
+            addr: t.addrs[i],
+            write: (t.writes[i >> 6] >> (i & 63)) & 1 != 0,
+            mlp_tenths: t.mlps[i],
+        }
+    }
+}
+
+impl AccessStream for PackedReplayStream {
+    fn next_event(&mut self) -> ThreadEvent {
+        let t = &self.trace;
+        if self.next_barrier < t.barriers.len()
+            && t.barriers[self.next_barrier] == self.next_access as u64
+        {
+            self.next_barrier += 1;
+            return ThreadEvent::Barrier;
+        }
+        if self.next_access < t.gaps.len() {
+            let e = Self::access_at(t, self.next_access);
+            self.next_access += 1;
+            return e;
+        }
+        ThreadEvent::Finished
+    }
+
+    /// Native batch delivery: runs of accesses between barrier markers are
+    /// decoded straight out of the packed columns.
+    #[hot_path]
+    fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
+        let trace = Arc::clone(&self.trace);
+        let t = &*trace;
+        let mut n = 0;
+        while n < out.len() {
+            // Barriers due at the cursor fire before the next access run.
+            if self.next_barrier < t.barriers.len()
+                && t.barriers[self.next_barrier] == self.next_access as u64
+            {
+                out[n] = ThreadEvent::Barrier;
+                n += 1;
+                self.next_barrier += 1;
+                continue;
+            }
+            if self.next_access >= t.gaps.len() {
+                // Exhausted: one synthesised `Finished` ends the batch, as
+                // in `ReplayStream`.
+                out[n] = ThreadEvent::Finished;
+                n += 1;
+                break;
+            }
+            // Copy the access run up to the next barrier or buffer end.
+            let until = t
+                .barriers
+                .get(self.next_barrier)
+                .map_or(t.gaps.len(), |&b| b as usize);
+            let run = (until - self.next_access).min(out.len() - n);
+            for k in 0..run {
+                out[n + k] = Self::access_at(t, self.next_access + k);
+            }
+            self.next_access += run;
+            n += run;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ReplayStream;
+
+    fn sample_events() -> Vec<ThreadEvent> {
+        vec![
+            ThreadEvent::Access { gap: 3, addr: 0x1234_5678_9abc, write: false, mlp_tenths: 10 },
+            ThreadEvent::Access { gap: 0, addr: 64, write: true, mlp_tenths: 60 },
+            ThreadEvent::Barrier,
+            ThreadEvent::Barrier,
+            ThreadEvent::Access { gap: 7, addr: 128, write: false, mlp_tenths: 10 },
+            ThreadEvent::Barrier,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_events() {
+        let events = sample_events();
+        let p = PackedTrace::from_events(&events);
+        assert_eq!(p.to_events(), events);
+        assert_eq!(p.accesses(), 3);
+        assert_eq!(p.barriers(), 3);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.instructions(), 4 + 1 + 8);
+    }
+
+    #[test]
+    fn replay_matches_replay_stream_exactly() {
+        let events = sample_events();
+        let p = Arc::new(PackedTrace::from_events(&events));
+        let mut packed = PackedTrace::stream(&p);
+        let mut plain = ReplayStream::new(events);
+        for _ in 0..10 {
+            assert_eq!(packed.next_event(), plain.next_event());
+        }
+    }
+
+    #[test]
+    fn fill_batch_matches_next_event_at_all_batch_sizes() {
+        let events = sample_events();
+        for batch in [1usize, 2, 3, 5, 16] {
+            let p = Arc::new(PackedTrace::from_events(&events));
+            let mut batched = PackedTrace::stream(&p);
+            let mut single = PackedTrace::stream(&p);
+            let mut buf = vec![ThreadEvent::Finished; batch];
+            'outer: loop {
+                let n = batched.fill_batch(&mut buf);
+                assert!(n > 0);
+                for &e in &buf[..n] {
+                    assert_eq!(e, single.next_event(), "batch size {batch}");
+                    if matches!(e, ThreadEvent::Finished) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn record_matches_trace_record() {
+        let events = sample_events();
+        for max in [0usize, 1, 2, 3, 4, 6, 100] {
+            let mut s1 = ReplayStream::new(events.clone());
+            let mut s2 = ReplayStream::new(events.clone());
+            let t = Trace::record(&mut s1, max);
+            let p = PackedTrace::record(&mut s2, max);
+            assert_eq!(p.to_events(), t.events(), "max_events {max}");
+        }
+    }
+
+    #[test]
+    fn shared_streams_are_independent_cursors() {
+        let p = Arc::new(PackedTrace::from_events(&sample_events()));
+        let mut a = PackedTrace::stream(&p);
+        let mut b = PackedTrace::stream(&p);
+        assert_eq!(a.next_event(), b.next_event());
+        a.next_event();
+        // `b` is unaffected by `a`'s progress.
+        assert_eq!(b.next_event(), ThreadEvent::Access { gap: 0, addr: 64, write: true, mlp_tenths: 60 });
+    }
+
+    #[test]
+    fn exhausted_stream_keeps_yielding_finished() {
+        let p = Arc::new(PackedTrace::from_events(&[ThreadEvent::access(0, 0)]));
+        let mut s = PackedTrace::stream(&p);
+        s.next_event();
+        assert_eq!(s.next_event(), ThreadEvent::Finished);
+        assert_eq!(s.next_event(), ThreadEvent::Finished);
+        let mut buf = [ThreadEvent::Barrier; 4];
+        assert_eq!(s.fill_batch(&mut buf), 1);
+        assert_eq!(buf[0], ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn empty_trace_is_finished_immediately() {
+        let p = Arc::new(PackedTrace::new());
+        assert!(p.is_empty());
+        let mut s = PackedTrace::stream(&p);
+        assert_eq!(s.next_event(), ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn leading_and_trailing_barriers_survive() {
+        let events = vec![
+            ThreadEvent::Barrier,
+            ThreadEvent::access(1, 64),
+            ThreadEvent::Barrier,
+        ];
+        let p = PackedTrace::from_events(&events);
+        assert_eq!(p.to_events(), events);
+    }
+
+    #[test]
+    fn write_bitmap_crosses_word_boundaries() {
+        // 130 accesses with writes on a stride: exercises bits in three
+        // bitmap words.
+        let events: Vec<ThreadEvent> = (0..130)
+            .map(|i| ThreadEvent::Access {
+                gap: i as u32,
+                addr: i as u64 * 64,
+                write: i % 3 == 0,
+                mlp_tenths: 10,
+            })
+            .collect();
+        let p = PackedTrace::from_events(&events);
+        assert_eq!(p.to_events(), events);
+    }
+
+    #[test]
+    fn trace_interop_roundtrips() {
+        let t = Trace::from_events(sample_events());
+        let p = PackedTrace::from_trace(&t);
+        assert_eq!(p.to_trace(), t);
+        assert!(p.packed_bytes() > 0);
+    }
+
+    #[test]
+    fn packed_simulation_digest_matches_vec_replay() {
+        use crate::config::SystemConfig;
+        use crate::simulator::Simulator;
+
+        let events: Vec<ThreadEvent> = (0..500)
+            .map(|i| ThreadEvent::Access {
+                gap: (i % 5) as u32,
+                addr: ((i * 37) % 512) * 64,
+                write: i % 3 == 0,
+                mlp_tenths: 10,
+            })
+            .collect();
+        let mut cfg = SystemConfig::scaled_down();
+        cfg.cores = 1;
+        cfg.interval_instructions = 100;
+        let run = |stream: Box<dyn AccessStream>| {
+            let mut sim = Simulator::new(cfg, vec![stream]);
+            while sim.run_interval().is_some() {}
+            (sim.wall_cycles(), sim.stats().threads[0])
+        };
+        let packed = Arc::new(PackedTrace::from_events(&events));
+        let (w1, c1) = run(Box::new(ReplayStream::new(events)));
+        let (w2, c2) = run(Box::new(PackedTrace::stream(&packed)));
+        assert_eq!(w1, w2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Pipeline parallelism: decoupling event generation from simulation.
+//!
+//! Synthetic generation (Zipf sampling, address scrambling) and simulation
+//! (cache walks, timing) are independent stages — the simulator never feeds
+//! state back into a stream (see [`AccessStream`]). [`PipelinedStream`]
+//! exploits that by running any stream's generator on its own producer
+//! thread: batches of events flow through a bounded channel (backpressure
+//! keeps the producer at most `depth` batches ahead) and drained buffers
+//! are recycled back to the producer, so steady state allocates nothing.
+//!
+//! Because each workload thread owns an independent RNG (forked per thread
+//! from the master seed, see `icp-workloads`), moving its generator to
+//! another OS thread changes *when* events are produced but never *which*
+//! events — simulations over pipelined streams are bit-identical to inline
+//! generation, which the `pipeline_equivalence` integration suite and the
+//! `pipeline_4t` bench scenario both pin.
+//!
+//! [`TakeStream`] is the companion adaptor that truncates a stream after a
+//! fixed number of events, matching how [`crate::Trace::record`] bounds a
+//! recording — it lets a pipelined run consume "the first N events" exactly
+//! like a record-then-replay run does.
+
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+use crate::stream::{AccessStream, ThreadEvent};
+
+/// Default events per pipeline batch. Large enough to amortise channel
+/// hand-off to noise, small enough that three in-flight buffers stay cheap.
+pub const DEFAULT_BATCH: usize = 4096;
+
+/// Default channel depth (batches the producer may run ahead).
+pub const DEFAULT_DEPTH: usize = 2;
+
+/// A stream whose events are generated on a dedicated producer thread.
+///
+/// The producer fills event buffers ahead of the consumer and parks once
+/// `depth` full batches are queued (bounded-channel backpressure); the
+/// consumer hands drained buffers back for reuse. Dropping the stream —
+/// even mid-sequence — closes both channels, unblocking and joining the
+/// producer.
+///
+/// # Examples
+///
+/// ```
+/// use icp_cmp_sim::{PipelinedStream, ThreadEvent};
+/// use icp_cmp_sim::stream::{AccessStream, ReplayStream};
+///
+/// let inner = ReplayStream::new(vec![ThreadEvent::access(3, 0x40)]);
+/// let mut piped = PipelinedStream::spawn(inner);
+/// assert_eq!(piped.next_event(), ThreadEvent::access(3, 0x40));
+/// assert_eq!(piped.next_event(), ThreadEvent::Finished);
+/// ```
+#[derive(Debug)]
+pub struct PipelinedStream {
+    /// Full batches from the producer. `None` once shut down.
+    rx_full: Option<Receiver<Vec<ThreadEvent>>>,
+    /// Drained buffers back to the producer. `None` once shut down.
+    tx_empty: Option<Sender<Vec<ThreadEvent>>>,
+    handle: Option<JoinHandle<()>>,
+    /// Batch currently being drained.
+    cur: Vec<ThreadEvent>,
+    pos: usize,
+    done: bool,
+}
+
+impl PipelinedStream {
+    /// Moves `stream`'s generation onto a producer thread with default
+    /// batch size and channel depth.
+    pub fn spawn<S: AccessStream + Send + 'static>(stream: S) -> Self {
+        PipelinedStream::spawn_with(stream, DEFAULT_BATCH, DEFAULT_DEPTH)
+    }
+
+    /// [`Self::spawn`] with explicit knobs. `batch` and `depth` are clamped
+    /// to at least 1; tiny values are valid (the deadlock regression tests
+    /// run `batch = depth = 1`) just slow.
+    pub fn spawn_with<S: AccessStream + Send + 'static>(
+        mut stream: S,
+        batch: usize,
+        depth: usize,
+    ) -> Self {
+        let batch = batch.max(1);
+        let depth = depth.max(1);
+        let (tx_full, rx_full): (SyncSender<Vec<ThreadEvent>>, _) = sync_channel(depth);
+        let (tx_empty, rx_empty) = std::sync::mpsc::channel::<Vec<ThreadEvent>>();
+        // Pre-seed the recycle loop: depth in-flight + one being drained.
+        for _ in 0..=depth {
+            // Sends cannot fail here: we hold the receiver.
+            let _ = tx_empty.send(Vec::with_capacity(batch));
+        }
+        let handle = std::thread::spawn(move || {
+            // Ends when the stream finishes or the consumer hangs up
+            // (either channel end dropped).
+            while let Ok(mut buf) = rx_empty.recv() {
+                buf.clear();
+                buf.resize(batch, ThreadEvent::Finished);
+                let n = stream.fill_batch(&mut buf);
+                buf.truncate(n);
+                let finished = buf.last().is_none_or(|e| matches!(e, ThreadEvent::Finished));
+                if tx_full.send(buf).is_err() || finished {
+                    break;
+                }
+            }
+        });
+        PipelinedStream {
+            rx_full: Some(rx_full),
+            tx_empty: Some(tx_empty),
+            handle: Some(handle),
+            cur: Vec::new(),
+            pos: 0,
+            done: false,
+        }
+    }
+
+    /// Recycles the drained batch and blocks for the next full one. Sets
+    /// `done` if the producer has hung up.
+    fn refill(&mut self) {
+        let drained = std::mem::take(&mut self.cur);
+        if let Some(tx) = &self.tx_empty {
+            // Failure just means the producer exited; the full channel may
+            // still hold its final batches.
+            let _ = tx.send(drained);
+        }
+        self.pos = 0;
+        match self.rx_full.as_ref().and_then(|rx| rx.recv().ok()) {
+            Some(buf) => self.cur = buf,
+            // Producer gone with no pending batch: treat as finished
+            // (defensive — a well-formed producer always delivers a final
+            // `Finished` batch first).
+            None => self.done = true,
+        }
+    }
+}
+
+impl AccessStream for PipelinedStream {
+    fn next_event(&mut self) -> ThreadEvent {
+        loop {
+            if self.done {
+                return ThreadEvent::Finished;
+            }
+            if self.pos < self.cur.len() {
+                let e = self.cur[self.pos];
+                self.pos += 1;
+                if matches!(e, ThreadEvent::Finished) {
+                    self.done = true;
+                }
+                return e;
+            }
+            self.refill();
+        }
+    }
+
+    /// Native batch delivery: slice copies out of the current producer
+    /// batch. A producer batch only ever carries `Finished` as its last
+    /// element (the [`AccessStream::fill_batch`] contract), so the
+    /// end-of-copy check suffices.
+    fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
+        let mut n = 0;
+        while n < out.len() {
+            if self.done {
+                if n == 0 {
+                    out[0] = ThreadEvent::Finished;
+                    n = 1;
+                }
+                break;
+            }
+            if self.pos >= self.cur.len() {
+                self.refill();
+                continue;
+            }
+            let take = (self.cur.len() - self.pos).min(out.len() - n);
+            out[n..n + take].copy_from_slice(&self.cur[self.pos..self.pos + take]);
+            self.pos += take;
+            n += take;
+            if matches!(out[n - 1], ThreadEvent::Finished) {
+                self.done = true;
+                break;
+            }
+        }
+        n
+    }
+}
+
+impl Drop for PipelinedStream {
+    fn drop(&mut self) {
+        // Drop both channel ends *before* joining: a producer parked in
+        // `send` (full channel) or `recv` (awaiting a recycled buffer)
+        // unblocks with an error and exits. Joining first would deadlock.
+        drop(self.tx_empty.take());
+        drop(self.rx_full.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Truncates a stream after `limit` events, then yields `Finished` forever.
+///
+/// The delivered sequence is exactly what recording the inner stream with
+/// [`crate::Trace::record`]`(stream, limit)` and replaying would deliver —
+/// the adaptor that lets pipelined runs bound work the way record-based
+/// runs do.
+#[derive(Debug)]
+pub struct TakeStream<S> {
+    inner: S,
+    remaining: usize,
+    done: bool,
+}
+
+impl<S: AccessStream> TakeStream<S> {
+    /// Wraps `inner`, passing through at most `limit` events.
+    pub fn new(inner: S, limit: usize) -> Self {
+        TakeStream { inner, remaining: limit, done: false }
+    }
+}
+
+impl<S: AccessStream> AccessStream for TakeStream<S> {
+    fn next_event(&mut self) -> ThreadEvent {
+        if self.done || self.remaining == 0 {
+            self.done = true;
+            return ThreadEvent::Finished;
+        }
+        let e = self.inner.next_event();
+        if matches!(e, ThreadEvent::Finished) {
+            self.done = true;
+            return e;
+        }
+        self.remaining -= 1;
+        e
+    }
+
+    fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
+        if out.is_empty() {
+            return 0;
+        }
+        if self.done || self.remaining == 0 {
+            self.done = true;
+            out[0] = ThreadEvent::Finished;
+            return 1;
+        }
+        let want = self.remaining.min(out.len());
+        let n = self.inner.fill_batch(&mut out[..want]);
+        if n == 0 || matches!(out[n.saturating_sub(1)], ThreadEvent::Finished) {
+            // Inner finished inside the window (its `Finished` doesn't
+            // count against the limit).
+            self.done = true;
+            if n == 0 {
+                out[0] = ThreadEvent::Finished;
+                return 1;
+            }
+            return n;
+        }
+        self.remaining -= n;
+        if self.remaining == 0 && n < out.len() {
+            // Limit hit with room to spare: synthesise the `Finished`, as
+            // a replayed recording would.
+            self.done = true;
+            out[n] = ThreadEvent::Finished;
+            return n + 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ReplayStream;
+
+    fn sample_events(n: usize) -> Vec<ThreadEvent> {
+        (0..n)
+            .map(|i| {
+                if i % 7 == 6 {
+                    ThreadEvent::Barrier
+                } else {
+                    ThreadEvent::Access {
+                        gap: (i % 11) as u32,
+                        addr: (i as u64 * 37 % 4096) * 64,
+                        write: i % 3 == 0,
+                        mlp_tenths: 10 + (i % 4) as u16 * 10,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn drain<S: AccessStream>(s: &mut S) -> Vec<ThreadEvent> {
+        let mut out = Vec::new();
+        loop {
+            let e = s.next_event();
+            out.push(e);
+            if matches!(e, ThreadEvent::Finished) {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_inline_sequence() {
+        let events = sample_events(10_000);
+        let mut inline = ReplayStream::new(events.clone());
+        let mut piped = PipelinedStream::spawn(ReplayStream::new(events));
+        assert_eq!(drain(&mut piped), drain(&mut inline));
+    }
+
+    #[test]
+    fn pipelined_fill_batch_matches_next_event() {
+        let events = sample_events(5_000);
+        let mut single = PipelinedStream::spawn(ReplayStream::new(events.clone()));
+        let mut batched = PipelinedStream::spawn(ReplayStream::new(events));
+        let mut buf = [ThreadEvent::Finished; 33];
+        'outer: loop {
+            let n = batched.fill_batch(&mut buf);
+            assert!(n > 0);
+            for &e in &buf[..n] {
+                assert_eq!(e, single.next_event());
+                if matches!(e, ThreadEvent::Finished) {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_batch_and_depth_do_not_deadlock() {
+        // batch = depth = 1 forces maximal producer/consumer contention —
+        // the regression shape for ring-buffer deadlocks.
+        let events = sample_events(300);
+        let mut inline = ReplayStream::new(events.clone());
+        let mut piped = PipelinedStream::spawn_with(ReplayStream::new(events), 1, 1);
+        assert_eq!(drain(&mut piped), drain(&mut inline));
+    }
+
+    #[test]
+    fn dropping_mid_stream_joins_producer() {
+        // Endless stream: the producer can only exit via consumer hang-up.
+        let endless = || ThreadEvent::access(1, 64);
+        let mut piped = PipelinedStream::spawn_with(endless, 8, 2);
+        for _ in 0..20 {
+            assert_eq!(piped.next_event(), ThreadEvent::access(1, 64));
+        }
+        drop(piped); // must not hang
+    }
+
+    #[test]
+    fn exhausted_pipeline_keeps_yielding_finished() {
+        let mut piped = PipelinedStream::spawn(ReplayStream::new(sample_events(3)));
+        drain(&mut piped);
+        assert_eq!(piped.next_event(), ThreadEvent::Finished);
+        let mut buf = [ThreadEvent::Barrier; 4];
+        assert_eq!(piped.fill_batch(&mut buf), 1);
+        assert_eq!(buf[0], ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn take_matches_record_then_replay() {
+        let events = sample_events(50);
+        for limit in [0usize, 1, 7, 49, 50, 51, 1000] {
+            let mut src = ReplayStream::new(events.clone());
+            let recorded = crate::trace::Trace::record(&mut src, limit);
+            let mut replay = recorded.into_stream();
+            let mut take = TakeStream::new(ReplayStream::new(events.clone()), limit);
+            assert_eq!(drain(&mut take), drain(&mut replay), "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn take_fill_batch_matches_next_event() {
+        let events = sample_events(100);
+        for (limit, batch) in [(30usize, 7usize), (100, 16), (120, 1), (64, 64)] {
+            let mut single = TakeStream::new(ReplayStream::new(events.clone()), limit);
+            let mut batched = TakeStream::new(ReplayStream::new(events.clone()), limit);
+            let mut buf = vec![ThreadEvent::Barrier; batch];
+            'outer: loop {
+                let n = batched.fill_batch(&mut buf);
+                assert!(n > 0);
+                for &e in &buf[..n] {
+                    assert_eq!(e, single.next_event(), "limit {limit} batch {batch}");
+                    if matches!(e, ThreadEvent::Finished) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_take_composition() {
+        // The shape the pipeline_4t bench scenario uses: generator →
+        // TakeStream → PipelinedStream must equal record-then-replay.
+        let events = sample_events(500);
+        let limit = 123;
+        let mut src = ReplayStream::new(events.clone());
+        let recorded = crate::trace::Trace::record(&mut src, limit);
+        let mut replay = recorded.into_stream();
+        let mut piped = PipelinedStream::spawn_with(
+            TakeStream::new(ReplayStream::new(events), limit),
+            16,
+            2,
+        );
+        assert_eq!(drain(&mut piped), drain(&mut replay));
+    }
+}

@@ -205,12 +205,12 @@ impl PartitionedL2 {
                     return Err(Violation::LruOutOfRange {
                         set,
                         way: w,
-                        lru: self.lrus[i],
-                        clock: self.clock,
+                        lru: u64::from(self.lrus[i]),
+                        clock: u64::from(self.clock),
                     });
                 }
                 by_tag.push((self.tags[i], w));
-                by_lru.push((self.lrus[i], w));
+                by_lru.push((u64::from(self.lrus[i]), w));
             }
             by_tag.sort_unstable();
             by_lru.sort_unstable();
@@ -409,7 +409,7 @@ impl PartitionedL2 {
 
     /// Test-only corruption: overwrites a line's LRU clock.
     #[doc(hidden)]
-    pub fn corrupt_lru_for_test(&mut self, set: usize, way: usize, lru: u64) {
+    pub fn corrupt_lru_for_test(&mut self, set: usize, way: usize, lru: u32) {
         self.lrus[set * self.geom.ways + way] = lru;
     }
 }

@@ -90,8 +90,13 @@ struct CoreState {
 
 /// Events fetched per stream refill. Big enough to amortise the virtual
 /// `fill_batch` call and let generators batch their work; small enough that
-/// a ring stays in L1 (64 events x 24 B = 1.5 KB).
-const EVENT_BATCH: usize = 64;
+/// a ring stays cache-resident (256 events x 24 B = 6 KB).
+const EVENT_BATCH: usize = 256;
+
+/// Entries in the per-`mlp_tenths` miss-latency table. Valid workload specs
+/// keep `mlp` in `[1, 16]` (so `mlp_tenths <= 160`); 256 leaves headroom for
+/// hand-built streams while the table still fits in four cache lines.
+const MISS_LUT_SIZE: usize = 256;
 
 /// A per-core ring of prefetched stream events. Streams are
 /// generation-only (nothing the simulator does feeds back into them), so
@@ -160,6 +165,10 @@ pub struct Simulator {
     /// Stream events consumed so far (accesses + barriers + finishes) —
     /// the denominator of the [`crate::perf`] events/sec rate.
     events_processed: u64,
+    /// Precomputed L2-miss stall (`l2_hit + max(1, memory*10/mlp_tenths)`)
+    /// indexed by `mlp_tenths`; values past the table fall back to the
+    /// division. Replaces a 64-bit divide on every demand miss.
+    miss_latency_lut: [u64; MISS_LUT_SIZE],
     /// Per-bank "busy until" cycle; empty when banking is disabled.
     bank_busy_until: Vec<u64>,
     /// `l2_banks - 1`: bank count is a power of two (validated), so the
@@ -195,6 +204,14 @@ impl Simulator {
             done: false,
             finished_cores: 0,
             events_processed: 0,
+            miss_latency_lut: {
+                let mut lut = [0u64; MISS_LUT_SIZE];
+                for (m, slot) in lut.iter_mut().enumerate() {
+                    let dram = (cfg.latency.memory * 10) / (m.max(1) as u64);
+                    *slot = cfg.latency.l2_hit + dram.max(1);
+                }
+                lut
+            },
             bank_busy_until: vec![0; cfg.l2_banks as usize],
             bank_mask: (cfg.l2_banks as u64).saturating_sub(1),
             victim: (cfg.victim_cache_lines > 0)
@@ -286,13 +303,20 @@ impl Simulator {
             // Choose the runnable core with the smallest clock. The manual
             // strict-`<` sweep keeps the tie-break deterministic (first
             // minimum = lowest id) without building `(clock, id)` keys per
-            // candidate on every event.
+            // candidate on every event. The runner-up clock is tracked
+            // alongside so the inner loop below can skip re-sweeping.
             let mut t = usize::MAX;
             let mut best = u64::MAX;
+            let mut second = u64::MAX;
             for (i, c) in self.cores.iter().enumerate() {
-                if c.status == CoreStatus::Running && c.clock < best {
-                    best = c.clock;
-                    t = i;
+                if c.status == CoreStatus::Running {
+                    if c.clock < best {
+                        second = best;
+                        best = c.clock;
+                        t = i;
+                    } else if c.clock < second {
+                        second = c.clock;
+                    }
                 }
             }
 
@@ -307,19 +331,30 @@ impl Simulator {
                 continue;
             }
 
-            self.step_core(t);
+            // Monotonic fast path: stepping a core only raises its own
+            // clock, so `t` stays the sweep's unique choice while its clock
+            // is strictly below the runner-up's. Re-sweep on a status
+            // change or once the clocks touch (`>=`, so ties go back
+            // through the sweep's lowest-id break).
+            loop {
+                self.step_core(t);
 
-            if self.total_instructions >= self.next_boundary {
-                self.next_boundary += self.cfg.interval_instructions;
-                let all_done = self.finished_cores == cores_total;
-                if all_done {
-                    self.done = true;
+                if self.total_instructions >= self.next_boundary {
+                    self.next_boundary += self.cfg.interval_instructions;
+                    let all_done = self.finished_cores == cores_total;
+                    if all_done {
+                        self.done = true;
+                    }
+                    return Some(self.make_report(all_done));
                 }
-                return Some(self.make_report(all_done));
-            }
-            if self.finished_cores == cores_total {
-                self.done = true;
-                return Some(self.make_report(true));
+                if self.finished_cores == cores_total {
+                    self.done = true;
+                    return Some(self.make_report(true));
+                }
+                let c = &self.cores[t];
+                if c.status != CoreStatus::Running || c.clock >= second {
+                    break;
+                }
             }
         }
     }
@@ -455,9 +490,14 @@ impl Simulator {
                         // The DRAM portion of a miss is divided by the
                         // access's memory-level parallelism: overlapped
                         // (streaming/prefetched) misses cost less stall
-                        // per miss.
-                        let dram = (self.cfg.latency.memory * 10) / (mlp_tenths.max(1) as u64);
-                        latency += self.cfg.latency.l2_hit + dram.max(1);
+                        // per miss. Precomputed per `mlp_tenths` at
+                        // construction; out-of-table values re-derive it.
+                        latency += if (mlp_tenths as usize) < MISS_LUT_SIZE {
+                            self.miss_latency_lut[mlp_tenths as usize]
+                        } else {
+                            let dram = (self.cfg.latency.memory * 10) / (mlp_tenths as u64);
+                            self.cfg.latency.l2_hit + dram.max(1)
+                        };
                         // Sequential prefetcher: pull in the next lines off
                         // the critical path.
                         for i in 1..=self.cfg.prefetch_degree as u64 {

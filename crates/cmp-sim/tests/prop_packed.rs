@@ -1,0 +1,109 @@
+//! Hand-rolled property test for packed trace storage (the environment has
+//! no `proptest`; `icp_numeric::rng::Xoshiro256` drives the case
+//! generation).
+//!
+//! Properties, over random event sequences (random gaps/addresses/write
+//! flags/MLP, random barrier placement including leading, trailing and
+//! consecutive barriers):
+//!
+//! * **Round-trip**: `PackedTrace::from_events(e).to_events() == e` — the
+//!   struct-of-arrays columns (including the write bitmap across word
+//!   boundaries and the barrier position encoding) are lossless.
+//! * **Replay equivalence**: a `PackedReplayStream` delivers exactly the
+//!   `ReplayStream` sequence, event-by-event and under random batch sizes.
+//! * **Record equivalence**: `PackedTrace::record` with a random event
+//!   limit stores exactly what `Trace::record` stores.
+
+use icp_cmp_sim::stream::{AccessStream, ReplayStream, ThreadEvent};
+use icp_cmp_sim::{PackedTrace, Trace};
+use icp_numeric::rng::Xoshiro256;
+use std::sync::Arc;
+
+/// Random event sequence: mostly accesses, ~1-in-8 barriers (so runs of
+/// consecutive barriers occur), wide value ranges.
+fn random_events(rng: &mut Xoshiro256, len: usize) -> Vec<ThreadEvent> {
+    (0..len)
+        .map(|_| {
+            if rng.next_bool(0.125) {
+                ThreadEvent::Barrier
+            } else {
+                ThreadEvent::Access {
+                    gap: rng.next_bounded(1 << 20) as u32,
+                    addr: rng.next_u64() >> rng.next_bounded(30),
+                    write: rng.next_bool(0.5),
+                    mlp_tenths: rng.next_bounded(160) as u16 + 10,
+                }
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn packed_roundtrip_property() {
+    let mut rng = Xoshiro256::seed_from_u64(0x9ACC_ED01);
+    for case in 0..300u64 {
+        let len = rng.next_bounded(400) as usize;
+        let events = random_events(&mut rng, len);
+        let packed = PackedTrace::from_events(&events);
+        assert_eq!(packed.to_events(), events, "case {case} len {len}");
+        assert_eq!(
+            packed.accesses() + packed.barriers(),
+            events.len(),
+            "case {case}: event count"
+        );
+        assert_eq!(
+            packed.instructions(),
+            Trace::from_events(events).instructions(),
+            "case {case}: instruction count"
+        );
+    }
+}
+
+#[test]
+fn packed_replay_matches_vec_replay_property() {
+    let mut rng = Xoshiro256::seed_from_u64(0xC0DE_CAFE);
+    for case in 0..150u64 {
+        let len = rng.next_bounded(300) as usize;
+        let events = random_events(&mut rng, len);
+        let packed = Arc::new(PackedTrace::from_events(&events));
+
+        // Event-by-event.
+        let mut a = PackedTrace::stream(&packed);
+        let mut b = ReplayStream::new(events.clone());
+        for step in 0..len + 3 {
+            assert_eq!(a.next_event(), b.next_event(), "case {case} step {step}");
+        }
+
+        // Random batch sizes, fresh cursors.
+        let mut a = PackedTrace::stream(&packed);
+        let mut b = ReplayStream::new(events);
+        loop {
+            let batch = rng.next_bounded(17) as usize + 1;
+            let mut buf_a = vec![ThreadEvent::Barrier; batch];
+            let mut buf_b = vec![ThreadEvent::Barrier; batch];
+            let na = a.fill_batch(&mut buf_a);
+            let nb = b.fill_batch(&mut buf_b);
+            assert_eq!(na, nb, "case {case} batch {batch}");
+            assert_eq!(buf_a[..na], buf_b[..nb], "case {case} batch {batch}");
+            if buf_a[..na].contains(&ThreadEvent::Finished) {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_record_matches_trace_record_property() {
+    let mut rng = Xoshiro256::seed_from_u64(0xBEEF_F00D);
+    for case in 0..150u64 {
+        let len = rng.next_bounded(300) as usize;
+        let events = random_events(&mut rng, len);
+        // Random limit spanning under-, exact- and over-length recordings.
+        let limit = rng.next_bounded(2 * len as u64 + 2) as usize;
+        let mut s1 = ReplayStream::new(events.clone());
+        let mut s2 = ReplayStream::new(events);
+        let reference = Trace::record(&mut s1, limit);
+        let packed = PackedTrace::record(&mut s2, limit);
+        assert_eq!(packed.to_events(), reference.events(), "case {case} limit {limit}");
+    }
+}

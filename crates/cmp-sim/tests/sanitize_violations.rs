@@ -70,7 +70,7 @@ fn sanitize_assert_panics_on_quota_violation() {
 fn lru_ahead_of_clock_is_caught() {
     let mut l2 = one_set();
     fill_partitioned(&mut l2);
-    l2.corrupt_lru_for_test(0, 0, u64::MAX - 1);
+    l2.corrupt_lru_for_test(0, 0, u32::MAX - 1);
     match l2.sanitize_check() {
         Err(Violation::LruOutOfRange { set: 0, way: 0, .. }) => {}
         other => panic!("expected an LRU range violation, got {other:?}"),

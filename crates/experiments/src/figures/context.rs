@@ -23,8 +23,11 @@ pub struct SuiteData {
 
 impl SuiteData {
     /// Runs all 9 benchmarks under all 4 principal schemes (36 simulations,
-    /// parallel across OS threads).
+    /// parallel across OS threads). Each workload is generated exactly once:
+    /// a trace cache is attached if the caller didn't bring one, so the
+    /// other 27 runs replay packed traces zero-copy.
     pub fn collect(cfg: &ExperimentConfig) -> SuiteData {
+        let cfg = &cfg.with_default_trace_cache();
         let benches = suite::all();
         let schemes = [
             Scheme::Shared,

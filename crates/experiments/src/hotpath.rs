@@ -2,9 +2,9 @@
 //!
 //! Every figure in this reproduction is bottlenecked on the per-access cost
 //! of the simulator (`Simulator::step_core` → `PartitionedL2::access_rw`),
-//! so this module defines three fixed, deterministic scenarios that time
-//! exactly those paths and nothing else (event sequences are pre-recorded
-//! into [`ReplayStream`]s before the clock starts):
+//! so this module defines fixed, deterministic scenarios that time exactly
+//! those paths and nothing else (simulation scenarios pre-record their
+//! event sequences before the clock starts):
 //!
 //! * `single_access` — one core looping over an L2-resident working set:
 //!   the L1-hit / L2-hit fast path.
@@ -12,23 +12,35 @@
 //!   prefetcher: the miss + `prefetch_fill` path.
 //! * `interleaved_4t` — four cores with mixed working sets, 10 % sharing
 //!   and 8 L2 banks under an equal way partition: the full min-clock
-//!   interleaved path the experiment sweeps spend their time in.
+//!   interleaved path the experiment sweeps spend their time in, replayed
+//!   from packed (struct-of-arrays) traces.
+//! * `gen_only` — synthetic generation of the interleaved workload into
+//!   packed traces, no simulation: the producer half in isolation.
+//! * `pipeline_4t` — the interleaved workload with generation running on
+//!   per-thread producer threads concurrently with simulation
+//!   ([`PipelinedStream`]); digest bit-identical to `interleaved_4t`.
 //!
 //! The `bench_hotpath` binary runs these and records the numbers in
 //! `BENCH_hotpath.json` at the repository root so subsequent changes have a
 //! perf trajectory to regress against; the `hotpath` bench in `icp-bench`
 //! wraps the same scenarios for quick interactive runs.
 
+use std::time::Instant;
+
 use icp_cmp_sim::stream::{AccessStream, ReplayStream};
-use icp_cmp_sim::{perf, CacheConfig, Simulator, SystemConfig, ThreadEvent, Trace};
-use icp_workloads::{WorkloadBuilder, WorkloadScale};
+use icp_cmp_sim::{
+    perf, CacheConfig, PackedTrace, PipelinedStream, Simulator, SystemConfig, TakeStream,
+    ThreadEvent,
+};
+use icp_workloads::{BenchmarkSpec, SyntheticStream, WorkloadBuilder, WorkloadScale};
 
 use crate::json::Json;
 
 /// Throughput measurement of one scenario.
 #[derive(Clone, Debug)]
 pub struct HotpathResult {
-    /// Scenario name (`single_access`, `l2_miss_prefetch`, `interleaved_4t`).
+    /// Scenario name (`single_access`, `l2_miss_prefetch`,
+    /// `interleaved_4t`, `gen_only`, `pipeline_4t`).
     pub name: &'static str,
     /// Demand memory accesses simulated (L1 hits + misses over all threads).
     pub accesses: u64,
@@ -145,41 +157,115 @@ pub fn l2_miss_prefetch(events_per_thread: usize) -> HotpathResult {
     run_scenario("l2_miss_prefetch", sim)
 }
 
-/// The 4-thread interleaved path: a representative mixed workload (one
-/// streaming thread, one cache-friendly, two mid-size, 10 % sharing)
-/// recorded from the synthetic generator and replayed under an equal way
-/// partition with 8 L2 banks.
-pub fn interleaved_4t(events_per_thread: usize) -> HotpathResult {
-    let mut cfg = base_config(4);
-    cfg.l2_banks = 8;
-    let spec = WorkloadBuilder::new("hotpath-4t")
+/// The mixed 4-thread workload the interleaved scenarios share (one
+/// streaming thread, one cache-friendly, two mid-size, 10 % sharing).
+fn hotpath_4t_spec() -> BenchmarkSpec {
+    WorkloadBuilder::new("hotpath-4t")
         .sections(1, 1_000_000_000_000)
         .shared_region(0.1, 0.8)
         .thread(|t| t.working_set(2.0).theta(0.5).memory_intensity(0.3).mlp(6.0))
         .thread(|t| t.working_set(0.05).theta(1.0).memory_intensity(0.25))
         .thread(|t| t.working_set(0.5).theta(0.8).memory_intensity(0.2))
         .thread(|t| t.working_set(0.3).theta(0.7).memory_intensity(0.15).mlp(2.0))
-        .build();
-    let mut streams = spec.build_streams(&cfg, WorkloadScale::Figure, 0xB007_5EED);
-    let replays: Vec<Box<dyn AccessStream>> = streams
-        .iter_mut()
-        .map(|s| {
-            let mut pull = || s.next_event();
-            let trace = Trace::record(&mut pull, events_per_thread);
-            Box::new(trace.into_stream()) as Box<dyn AccessStream>
-        })
+        .build()
+}
+
+/// Master seed of the interleaved scenarios.
+const HOTPATH_4T_SEED: u64 = 0xB007_5EED;
+
+/// The 4-thread interleaved path: the mixed [`hotpath_4t_spec`] workload
+/// recorded once into packed (struct-of-arrays) traces and replayed
+/// zero-copy under an equal way partition with 8 L2 banks — the same
+/// record-once/replay pattern the experiment sweeps use, so the measured
+/// path is exactly theirs.
+pub fn interleaved_4t(events_per_thread: usize) -> HotpathResult {
+    let mut cfg = base_config(4);
+    cfg.l2_banks = 8;
+    let spec = hotpath_4t_spec();
+    let replays: Vec<Box<dyn AccessStream>> = spec
+        .pack_streams(&cfg, WorkloadScale::Figure, HOTPATH_4T_SEED, events_per_thread)
+        .iter()
+        .map(|t| Box::new(PackedTrace::stream(t)) as Box<dyn AccessStream>)
         .collect();
     let mut sim = Simulator::new(cfg, replays);
     sim.set_partition(&icp_cmp_sim::l2::equal_split(cfg.l2.ways, cfg.cores));
     run_scenario("interleaved_4t", sim)
 }
 
-/// Runs all three scenarios at the given scale.
+/// Generation-only throughput: materialises the [`hotpath_4t_spec`]
+/// workload into packed traces and times nothing else — the producer half
+/// of the pipeline, so generation and simulation regressions are tracked
+/// separately.
+pub fn gen_only(events_per_thread: usize) -> HotpathResult {
+    let mut cfg = base_config(4);
+    cfg.l2_banks = 8;
+    let spec = hotpath_4t_spec();
+    let start = Instant::now();
+    let traces =
+        spec.pack_streams(&cfg, WorkloadScale::Figure, HOTPATH_4T_SEED, events_per_thread);
+    let host_secs = start.elapsed().as_secs_f64();
+    let accesses: u64 = traces.iter().map(|t| t.accesses() as u64).sum();
+    // Delivered events: recorded accesses + barriers plus one `Finished`
+    // per thread, matching what a replay delivers.
+    let events: u64 = traces.iter().map(|t| t.len() as u64 + 1).sum();
+    let instructions: u64 = traces.iter().map(|t| t.instructions()).sum();
+    // Content digest over the generated traces (no simulation here): same
+    // fold shape as `run_scenario` so trajectory tooling treats it alike.
+    let digest = traces
+        .iter()
+        .map(|t| {
+            t.instructions()
+                .wrapping_mul(31)
+                .wrapping_add(t.accesses() as u64)
+                .wrapping_add((t.barriers() as u64).wrapping_mul(7))
+        })
+        .fold(accesses, |acc, x| acc.wrapping_mul(1_000_003).wrapping_add(x));
+    HotpathResult {
+        name: "gen_only",
+        accesses,
+        events,
+        instructions,
+        sim_cycles: 0,
+        host_secs,
+        digest,
+    }
+}
+
+/// The pipelined 4-thread path: same workload, partition and event budget
+/// as [`interleaved_4t`], but each thread's events are generated on its own
+/// producer thread ([`PipelinedStream`]) while the simulator consumes —
+/// generation overlaps simulation instead of preceding it. Per-thread
+/// independent RNG derivation makes the digest bit-identical to
+/// `interleaved_4t`'s (asserted in tests and checkable in the JSON
+/// trajectory).
+pub fn pipeline_4t(events_per_thread: usize) -> HotpathResult {
+    let mut cfg = base_config(4);
+    cfg.l2_banks = 8;
+    let spec = hotpath_4t_spec();
+    let streams: Vec<Box<dyn AccessStream>> = spec
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(t, ts)| {
+            let synth =
+                SyntheticStream::new(&spec, ts, t, &cfg, WorkloadScale::Figure, HOTPATH_4T_SEED);
+            let bounded = TakeStream::new(synth, events_per_thread);
+            Box::new(PipelinedStream::spawn(bounded)) as Box<dyn AccessStream>
+        })
+        .collect();
+    let mut sim = Simulator::new(cfg, streams);
+    sim.set_partition(&icp_cmp_sim::l2::equal_split(cfg.l2.ways, cfg.cores));
+    run_scenario("pipeline_4t", sim)
+}
+
+/// Runs all five scenarios at the given scale.
 pub fn run_all(events_per_thread: usize) -> Vec<HotpathResult> {
     vec![
         single_access(events_per_thread),
         l2_miss_prefetch(events_per_thread),
         interleaved_4t(events_per_thread),
+        gen_only(events_per_thread),
+        pipeline_4t(events_per_thread),
     ]
 }
 
@@ -212,7 +298,8 @@ mod tests {
             assert!(r.accesses > 0, "{}: no accesses", r.name);
             assert!(r.events > r.accesses / 2, "{}: event undercount", r.name);
             assert!(r.accesses_per_sec() > 0.0);
-            assert!(r.sim_cycles > 0);
+            // gen_only never enters the simulator, so it has no sim clock.
+            assert_eq!(r.sim_cycles > 0, r.name != "gen_only", "{}", r.name);
         }
     }
 
@@ -222,5 +309,31 @@ mod tests {
         let b = interleaved_4t(2_000);
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.sim_cycles, b.sim_cycles);
+    }
+
+    #[test]
+    fn pipeline_digest_matches_inline() {
+        // The acceptance property of the pipelined path: moving generation
+        // onto producer threads changes nothing observable.
+        let inline = interleaved_4t(2_000);
+        let piped = pipeline_4t(2_000);
+        assert_eq!(piped.digest, inline.digest);
+        assert_eq!(piped.sim_cycles, inline.sim_cycles);
+        assert_eq!(piped.accesses, inline.accesses);
+        assert_eq!(piped.instructions, inline.instructions);
+    }
+
+    #[test]
+    fn gen_only_is_deterministic_and_consistent() {
+        let a = gen_only(2_000);
+        let b = gen_only(2_000);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.sim_cycles, 0);
+        // Generation feeds the interleaved scenario: the simulated run must
+        // retire exactly the generated instructions.
+        let sim = interleaved_4t(2_000);
+        assert_eq!(sim.instructions, a.instructions);
+        assert_eq!(sim.accesses, a.accesses);
     }
 }

@@ -24,5 +24,7 @@ pub mod runner;
 pub mod scorecard;
 pub mod sweeps;
 pub mod table;
+pub mod trace_cache;
 
 pub use runner::{ExperimentConfig, Scheme};
+pub use trace_cache::TraceCache;

@@ -100,6 +100,11 @@ pub struct ExperimentConfig {
     /// Partition enforcement mechanism (gradual replacement per §V by
     /// default; instant reconfiguration for the enforcement ablation).
     pub enforcement: icp_cmp_sim::EnforcementKind,
+    /// Optional shared trace cache: when set, each distinct workload is
+    /// generated once, packed, and replayed zero-copy for every scheme run
+    /// (see [`crate::trace_cache::TraceCache`]). `None` regenerates streams
+    /// per run — bit-identical results either way.
+    pub trace_cache: Option<std::sync::Arc<crate::trace_cache::TraceCache>>,
 }
 
 impl ExperimentConfig {
@@ -119,6 +124,7 @@ impl ExperimentConfig {
             seed: 0x1C9_2010,
             replacement: icp_cmp_sim::ReplacementKind::TrueLru,
             enforcement: icp_cmp_sim::EnforcementKind::Replacement,
+            trace_cache: None,
         }
     }
 
@@ -134,6 +140,7 @@ impl ExperimentConfig {
             seed: 7,
             replacement: icp_cmp_sim::ReplacementKind::TrueLru,
             enforcement: icp_cmp_sim::EnforcementKind::Replacement,
+            trace_cache: None,
         }
     }
 
@@ -143,6 +150,27 @@ impl ExperimentConfig {
         self
     }
 
+    /// Attaches a trace cache: workloads are generated once and replayed
+    /// from packed traces for every subsequent run with the same inputs.
+    pub fn with_trace_cache(
+        mut self,
+        cache: std::sync::Arc<crate::trace_cache::TraceCache>,
+    ) -> Self {
+        self.trace_cache = Some(cache);
+        self
+    }
+
+    /// Attaches a fresh trace cache unless one is already present — the
+    /// figure/sweep entry points call this so every multi-run pass
+    /// generates each workload exactly once by default.
+    pub fn with_default_trace_cache(&self) -> Self {
+        let mut cfg = self.clone();
+        if cfg.trace_cache.is_none() {
+            cfg.trace_cache = Some(crate::trace_cache::TraceCache::shared());
+        }
+        cfg
+    }
+
     /// Runs `bench` under `scheme` and returns the outcome.
     pub fn run(&self, bench: &BenchmarkSpec, scheme: &Scheme) -> ExecutionOutcome {
         let spec = if bench.threads.len() == self.system.cores {
@@ -150,7 +178,10 @@ impl ExperimentConfig {
         } else {
             bench.with_threads(self.system.cores)
         };
-        let streams = spec.build_streams(&self.system, self.scale, self.seed);
+        let streams = match &self.trace_cache {
+            Some(cache) => cache.replay_streams(&spec, &self.system, self.scale, self.seed),
+            None => spec.build_streams(&self.system, self.scale, self.seed),
+        };
         let mut sim = Simulator::new(self.system, streams);
         sim.set_replacement(self.replacement);
         sim.set_enforcement(self.enforcement);

@@ -42,6 +42,7 @@ fn measure(cfg: &ExperimentConfig) -> (f64, f64) {
 /// cannot help much; with a huge cache nothing contends; the sweet spot in
 /// between is where the paper's effect lives.
 pub fn sweep_cache_size(cfg: &ExperimentConfig) -> Table {
+    let cfg = &cfg.with_default_trace_cache();
     let mut t = Table::new(
         "Sweep: L2 capacity (dynamic scheme improvements, probe set)",
         &["l2 size", "vs shared", "vs equal"],
@@ -58,6 +59,7 @@ pub fn sweep_cache_size(cfg: &ExperimentConfig) -> Table {
 /// Sweeps the core/thread count at fixed L2 capacity (the Figure 22 axis,
 /// extended).
 pub fn sweep_thread_count(cfg: &ExperimentConfig) -> Table {
+    let cfg = &cfg.with_default_trace_cache();
     let mut t = Table::new(
         "Sweep: cores/threads sharing one L2 (dynamic scheme improvements)",
         &["cores", "vs shared", "vs equal"],
@@ -73,6 +75,7 @@ pub fn sweep_thread_count(cfg: &ExperimentConfig) -> Table {
 /// Sweeps the execution interval length (the paper reports "little
 /// variation", §VII).
 pub fn sweep_interval(cfg: &ExperimentConfig) -> Table {
+    let cfg = &cfg.with_default_trace_cache();
     let mut t = Table::new(
         "Sweep: execution interval length (dynamic scheme improvements)",
         &["interval (instructions)", "vs shared", "vs equal"],
@@ -89,6 +92,7 @@ pub fn sweep_interval(cfg: &ExperimentConfig) -> Table {
 /// Sweeps the DRAM latency: the slower memory is, the more a miss costs
 /// and the bigger the partitioning stakes.
 pub fn sweep_memory_latency(cfg: &ExperimentConfig) -> Table {
+    let cfg = &cfg.with_default_trace_cache();
     let mut t = Table::new(
         "Sweep: DRAM latency (dynamic scheme improvements)",
         &["latency (cycles)", "vs shared", "vs equal"],

@@ -27,6 +27,7 @@
 
 pub mod builder;
 pub mod multiapp;
+pub mod seeding;
 pub mod spec;
 pub mod stream;
 pub mod suite;

@@ -1,8 +1,10 @@
 //! Workload specifications: per-phase parameters, per-thread phase
 //! machines, and whole-benchmark specs with barrier structure.
 
+use std::sync::Arc;
+
 use icp_cmp_sim::stream::AccessStream;
-use icp_cmp_sim::SystemConfig;
+use icp_cmp_sim::{PackedTrace, SystemConfig};
 
 use crate::stream::SyntheticStream;
 
@@ -224,6 +226,31 @@ impl BenchmarkSpec {
             .map(|(t, ts)| {
                 Box::new(SyntheticStream::new(self, ts, t, cfg, scale, seed)) as Box<dyn AccessStream>
             })
+            .collect()
+    }
+
+    /// Materialises every thread's stream once into shared packed traces.
+    ///
+    /// This is the generate-once half of the record-once/simulate-many
+    /// pattern: each returned trace can serve any number of zero-copy
+    /// [`PackedTrace::stream`] replays (one per partitioning scheme), and
+    /// the generation cost — the Zipf sampling dominating stream cost — is
+    /// paid exactly once. `max_events` bounds each thread's recording as
+    /// [`icp_cmp_sim::Trace::record`] would; pass `usize::MAX` for the full
+    /// run.
+    ///
+    /// # Panics
+    /// Same conditions as [`Self::build_streams`].
+    pub fn pack_streams(
+        &self,
+        cfg: &SystemConfig,
+        scale: WorkloadScale,
+        seed: u64,
+        max_events: usize,
+    ) -> Vec<Arc<PackedTrace>> {
+        self.build_streams(cfg, scale, seed)
+            .into_iter()
+            .map(|mut s| Arc::new(PackedTrace::record(&mut s, max_events)))
             .collect()
     }
 

@@ -105,8 +105,7 @@ impl SyntheticStream {
         seed: u64,
     ) -> Self {
         let l2_lines = cfg.l2.size_bytes / cfg.l2.line_bytes;
-        let mut master = Xoshiro256::seed_from_u64(seed ^ 0xC0FF_EE00_0000_0000);
-        let rng = master.fork(thread as u64);
+        let rng = crate::seeding::thread_rng(seed, thread);
         let factor = scale.factor();
 
         let phases = thread_spec

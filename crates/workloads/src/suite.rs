@@ -259,6 +259,35 @@ mod tests {
     use super::*;
 
     #[test]
+    fn distinct_streams_across_suite() {
+        // The seeding audit's end-to-end check: with one master seed, every
+        // (benchmark, thread) stream in the suite is pairwise distinct —
+        // the per-thread RNG forks and per-benchmark parameters never
+        // collapse two streams onto the same event prefix.
+        use icp_cmp_sim::stream::{AccessStream, ThreadEvent};
+
+        let cfg = icp_cmp_sim::SystemConfig::scaled_down();
+        let mut prefixes: Vec<(String, Vec<ThreadEvent>)> = Vec::new();
+        for bench in all() {
+            let mut streams = bench.build_streams(&cfg, crate::WorkloadScale::Test, 0x5EED);
+            for (t, s) in streams.iter_mut().enumerate() {
+                let prefix: Vec<ThreadEvent> = (0..64).map(|_| s.next_event()).collect();
+                prefixes.push((format!("{}#{t}", bench.name), prefix));
+            }
+        }
+        assert_eq!(prefixes.len(), 36);
+        for i in 0..prefixes.len() {
+            for j in i + 1..prefixes.len() {
+                assert_ne!(
+                    prefixes[i].1, prefixes[j].1,
+                    "streams {} and {} coincide",
+                    prefixes[i].0, prefixes[j].0
+                );
+            }
+        }
+    }
+
+    #[test]
     fn suite_has_nine_valid_benchmarks() {
         let suite = all();
         assert_eq!(suite.len(), 9);
