@@ -1,6 +1,6 @@
 //! Hot-path throughput bench: `cargo bench -p icp-bench --bench hotpath`.
 //!
-//! Self-contained harness (no external bench framework): runs the five
+//! Self-contained harness (no external bench framework): runs the seven
 //! tracked scenarios from `icp_experiments::hotpath` several times and
 //! reports best/median accesses-per-second. The canonical tracked numbers
 //! come from `cargo run --release --bin bench_hotpath`, which writes
@@ -8,7 +8,8 @@
 //! interactive front-end over the same scenario code.
 
 use icp_experiments::hotpath::{
-    gen_only, interleaved_4t, l2_miss_prefetch, pipeline_4t, single_access, HotpathResult,
+    gen_only, gen_packed, interleaved_4t, l2_miss_prefetch, pipeline_4t, pipeline_packed,
+    single_access, HotpathResult,
 };
 
 const EVENTS_PER_THREAD: usize = 500_000;
@@ -31,5 +32,7 @@ fn main() {
     bench("l2_miss_prefetch", l2_miss_prefetch);
     bench("interleaved_4t", interleaved_4t);
     bench("gen_only", gen_only);
+    bench("gen_packed", gen_packed);
     bench("pipeline_4t", pipeline_4t);
+    bench("pipeline_packed", pipeline_packed);
 }

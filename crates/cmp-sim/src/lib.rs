@@ -46,7 +46,7 @@ pub mod victim;
 
 pub use config::{CacheConfig, L2Geometry, LatencyConfig, SystemConfig};
 pub use l2::{EnforcementKind, PartitionMode, PartitionedL2, ReplacementKind};
-pub use packed::{PackedReplayStream, PackedTrace};
+pub use packed::{PackedBlock, PackedReplayStream, PackedTrace};
 pub use perf::PerfReport;
 pub use pipeline::{PipelinedStream, TakeStream};
 pub use simulator::{IntervalReport, Simulator, ThreadIntervalStats};

@@ -4,9 +4,13 @@
 //! (cache walks, timing) are independent stages — the simulator never feeds
 //! state back into a stream (see [`AccessStream`]). [`PipelinedStream`]
 //! exploits that by running any stream's generator on its own producer
-//! thread: batches of events flow through a bounded channel (backpressure
-//! keeps the producer at most `depth` batches ahead) and drained buffers
-//! are recycled back to the producer, so steady state allocates nothing.
+//! thread: [`PackedBlock`]s of column-packed events flow through a bounded
+//! channel (backpressure keeps the producer at most `depth` blocks ahead)
+//! and drained blocks are recycled back to the producer, so steady state
+//! allocates nothing. The hand-off is by *ownership* — a block is filled
+//! once on the producer ([`AccessStream::fill_packed`]) and drained in
+//! place on the consumer (ideally via [`AccessStream::next_block`], which
+//! swaps whole blocks and copies no event data at all).
 //!
 //! Because each workload thread owns an independent RNG (forked per thread
 //! from the master seed, see `icp-workloads`), moving its generator to
@@ -23,6 +27,7 @@
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
 
+use crate::packed::PackedBlock;
 use crate::stream::{AccessStream, ThreadEvent};
 
 /// Default events per pipeline batch. Large enough to amortise channel
@@ -34,11 +39,16 @@ pub const DEFAULT_DEPTH: usize = 2;
 
 /// A stream whose events are generated on a dedicated producer thread.
 ///
-/// The producer fills event buffers ahead of the consumer and parks once
-/// `depth` full batches are queued (bounded-channel backpressure); the
-/// consumer hands drained buffers back for reuse. Dropping the stream —
-/// even mid-sequence — closes both channels, unblocking and joining the
-/// producer.
+/// The producer packs events into column blocks ahead of the consumer and
+/// parks once `depth` full blocks are queued (bounded-channel
+/// backpressure); the consumer hands drained blocks back for reuse.
+/// Dropping the stream — even mid-sequence — closes both channels,
+/// unblocking and joining the producer.
+///
+/// Consumers that speak columns ([`AccessStream::next_block`]) receive the
+/// producer's blocks by ownership swap — zero event copies end to end; the
+/// enum APIs (`next_event`/`fill_batch`) decode the same blocks in place,
+/// one pass, with no intermediate buffer.
 ///
 /// # Examples
 ///
@@ -53,14 +63,18 @@ pub const DEFAULT_DEPTH: usize = 2;
 /// ```
 #[derive(Debug)]
 pub struct PipelinedStream {
-    /// Full batches from the producer. `None` once shut down.
-    rx_full: Option<Receiver<Vec<ThreadEvent>>>,
-    /// Drained buffers back to the producer. `None` once shut down.
-    tx_empty: Option<Sender<Vec<ThreadEvent>>>,
+    /// Full blocks from the producer. `None` once shut down.
+    rx_full: Option<Receiver<PackedBlock>>,
+    /// Drained blocks back to the producer. `None` once shut down.
+    tx_empty: Option<Sender<PackedBlock>>,
     handle: Option<JoinHandle<()>>,
-    /// Batch currently being drained.
-    cur: Vec<ThreadEvent>,
+    /// Block currently being drained (only by the enum APIs; `next_block`
+    /// hands blocks straight through and leaves this empty).
+    cur: PackedBlock,
+    /// Accesses delivered from `cur`.
     pos: usize,
+    /// Barriers delivered from `cur`.
+    nb: usize,
     done: bool,
 }
 
@@ -81,23 +95,20 @@ impl PipelinedStream {
     ) -> Self {
         let batch = batch.max(1);
         let depth = depth.max(1);
-        let (tx_full, rx_full): (SyncSender<Vec<ThreadEvent>>, _) = sync_channel(depth);
-        let (tx_empty, rx_empty) = std::sync::mpsc::channel::<Vec<ThreadEvent>>();
+        let (tx_full, rx_full): (SyncSender<PackedBlock>, _) = sync_channel(depth);
+        let (tx_empty, rx_empty) = std::sync::mpsc::channel::<PackedBlock>();
         // Pre-seed the recycle loop: depth in-flight + one being drained.
         for _ in 0..=depth {
             // Sends cannot fail here: we hold the receiver.
-            let _ = tx_empty.send(Vec::with_capacity(batch));
+            let _ = tx_empty.send(PackedBlock::with_capacity(batch));
         }
         let handle = std::thread::spawn(move || {
             // Ends when the stream finishes or the consumer hangs up
             // (either channel end dropped).
-            while let Ok(mut buf) = rx_empty.recv() {
-                buf.clear();
-                buf.resize(batch, ThreadEvent::Finished);
-                let n = stream.fill_batch(&mut buf);
-                buf.truncate(n);
-                let finished = buf.last().is_none_or(|e| matches!(e, ThreadEvent::Finished));
-                if tx_full.send(buf).is_err() || finished {
+            while let Ok(mut block) = rx_empty.recv() {
+                stream.fill_packed(&mut block, batch);
+                let finished = block.finished() || block.is_empty();
+                if tx_full.send(block).is_err() || finished {
                     break;
                 }
             }
@@ -106,27 +117,34 @@ impl PipelinedStream {
             rx_full: Some(rx_full),
             tx_empty: Some(tx_empty),
             handle: Some(handle),
-            cur: Vec::new(),
+            cur: PackedBlock::default(),
             pos: 0,
+            nb: 0,
             done: false,
         }
     }
 
-    /// Recycles the drained batch and blocks for the next full one. Sets
+    /// True once every event of the current block has been delivered.
+    fn cur_drained(&self) -> bool {
+        self.pos >= self.cur.accesses() && self.nb >= self.cur.barrier_count()
+    }
+
+    /// Recycles the drained block and blocks for the next full one. Sets
     /// `done` if the producer has hung up.
     fn refill(&mut self) {
         let drained = std::mem::take(&mut self.cur);
         if let Some(tx) = &self.tx_empty {
             // Failure just means the producer exited; the full channel may
-            // still hold its final batches.
+            // still hold its final blocks.
             let _ = tx.send(drained);
         }
         self.pos = 0;
+        self.nb = 0;
         match self.rx_full.as_ref().and_then(|rx| rx.recv().ok()) {
-            Some(buf) => self.cur = buf,
-            // Producer gone with no pending batch: treat as finished
+            Some(block) => self.cur = block,
+            // Producer gone with no pending block: treat as finished
             // (defensive — a well-formed producer always delivers a final
-            // `Finished` batch first).
+            // `finished` block first).
             None => self.done = true,
         }
     }
@@ -138,22 +156,24 @@ impl AccessStream for PipelinedStream {
             if self.done {
                 return ThreadEvent::Finished;
             }
-            if self.pos < self.cur.len() {
-                let e = self.cur[self.pos];
-                self.pos += 1;
-                if matches!(e, ThreadEvent::Finished) {
-                    self.done = true;
+            if let Some(e) = self.cur.event_at(self.pos, self.nb) {
+                match e {
+                    ThreadEvent::Barrier => self.nb += 1,
+                    _ => self.pos += 1,
                 }
                 return e;
+            }
+            if self.cur.finished() {
+                self.done = true;
+                return ThreadEvent::Finished;
             }
             self.refill();
         }
     }
 
-    /// Native batch delivery: slice copies out of the current producer
-    /// batch. A producer batch only ever carries `Finished` as its last
-    /// element (the [`AccessStream::fill_batch`] contract), so the
-    /// end-of-copy check suffices.
+    /// Native batch delivery: access runs between barriers are decoded
+    /// straight out of the producer's columns into `out` — one pass, no
+    /// intermediate enum buffer.
     fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
         let mut n = 0;
         while n < out.len() {
@@ -164,20 +184,97 @@ impl AccessStream for PipelinedStream {
                 }
                 break;
             }
-            if self.pos >= self.cur.len() {
-                self.refill();
+            // Barriers due at the cursor fire before the next access run.
+            if self.nb < self.cur.barrier_count() && self.cur.barrier_at(self.nb) == self.pos {
+                out[n] = ThreadEvent::Barrier;
+                n += 1;
+                self.nb += 1;
                 continue;
             }
-            let take = (self.cur.len() - self.pos).min(out.len() - n);
-            out[n..n + take].copy_from_slice(&self.cur[self.pos..self.pos + take]);
-            self.pos += take;
-            n += take;
-            if matches!(out[n - 1], ThreadEvent::Finished) {
+            if self.pos < self.cur.accesses() {
+                let until = if self.nb < self.cur.barrier_count() {
+                    self.cur.barrier_at(self.nb)
+                } else {
+                    self.cur.accesses()
+                };
+                let run = (until - self.pos).min(out.len() - n);
+                for k in 0..run {
+                    out[n + k] = self.cur.access_at(self.pos + k);
+                }
+                self.pos += run;
+                n += run;
+                continue;
+            }
+            if self.cur.finished() {
                 self.done = true;
+                out[n] = ThreadEvent::Finished;
+                n += 1;
                 break;
             }
+            self.refill();
         }
         n
+    }
+
+    /// The zero-copy fast path: hand the producer's next block to the
+    /// caller whole, recycling the block it drained — an ownership swap,
+    /// no event data copied (`cap` is advisory; the producer's batch size
+    /// governs block length).
+    fn next_block(&mut self, out: &mut PackedBlock, _cap: usize) {
+        if !self.done && self.cur_drained() && !self.cur.finished() {
+            if !self.cur.is_empty() {
+                // A leftover from mixed enum-API use: put it back into the
+                // recycle pool so the rotation keeps its block count.
+                let drained = std::mem::take(&mut self.cur);
+                if let Some(tx) = &self.tx_empty {
+                    let _ = tx.send(drained);
+                }
+            }
+            self.pos = 0;
+            self.nb = 0;
+            match self.rx_full.as_ref().and_then(|rx| rx.recv().ok()) {
+                Some(block) => {
+                    let drained = std::mem::replace(out, block);
+                    if let Some(tx) = &self.tx_empty {
+                        let _ = tx.send(drained);
+                    }
+                    if out.finished() || out.is_empty() {
+                        // Terminal block (`is_empty` without `finished` is
+                        // the defensive producer-hung-up shape).
+                        self.done = true;
+                        out.set_finished(true);
+                    }
+                    return;
+                }
+                None => self.done = true,
+            }
+        }
+        if self.done || (self.cur_drained() && self.cur.finished()) {
+            self.done = true;
+            out.clear();
+            out.set_finished(true);
+            return;
+        }
+        // The current block is partially drained (mixed API use): finish it
+        // by copying the remainder — correctness path, not the fast path.
+        out.clear();
+        while let Some(e) = self.cur.event_at(self.pos, self.nb) {
+            match e {
+                ThreadEvent::Access { gap, addr, write, mlp_tenths } => {
+                    out.push_access(gap, addr, write, mlp_tenths);
+                    self.pos += 1;
+                }
+                ThreadEvent::Barrier => {
+                    out.push_barrier();
+                    self.nb += 1;
+                }
+                ThreadEvent::Finished => break,
+            }
+        }
+        if self.cur.finished() {
+            self.done = true;
+            out.set_finished(true);
+        }
     }
 }
 
@@ -259,6 +356,38 @@ impl<S: AccessStream> AccessStream for TakeStream<S> {
             return n + 1;
         }
         n
+    }
+
+    /// Columnar truncation: clamps the cap to the remaining budget so the
+    /// inner stream is never asked to generate past the limit, and raises
+    /// the `finished` flag the moment the budget is spent — the block-level
+    /// analogue of the synthesised in-batch `Finished` above.
+    fn fill_packed(&mut self, out: &mut PackedBlock, cap: usize) {
+        if cap == 0 {
+            out.clear();
+            return;
+        }
+        if self.done || self.remaining == 0 {
+            self.done = true;
+            out.clear();
+            out.set_finished(true);
+            return;
+        }
+        self.inner.fill_packed(out, self.remaining.min(cap));
+        if out.finished() {
+            // Inner finished inside the window (its termination doesn't
+            // count against the limit).
+            self.done = true;
+            return;
+        }
+        let n = out.len();
+        self.remaining -= n;
+        if self.remaining == 0 || n == 0 {
+            // Budget spent — or a non-conforming inner stream stalled
+            // without finishing; either way the truncated stream ends here.
+            self.done = true;
+            out.set_finished(true);
+        }
     }
 }
 
@@ -381,6 +510,73 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn next_block_swaps_producer_blocks_verbatim() {
+        // Draining via `next_block` must deliver the same event sequence
+        // as inline generation, across many producer block boundaries.
+        let events = sample_events(2_000);
+        let mut inline = ReplayStream::new(events.clone());
+        let mut piped = PipelinedStream::spawn_with(ReplayStream::new(events), 64, 2);
+        let mut block = PackedBlock::default();
+        loop {
+            piped.next_block(&mut block, 64);
+            for e in block.to_events() {
+                assert_eq!(e, inline.next_event());
+            }
+            if block.finished() {
+                break;
+            }
+        }
+        // Exhausted stream keeps yielding empty finished blocks.
+        piped.next_block(&mut block, 64);
+        assert!(block.is_empty());
+        assert!(block.finished());
+    }
+
+    #[test]
+    fn next_block_after_partial_enum_drain_loses_nothing() {
+        // Mixed API use: pull a few events through `next_event`, then
+        // switch to blocks. The remainder of the in-flight block must be
+        // delivered before fresh producer blocks.
+        let events = sample_events(500);
+        let mut inline = ReplayStream::new(events.clone());
+        let mut piped = PipelinedStream::spawn_with(ReplayStream::new(events), 64, 2);
+        for _ in 0..10 {
+            assert_eq!(piped.next_event(), inline.next_event());
+        }
+        let mut block = PackedBlock::default();
+        loop {
+            piped.next_block(&mut block, 64);
+            for e in block.to_events() {
+                assert_eq!(e, inline.next_event());
+            }
+            if block.finished() {
+                break;
+            }
+        }
+        assert_eq!(inline.next_event(), ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn take_fill_packed_matches_next_event() {
+        let events = sample_events(100);
+        for (limit, cap) in [(30usize, 7usize), (100, 16), (120, 1), (64, 64), (0, 8)] {
+            let mut single = TakeStream::new(ReplayStream::new(events.clone()), limit);
+            let mut packed = TakeStream::new(ReplayStream::new(events.clone()), limit);
+            let mut block = PackedBlock::default();
+            loop {
+                packed.fill_packed(&mut block, cap);
+                for e in block.to_events() {
+                    assert_eq!(e, single.next_event(), "limit {limit} cap {cap}");
+                }
+                if block.finished() {
+                    break;
+                }
+            }
+            assert_eq!(single.next_event(), ThreadEvent::Finished, "limit {limit} cap {cap}");
         }
     }
 

@@ -18,6 +18,7 @@
 use crate::cache::SetAssocCache;
 use crate::config::{L2Geometry, SystemConfig};
 use crate::l2::PartitionedL2;
+use crate::packed::PackedBlock;
 use crate::stats::{GlobalStats, ThreadCounters};
 use crate::stream::{AccessStream, ThreadEvent};
 use crate::umon::UtilityMonitor;
@@ -88,9 +89,11 @@ struct CoreState {
     status: CoreStatus,
 }
 
-/// Events fetched per stream refill. Big enough to amortise the virtual
-/// `fill_batch` call and let generators batch their work; small enough that
-/// a ring stays cache-resident (256 events x 24 B = 6 KB).
+/// Events requested per stream refill (advisory — see
+/// [`AccessStream::next_block`]; block-native streams such as the pipelined
+/// producer may deliver more). Big enough to amortise the virtual call and
+/// let generators batch their work; small enough that a ring stays
+/// cache-resident (256 events x ~14 B of columns ≈ 3.6 KB).
 const EVENT_BATCH: usize = 256;
 
 /// Entries in the per-`mlp_tenths` miss-latency table. Valid workload specs
@@ -98,22 +101,32 @@ const EVENT_BATCH: usize = 256;
 /// hand-built streams while the table still fits in four cache lines.
 const MISS_LUT_SIZE: usize = 256;
 
-/// A per-core ring of prefetched stream events. Streams are
-/// generation-only (nothing the simulator does feeds back into them), so
-/// pulling events ahead of consumption cannot change any simulated outcome
-/// — the `batch_equivalence` integration suite pins this down.
-#[derive(Clone, Copy, Debug)]
+/// A per-core buffer of prefetched stream events in packed column form.
+/// Streams are generation-only (nothing the simulator does feeds back into
+/// them), so pulling events ahead of consumption cannot change any
+/// simulated outcome — the `batch_equivalence` integration suite pins this
+/// down. Refills go through [`AccessStream::next_block`], so a pipelined
+/// producer's blocks land here by ownership swap — no event copies between
+/// generator and simulator.
+#[derive(Clone, Debug)]
 struct EventRing {
-    buf: [ThreadEvent; EVENT_BATCH],
-    /// Next unconsumed slot; `pos == len` means empty.
+    /// The block being drained (columns read in place).
+    block: PackedBlock,
+    /// Accesses consumed from `block`.
     pos: usize,
-    /// Filled prefix length of `buf`.
-    len: usize,
+    /// Barriers consumed from `block`.
+    nb: usize,
 }
 
 impl EventRing {
     fn new() -> Self {
-        EventRing { buf: [ThreadEvent::Finished; EVENT_BATCH], pos: 0, len: 0 }
+        EventRing { block: PackedBlock::default(), pos: 0, nb: 0 }
+    }
+
+    /// Every event of the current block has been delivered.
+    #[inline]
+    fn drained(&self) -> bool {
+        self.pos >= self.block.accesses() && self.nb >= self.block.barrier_count()
     }
 }
 
@@ -385,28 +398,40 @@ impl Simulator {
     /// Processes one event of core `t`.
     #[hot_path]
     fn step_core(&mut self, t: ThreadId) {
-        // Shadow-verify the caches at every batch boundary: the ring is
-        // about to refill, so the check runs once per EVENT_BATCH events
-        // per core. O(cache size) — the feature's documented cost.
+        // Shadow-verify the caches at every block boundary: the ring is
+        // about to refill, so the check runs once per block per core.
+        // O(cache size) — the feature's documented cost.
         #[cfg(feature = "sanitize")]
-        if self.rings[t].pos == self.rings[t].len {
+        if self.rings[t].drained() && !self.rings[t].block.finished() {
             self.sanitize_batch_check();
         }
         // Refill this core's ring when drained; `rings` and `streams` are
-        // disjoint fields, so the stream writes straight into the ring.
+        // disjoint fields, so the stream swaps its block straight into the
+        // ring.
         let ring = &mut self.rings[t];
-        if ring.pos == ring.len {
-            ring.len = self.streams[t].fill_batch(&mut ring.buf);
+        if ring.drained() && !ring.block.finished() {
+            self.streams[t].next_block(&mut ring.block, EVENT_BATCH);
             ring.pos = 0;
+            ring.nb = 0;
+            if ring.block.is_empty() && !ring.block.finished() {
+                // An empty unfinished block: the stream has nothing left
+                // (only possible for non-conforming streams; the trait
+                // contract reserves that shape for `cap == 0`).
+                ring.block.set_finished(true);
+            }
         }
-        let event = if ring.pos < ring.len {
-            let e = ring.buf[ring.pos];
+        let event = if ring.nb < ring.block.barrier_count()
+            && ring.block.barrier_at(ring.nb) == ring.pos
+        {
+            ring.nb += 1;
+            ThreadEvent::Barrier
+        } else if ring.pos < ring.block.accesses() {
+            let e = ring.block.access_at(ring.pos);
             ring.pos += 1;
             e
         } else {
-            // An empty batch from a non-empty buffer: the stream has
-            // nothing left (only possible for non-conforming streams; the
-            // trait contract reserves 0 for empty buffers).
+            // Drained and finished: the block-level stand-in for the
+            // in-band `Finished` event.
             ThreadEvent::Finished
         };
         self.events_processed += 1;

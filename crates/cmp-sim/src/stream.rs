@@ -8,6 +8,8 @@
 
 use icp_hot_path::hot_path;
 
+use crate::packed::PackedBlock;
+
 /// One event in a thread's instruction stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ThreadEvent {
@@ -84,6 +86,54 @@ pub trait AccessStream {
         }
         n
     }
+
+    /// Clears `out` and refills it with at most `cap` upcoming events
+    /// (accesses plus barriers) in packed column form.
+    ///
+    /// Stream termination is carried as the block's `finished` flag rather
+    /// than an in-band event, and — exactly like a `Finished` written by
+    /// [`Self::fill_batch`] — ends delivery: the block may hold fewer than
+    /// `cap` events, and the stream is not polled again afterwards (if it
+    /// is, it must keep yielding empty finished blocks). The delivered
+    /// column sequence must decode to exactly what `next_event` would
+    /// produce; `cap == 0` yields an empty, unfinished block with nothing
+    /// consumed.
+    ///
+    /// The default bridges through [`Self::fill_batch`]; columnar
+    /// generators and replays override it to write columns directly.
+    fn fill_packed(&mut self, out: &mut PackedBlock, cap: usize) {
+        out.clear();
+        let mut buf = [ThreadEvent::Finished; 256];
+        while out.len() < cap {
+            let want = (cap - out.len()).min(buf.len());
+            let n = self.fill_batch(&mut buf[..want]);
+            if n == 0 {
+                break;
+            }
+            for &e in &buf[..n] {
+                match e {
+                    ThreadEvent::Access { gap, addr, write, mlp_tenths } => {
+                        out.push_access(gap, addr, write, mlp_tenths);
+                    }
+                    ThreadEvent::Barrier => out.push_barrier(),
+                    ThreadEvent::Finished => {
+                        out.set_finished(true);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Like [`Self::fill_packed`], but `cap` is *advisory*: the stream may
+    /// deliver more events when a larger block is already materialised —
+    /// the pipelined consumer swaps whole producer blocks into `out` by
+    /// ownership instead of copying columns. Consumers sized for exact
+    /// batches must use `fill_packed`; the simulator's per-core ring
+    /// drains whatever arrives.
+    fn next_block(&mut self, out: &mut PackedBlock, cap: usize) {
+        self.fill_packed(out, cap);
+    }
 }
 
 /// Blanket impl so closures can serve as streams in tests.
@@ -103,6 +153,14 @@ impl AccessStream for Box<dyn AccessStream + '_> {
 
     fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
         (**self).fill_batch(out)
+    }
+
+    fn fill_packed(&mut self, out: &mut PackedBlock, cap: usize) {
+        (**self).fill_packed(out, cap);
+    }
+
+    fn next_block(&mut self, out: &mut PackedBlock, cap: usize) {
+        (**self).next_block(out, cap);
     }
 }
 

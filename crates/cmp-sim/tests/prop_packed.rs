@@ -13,9 +13,15 @@
 //!   `ReplayStream` sequence, event-by-event and under random batch sizes.
 //! * **Record equivalence**: `PackedTrace::record` with a random event
 //!   limit stores exactly what `Trace::record` stores.
+//! * **Columnar drain equivalence**: draining a stream through
+//!   `fill_packed` blocks under a random cap schedule reconstructs the
+//!   exact event sequence — for both the default bridging implementation
+//!   and `PackedReplayStream`'s zero-copy override — with every block
+//!   respecting its cap and the finished flag replacing the in-band
+//!   `Finished` event.
 
 use icp_cmp_sim::stream::{AccessStream, ReplayStream, ThreadEvent};
-use icp_cmp_sim::{PackedTrace, Trace};
+use icp_cmp_sim::{PackedBlock, PackedTrace, Trace};
 use icp_numeric::rng::Xoshiro256;
 use std::sync::Arc;
 
@@ -89,6 +95,54 @@ fn packed_replay_matches_vec_replay_property() {
                 break;
             }
         }
+    }
+}
+
+/// Drains `s` through `fill_packed` using the cyclic `caps` schedule,
+/// re-expanding each block. The returned sequence ends with the `Finished`
+/// that `to_events` synthesises from the block's finished flag.
+fn drain_packed<S: AccessStream>(mut s: S, caps: &[usize], tag: &str) -> Vec<ThreadEvent> {
+    let mut block = PackedBlock::default();
+    let mut out = Vec::new();
+    let mut stalls = 0;
+    for &cap in caps.iter().cycle() {
+        s.fill_packed(&mut block, cap);
+        assert!(block.len() <= cap, "{tag}: block overshot cap {cap}");
+        out.extend(block.to_events());
+        if block.finished() {
+            return out;
+        }
+        // An unfinished empty block means no progress; tolerate none.
+        stalls += usize::from(block.is_empty());
+        assert_eq!(stalls, 0, "{tag}: unfinished stream stalled");
+    }
+    unreachable!("caps schedule is non-empty")
+}
+
+#[test]
+fn fill_packed_drain_matches_events_property() {
+    let mut rng = Xoshiro256::seed_from_u64(0xF111_9ACD);
+    for case in 0..150u64 {
+        let len = rng.next_bounded(300) as usize;
+        let events = random_events(&mut rng, len);
+        let packed = Arc::new(PackedTrace::from_events(&events));
+        // One random cap schedule (1..=23, so blocks straddle every event
+        // pattern) shared by both implementations.
+        let caps: Vec<usize> =
+            (0..8).map(|_| rng.next_bounded(23) as usize + 1).collect();
+        let mut expect = events.clone();
+        expect.push(ThreadEvent::Finished);
+        // PackedReplayStream's zero-copy column-slice override.
+        let zero_copy =
+            drain_packed(PackedTrace::stream(&packed), &caps, &format!("case {case} zero-copy"));
+        assert_eq!(zero_copy, expect, "case {case}: zero-copy drain");
+        // The trait's default bridging implementation over `fill_batch`.
+        let bridged = drain_packed(
+            ReplayStream::new(events),
+            &caps,
+            &format!("case {case} bridged"),
+        );
+        assert_eq!(bridged, expect, "case {case}: bridged drain");
     }
 }
 

@@ -8,16 +8,18 @@
 //! cargo run --release --bin bench_hotpath -- --events 250000 --repeats 5 --out other.json
 //! ```
 //!
-//! A normal run re-measures the five scenarios and rewrites the `current`
+//! A normal run re-measures the seven scenarios and rewrites the `current`
 //! section while carrying the `baseline` section over from the existing
 //! file, so the pre-optimisation numbers stay recorded alongside every
 //! later measurement. `--set-baseline` (re)captures the baseline section
 //! instead — run it once before a performance change, then compare with a
 //! plain run afterwards.
 //!
-//! Schema `icp-bench-hotpath/v2` adds the `gen_only` (generation-only
-//! throughput) and `pipeline_4t` (producer-thread pipelined simulation)
-//! scenarios; a carried-over v1 `baseline` section simply lacks those keys.
+//! Schema `icp-bench-hotpath/v3` adds the `gen_packed` (columnar
+//! direct-to-packed generation) and `pipeline_packed` (parallel trace
+//! materialisation) scenarios on top of v2's `gen_only` and `pipeline_4t`;
+//! a carried-over earlier-schema `baseline` section simply lacks the keys
+//! its version predates.
 
 use std::path::{Path, PathBuf};
 
@@ -107,7 +109,7 @@ fn main() {
     };
 
     let mut pairs = vec![
-        ("schema".to_string(), Json::str("icp-bench-hotpath/v2")),
+        ("schema".to_string(), Json::str("icp-bench-hotpath/v3")),
         ("events_per_thread".to_string(), Json::u64(events as u64)),
     ];
     if let Some(b) = baseline {

@@ -16,9 +16,17 @@
 //!   from packed (struct-of-arrays) traces.
 //! * `gen_only` — synthetic generation of the interleaved workload into
 //!   packed traces, no simulation: the producer half in isolation.
+//! * `gen_packed` — the same workload drained through the columnar
+//!   [`AccessStream::fill_packed`] path into recycled [`PackedBlock`]s: the
+//!   direct-to-packed generation fast path with zero trace retention;
+//!   digest bit-identical to `gen_only`.
 //! * `pipeline_4t` — the interleaved workload with generation running on
 //!   per-thread producer threads concurrently with simulation
 //!   ([`PipelinedStream`]); digest bit-identical to `interleaved_4t`.
+//! * `pipeline_packed` — full-workload materialisation via
+//!   [`BenchmarkSpec::pack_streams_parallel`] (one producer per thread,
+//!   columnar generation straight into packed traces): the trace-cache
+//!   fill path; digest bit-identical to `gen_only`.
 //!
 //! The `bench_hotpath` binary runs these and records the numbers in
 //! `BENCH_hotpath.json` at the repository root so subsequent changes have a
@@ -29,8 +37,8 @@ use std::time::Instant;
 
 use icp_cmp_sim::stream::{AccessStream, ReplayStream};
 use icp_cmp_sim::{
-    perf, CacheConfig, PackedTrace, PipelinedStream, Simulator, SystemConfig, TakeStream,
-    ThreadEvent,
+    perf, CacheConfig, PackedBlock, PackedTrace, PipelinedStream, Simulator, SystemConfig,
+    TakeStream, ThreadEvent,
 };
 use icp_workloads::{BenchmarkSpec, SyntheticStream, WorkloadBuilder, WorkloadScale};
 
@@ -40,7 +48,8 @@ use crate::json::Json;
 #[derive(Clone, Debug)]
 pub struct HotpathResult {
     /// Scenario name (`single_access`, `l2_miss_prefetch`,
-    /// `interleaved_4t`, `gen_only`, `pipeline_4t`).
+    /// `interleaved_4t`, `gen_only`, `gen_packed`, `pipeline_4t`,
+    /// `pipeline_packed`).
     pub name: &'static str,
     /// Demand memory accesses simulated (L1 hits + misses over all threads).
     pub accesses: u64,
@@ -192,6 +201,42 @@ pub fn interleaved_4t(events_per_thread: usize) -> HotpathResult {
     run_scenario("interleaved_4t", sim)
 }
 
+/// Wraps per-thread generation counters `(instructions, accesses,
+/// barriers)` in a [`HotpathResult`]. One content-digest definition shared
+/// by every generation-side scenario — equal workloads must yield equal
+/// digests whether generated into retained traces (`gen_only`,
+/// `pipeline_packed`) or transient recycled blocks (`gen_packed`). Same
+/// fold shape as `run_scenario` so trajectory tooling treats it alike.
+fn gen_result(name: &'static str, per_thread: &[(u64, u64, u64)], host_secs: f64) -> HotpathResult {
+    let accesses: u64 = per_thread.iter().map(|&(_, a, _)| a).sum();
+    // Delivered events: recorded accesses + barriers plus one `Finished`
+    // per thread, matching what a replay delivers.
+    let events: u64 =
+        per_thread.iter().map(|&(_, a, b)| a + b + 1).sum();
+    let instructions: u64 = per_thread.iter().map(|&(i, _, _)| i).sum();
+    let digest = per_thread
+        .iter()
+        .map(|&(i, a, b)| i.wrapping_mul(31).wrapping_add(a).wrapping_add(b.wrapping_mul(7)))
+        .fold(accesses, |acc, x| acc.wrapping_mul(1_000_003).wrapping_add(x));
+    HotpathResult {
+        name,
+        accesses,
+        events,
+        instructions,
+        sim_cycles: 0,
+        host_secs,
+        digest,
+    }
+}
+
+/// The per-thread counter triples of a set of recorded traces.
+fn trace_counters(traces: &[std::sync::Arc<PackedTrace>]) -> Vec<(u64, u64, u64)> {
+    traces
+        .iter()
+        .map(|t| (t.instructions(), t.accesses() as u64, t.barriers() as u64))
+        .collect()
+}
+
 /// Generation-only throughput: materialises the [`hotpath_4t_spec`]
 /// workload into packed traces and times nothing else — the producer half
 /// of the pipeline, so generation and simulation regressions are tracked
@@ -204,31 +249,60 @@ pub fn gen_only(events_per_thread: usize) -> HotpathResult {
     let traces =
         spec.pack_streams(&cfg, WorkloadScale::Figure, HOTPATH_4T_SEED, events_per_thread);
     let host_secs = start.elapsed().as_secs_f64();
-    let accesses: u64 = traces.iter().map(|t| t.accesses() as u64).sum();
-    // Delivered events: recorded accesses + barriers plus one `Finished`
-    // per thread, matching what a replay delivers.
-    let events: u64 = traces.iter().map(|t| t.len() as u64 + 1).sum();
-    let instructions: u64 = traces.iter().map(|t| t.instructions()).sum();
-    // Content digest over the generated traces (no simulation here): same
-    // fold shape as `run_scenario` so trajectory tooling treats it alike.
-    let digest = traces
+    gen_result("gen_only", &trace_counters(&traces), host_secs)
+}
+
+/// Columnar generation throughput: drains the same workload through the
+/// [`AccessStream::fill_packed`] fast path into a single recycled
+/// [`PackedBlock`] — no `ThreadEvent` materialisation, no trace retention,
+/// so the number is pure generator speed. Digest is bit-identical to
+/// `gen_only`'s: the columns carry the same content whether retained or
+/// recycled.
+pub fn gen_packed(events_per_thread: usize) -> HotpathResult {
+    let mut cfg = base_config(4);
+    cfg.l2_banks = 8;
+    let spec = hotpath_4t_spec();
+    const BATCH: usize = 4096;
+    let start = Instant::now();
+    let mut block = PackedBlock::with_capacity(BATCH);
+    let per_thread: Vec<(u64, u64, u64)> = spec
+        .threads
         .iter()
-        .map(|t| {
-            t.instructions()
-                .wrapping_mul(31)
-                .wrapping_add(t.accesses() as u64)
-                .wrapping_add((t.barriers() as u64).wrapping_mul(7))
+        .enumerate()
+        .map(|(t, ts)| {
+            let synth =
+                SyntheticStream::new(&spec, ts, t, &cfg, WorkloadScale::Figure, HOTPATH_4T_SEED);
+            let mut stream = TakeStream::new(synth, events_per_thread);
+            let (mut insts, mut accs, mut bars) = (0u64, 0u64, 0u64);
+            loop {
+                stream.fill_packed(&mut block, BATCH);
+                insts += block.gaps().iter().map(|&g| g as u64 + 1).sum::<u64>();
+                accs += block.accesses() as u64;
+                bars += block.barrier_count() as u64;
+                if block.finished() || block.is_empty() {
+                    break;
+                }
+            }
+            (insts, accs, bars)
         })
-        .fold(accesses, |acc, x| acc.wrapping_mul(1_000_003).wrapping_add(x));
-    HotpathResult {
-        name: "gen_only",
-        accesses,
-        events,
-        instructions,
-        sim_cycles: 0,
-        host_secs,
-        digest,
-    }
+        .collect();
+    let host_secs = start.elapsed().as_secs_f64();
+    gen_result("gen_packed", &per_thread, host_secs)
+}
+
+/// Parallel materialisation throughput: times
+/// [`BenchmarkSpec::pack_streams_parallel`] — one producer thread per
+/// workload thread generating straight into packed traces, the path the
+/// trace cache fills through. Digest is bit-identical to `gen_only`'s.
+pub fn pipeline_packed(events_per_thread: usize) -> HotpathResult {
+    let mut cfg = base_config(4);
+    cfg.l2_banks = 8;
+    let spec = hotpath_4t_spec();
+    let start = Instant::now();
+    let traces =
+        spec.pack_streams_parallel(&cfg, WorkloadScale::Figure, HOTPATH_4T_SEED, events_per_thread);
+    let host_secs = start.elapsed().as_secs_f64();
+    gen_result("pipeline_packed", &trace_counters(&traces), host_secs)
 }
 
 /// The pipelined 4-thread path: same workload, partition and event budget
@@ -258,14 +332,16 @@ pub fn pipeline_4t(events_per_thread: usize) -> HotpathResult {
     run_scenario("pipeline_4t", sim)
 }
 
-/// Runs all five scenarios at the given scale.
+/// Runs all seven scenarios at the given scale.
 pub fn run_all(events_per_thread: usize) -> Vec<HotpathResult> {
     vec![
         single_access(events_per_thread),
         l2_miss_prefetch(events_per_thread),
         interleaved_4t(events_per_thread),
         gen_only(events_per_thread),
+        gen_packed(events_per_thread),
         pipeline_4t(events_per_thread),
+        pipeline_packed(events_per_thread),
     ]
 }
 
@@ -298,8 +374,10 @@ mod tests {
             assert!(r.accesses > 0, "{}: no accesses", r.name);
             assert!(r.events > r.accesses / 2, "{}: event undercount", r.name);
             assert!(r.accesses_per_sec() > 0.0);
-            // gen_only never enters the simulator, so it has no sim clock.
-            assert_eq!(r.sim_cycles > 0, r.name != "gen_only", "{}", r.name);
+            // Generation-side scenarios never enter the simulator, so they
+            // have no sim clock.
+            let gen_side = ["gen_only", "gen_packed", "pipeline_packed"].contains(&r.name);
+            assert_eq!(r.sim_cycles > 0, !gen_side, "{}", r.name);
         }
     }
 
@@ -335,5 +413,20 @@ mod tests {
         let sim = interleaved_4t(2_000);
         assert_eq!(sim.instructions, a.instructions);
         assert_eq!(sim.accesses, a.accesses);
+    }
+
+    #[test]
+    fn packed_generation_scenarios_match_gen_only() {
+        // The acceptance property of the columnar producers: retained
+        // traces, recycled blocks and parallel materialisation all carry
+        // the same content.
+        let reference = gen_only(2_000);
+        for r in [gen_packed(2_000), pipeline_packed(2_000)] {
+            assert_eq!(r.digest, reference.digest, "{}", r.name);
+            assert_eq!(r.accesses, reference.accesses, "{}", r.name);
+            assert_eq!(r.events, reference.events, "{}", r.name);
+            assert_eq!(r.instructions, reference.instructions, "{}", r.name);
+            assert_eq!(r.sim_cycles, 0, "{}", r.name);
+        }
     }
 }

@@ -67,7 +67,10 @@ impl TraceCache {
     /// the same workload never generate twice (the exactly-once guarantee
     /// the counters assert), at the cost of serialising first-time
     /// generation across keys — cheap next to the simulations the traces
-    /// feed.
+    /// feed. Within a key the per-thread streams are materialised by
+    /// parallel producers ([`BenchmarkSpec::pack_streams_parallel`]), each
+    /// writing straight into packed columns; the result is bit-identical
+    /// to sequential recording.
     pub fn get_or_pack(
         &self,
         spec: &BenchmarkSpec,
@@ -81,7 +84,7 @@ impl TraceCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return traces.clone();
         }
-        let traces = spec.pack_streams(cfg, scale, seed, usize::MAX);
+        let traces = spec.pack_streams_parallel(cfg, scale, seed, usize::MAX);
         self.generations.fetch_add(1, Ordering::Relaxed);
         map.insert(key, traces.clone());
         traces

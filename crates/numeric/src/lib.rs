@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fastmod;
 pub mod histogram;
 pub mod pchip;
 pub mod rng;
@@ -24,8 +25,9 @@ pub mod spline;
 pub mod stats;
 pub mod zipf;
 
+pub use fastmod::FastMod;
 pub use histogram::Histogram;
 pub use pchip::Pchip;
-pub use rng::Xoshiro256;
+pub use rng::{BufferedRng, Xoshiro256};
 pub use spline::CubicSpline;
 pub use zipf::Zipf;

@@ -132,6 +132,96 @@ impl Xoshiro256 {
     }
 }
 
+/// Raw words buffered per [`BufferedRng`] refill. At the generator's ~4
+/// draws per event this covers ~64 events per `fill_u64` — long enough to
+/// amortise the state reload, small enough to stay in L1.
+const RNG_BATCH: usize = 256;
+
+/// A [`Xoshiro256`] drained through a scratch buffer filled in bulk.
+///
+/// [`Xoshiro256::fill_u64`] produces exactly the `next_u64` sequence, so
+/// every derived draw (`next_f64`, `next_bounded`, `next_bool`) replicates
+/// the unbuffered generator's arithmetic on buffered words and the two are
+/// interchangeable mid-stream *bit for bit* — a consumer may switch between
+/// a `BufferedRng` and its inner generator's draw sequence at any point.
+/// This is what lets the columnar workload generator batch its RNG work
+/// while staying byte-identical to the scalar event loop.
+///
+/// # Examples
+///
+/// ```
+/// use icp_numeric::{BufferedRng, Xoshiro256};
+///
+/// let mut plain = Xoshiro256::seed_from_u64(7);
+/// let mut buffered = BufferedRng::new(Xoshiro256::seed_from_u64(7));
+/// for _ in 0..1000 {
+///     assert_eq!(buffered.next_u64(), plain.next_u64());
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct BufferedRng {
+    rng: Xoshiro256,
+    buf: [u64; RNG_BATCH],
+    /// Next unconsumed slot; `pos == RNG_BATCH` means empty.
+    pos: usize,
+}
+
+impl BufferedRng {
+    /// Wraps `rng`; no words are drawn until the first use.
+    pub fn new(rng: Xoshiro256) -> Self {
+        BufferedRng { rng, buf: [0; RNG_BATCH], pos: RNG_BATCH }
+    }
+
+    /// Returns the next 64 uniformly random bits (refilling in bulk).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        if self.pos == RNG_BATCH {
+            self.rng.fill_u64(&mut self.buf);
+            self.pos = 0;
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` — [`Xoshiro256::next_f64`]'s
+    /// exact arithmetic on a buffered word.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)` —
+    /// [`Xoshiro256::next_bounded`]'s exact Lemire multiply-shift,
+    /// rejection loop included, on buffered words.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_bounded requires bound > 0");
+        let mut m = (self.next_u64() as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`) —
+    /// [`Xoshiro256::next_bool`]'s comparison on a buffered word. Note it
+    /// always consumes a word, exactly like the unbuffered method, even
+    /// for `p == 0`.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +323,44 @@ mod tests {
         let mut b = root.fork(1);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same <= 1);
+    }
+
+    #[test]
+    fn buffered_rng_matches_plain_draw_for_draw() {
+        // Interleave all four draw kinds in a fixed pattern across several
+        // buffer refills: every value must equal the unbuffered generator's.
+        let mut plain = Xoshiro256::seed_from_u64(1234);
+        let mut buffered = BufferedRng::new(Xoshiro256::seed_from_u64(1234));
+        for i in 0..5000u64 {
+            match i % 4 {
+                0 => assert_eq!(buffered.next_u64(), plain.next_u64(), "draw {i}"),
+                1 => assert_eq!(
+                    buffered.next_f64().to_bits(),
+                    plain.next_f64().to_bits(),
+                    "draw {i}"
+                ),
+                2 => {
+                    let bound = (i % 97) + 1;
+                    assert_eq!(buffered.next_bounded(bound), plain.next_bounded(bound), "draw {i}");
+                }
+                _ => assert_eq!(buffered.next_bool(0.3), plain.next_bool(0.3), "draw {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_rng_bool_consumes_draw_even_for_p_zero() {
+        let mut plain = Xoshiro256::seed_from_u64(8);
+        let mut buffered = BufferedRng::new(Xoshiro256::seed_from_u64(8));
+        assert!(!buffered.next_bool(0.0));
+        let _ = plain.next_u64();
+        assert_eq!(buffered.next_u64(), plain.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound > 0")]
+    fn buffered_bounded_zero_panics() {
+        BufferedRng::new(Xoshiro256::seed_from_u64(0)).next_bounded(0);
     }
 
     #[test]

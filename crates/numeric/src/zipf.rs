@@ -12,6 +12,9 @@
 //! an O(n) zeta precomputation at construction, then constant work per
 //! sample.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::rng::Xoshiro256;
 
 /// A bounded Zipf distribution over ranks `0..n` with exponent `theta > 0`.
@@ -29,13 +32,40 @@ use crate::rng::Xoshiro256;
 /// let rank = zipf.sample(&mut rng);
 /// assert!(rank < 1000);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Zipf {
     n: u64,
     theta: f64,
     alpha: f64,
     zetan: f64,
     eta: f64,
+    /// `1 + 0.5^theta`, the exact rank-1 threshold [`Self::rank_for`]
+    /// compares against. Precomputed because `powf` costs more than the
+    /// rest of a sample combined.
+    rank1_bound: f64,
+    /// Slice-indexed rank shortcut (see [`build_rank_table`]): entry `i`
+    /// holds the rank every `u` in `[i, i+1) / table.len()` maps to, or
+    /// `RANK_TABLE_SENTINEL` when the slice straddles a rank boundary and
+    /// [`Self::rank_for`] must run the full inversion. `None` for
+    /// distributions outside the table's size gate.
+    table: Option<Arc<Vec<u16>>>,
+    /// `table.len()` as f64 (0.0 when `table` is `None`): the slice-index
+    /// scale factor, kept pre-converted off the sampling path.
+    table_scale: f64,
+}
+
+impl std::fmt::Debug for Zipf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Zipf")
+            .field("n", &self.n)
+            .field("theta", &self.theta)
+            .field("alpha", &self.alpha)
+            .field("zetan", &self.zetan)
+            .field("eta", &self.eta)
+            .field("rank1_bound", &self.rank1_bound)
+            .field("table", &self.table.as_ref().map(|t| t.len()))
+            .finish()
+    }
 }
 
 /// Computes the generalized harmonic number `H_{n,theta} = sum_{i=1..n} i^-theta`.
@@ -45,6 +75,149 @@ fn zeta(n: u64, theta: f64) -> f64 {
         sum += 1.0 / (i as f64).powf(theta);
     }
     sum
+}
+
+/// Below this size the O(n) zeta sum is cheaper than a cache lock.
+const ZETA_CACHE_MIN_N: u64 = 512;
+
+/// `zeta(n, theta)`, memoised across identical `(n, theta)` pairs.
+///
+/// Suite construction and multi-seed robustness runs build the same `Zipf`
+/// per phase per thread over and over; the zeta table is the O(n) part, and
+/// it depends only on `(n, theta)` — never on the seed — so the sum is
+/// computed once per distinct pair for the life of the process. The f64
+/// summation order is fixed, so a cached value is bit-identical to a fresh
+/// one and memoisation cannot change any generated stream.
+fn zeta_cached(n: u64, theta: f64) -> f64 {
+    if n < ZETA_CACHE_MIN_N {
+        return zeta(n, theta);
+    }
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), f64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (n, theta.to_bits());
+    if let Some(&hit) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        return hit;
+    }
+    // Summed outside the lock: a racing thread at worst recomputes the
+    // same (deterministic) value and the insert is idempotent.
+    let value = zeta(n, theta);
+    cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(key, value);
+    value
+}
+
+/// Fewest equal slices a rank table divides `[0, 1)` into.
+const RANK_TABLE_MIN_SLICES: usize = 1 << 16;
+
+/// Most slices a rank table may use (a 512 KiB table of `u16` entries).
+const RANK_TABLE_MAX_SLICES: usize = 1 << 18;
+
+/// Number of equal slices the rank table for an `n`-item distribution
+/// divides `[0, 1)` into. Always a power of two so `u * slices` only
+/// rescales the exponent — the slice index of any `u` is exact, with no
+/// rounding to disagree with table construction. Scales with `n` (a
+/// distribution has `n - 1` rank boundaries, and every slice containing
+/// one falls back to the full inversion) up to a cache-friendly cap.
+fn table_slices(n: u64) -> usize {
+    (n.saturating_mul(8).min(RANK_TABLE_MAX_SLICES as u64) as usize)
+        .next_power_of_two()
+        .clamp(RANK_TABLE_MIN_SLICES, RANK_TABLE_MAX_SLICES)
+}
+
+/// Table entry for "slice not provably constant — run the full inversion".
+const RANK_TABLE_SENTINEL: u16 = u16::MAX;
+
+/// Below this `n` the table's construction probes (two per slice) cost
+/// more than they will ever save (tiny distributions are head-dominated
+/// and cheap).
+const RANK_TABLE_MIN_N: u64 = 512;
+
+/// Ranks must fit `u16` with the sentinel reserved.
+const RANK_TABLE_MAX_N: u64 = RANK_TABLE_SENTINEL as u64 - 1;
+
+/// One full-inversion probe: the branch taken (0/1 = head shortcuts, 2 =
+/// continuous formula), the rank, and whether the continuous value sits
+/// far enough from both enclosing integers that bounded `powf` rounding
+/// error cannot move the floor (head branches involve one exactly-rounded
+/// multiply, so they are always safe).
+fn probe(z: &Zipf, u: f64) -> (u8, u64, bool) {
+    let uz = u * z.zetan;
+    if uz < 1.0 {
+        return (0, 0, true);
+    }
+    if uz < z.rank1_bound {
+        return (1, 1, true);
+    }
+    let y = z.n as f64 * (z.eta * u - z.eta + 1.0).powf(z.alpha);
+    let k = (y as u64).min(z.n - 1);
+    // Relative margin of 1e-12 dwarfs libm pow's ~0.5 ulp (~1e-16
+    // relative) error while rejecting only a ~2e-12 sliver of u-mass.
+    let eps = y.abs() * 1e-12 + 1e-12;
+    let floor = y.floor();
+    let safe = y < z.n as f64 && y - floor > eps && (floor + 1.0) - y > eps;
+    (2, k, safe)
+}
+
+/// Builds the slice-indexed rank shortcut for [`Zipf::rank_for`], with
+/// [`table_slices`]`(z.n)` slices.
+///
+/// Entry `i` covers every `f64` in `[i, i+1) / slices` and is filled only
+/// when the whole slice provably maps to one rank:
+///
+/// * branch selection is monotone in `u` (`u * zetan` is one correctly-
+///   rounded multiply against fixed thresholds), so equal branches at the
+///   slice's first and last representable value pin the branch for the
+///   interior;
+/// * head branches (ranks 0/1) then yield the endpoint rank everywhere;
+/// * the continuous branch yields the endpoint floor everywhere when both
+///   endpoint values keep a margin to the enclosing integers that bounds
+///   the interior evaluations too — the true map is monotone and libm
+///   error is orders of magnitude below the margin.
+///
+/// Anything else gets the sentinel and falls back to the full inversion,
+/// so the table can only ever reproduce `rank_for`'s exact output.
+fn build_rank_table(z: &Zipf) -> Vec<u16> {
+    let slices = table_slices(z.n);
+    let mut table = vec![RANK_TABLE_SENTINEL; slices];
+    for (i, entry) in table.iter_mut().enumerate() {
+        // Slice boundaries i/slices and (i+1)/slices are exact (power-of-
+        // two divisor): the slice's first f64 is the lower boundary itself
+        // and its last is the value just below the upper boundary.
+        let u_lo = i as f64 / slices as f64;
+        let bound = (i + 1) as f64 / slices as f64;
+        let u_hi = f64::from_bits(bound.to_bits() - 1);
+        let (branch_lo, rank_lo, safe_lo) = probe(z, u_lo);
+        let (branch_hi, rank_hi, safe_hi) = probe(z, u_hi);
+        if branch_lo == branch_hi && rank_lo == rank_hi && safe_lo && safe_hi {
+            *entry = rank_lo as u16;
+        }
+    }
+    table
+}
+
+/// The rank table for `z`, memoised like [`zeta_cached`]: it depends only
+/// on `(n, theta)`, and suite construction rebuilds identical
+/// distributions per phase per thread per seed.
+fn rank_table_cached(z: &Zipf) -> Option<Arc<Vec<u16>>> {
+    if !(RANK_TABLE_MIN_N..=RANK_TABLE_MAX_N).contains(&z.n) {
+        return None;
+    }
+    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), Arc<Vec<u16>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (z.n, z.theta.to_bits());
+    if let Some(hit) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        return Some(Arc::clone(hit));
+    }
+    // Built outside the lock: a racing thread at worst rebuilds the same
+    // (deterministic) table and the insert is idempotent.
+    let table = Arc::new(build_rank_table(z));
+    cache
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(key, Arc::clone(&table));
+    Some(table)
 }
 
 impl Zipf {
@@ -62,11 +235,16 @@ impl Zipf {
         );
         // Gray's closed-form inversion is singular at theta == 1; nudge.
         let theta = if (theta - 1.0).abs() < 1e-9 { 1.0 + 1e-9 } else { theta };
-        let zetan = zeta(n, theta);
+        let zetan = zeta_cached(n, theta);
         let zeta2 = zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipf { n, theta, alpha, zetan, eta }
+        let rank1_bound = 1.0 + 0.5f64.powf(theta);
+        let mut z =
+            Zipf { n, theta, alpha, zetan, eta, rank1_bound, table: None, table_scale: 0.0 };
+        z.table = rank_table_cached(&z);
+        z.table_scale = z.table.as_ref().map_or(0.0, |t| t.len() as f64);
+        z
     }
 
     /// Number of items.
@@ -85,12 +263,39 @@ impl Zipf {
         if self.n == 1 {
             return 0;
         }
-        let u = rng.next_f64();
+        self.rank_for(rng.next_f64())
+    }
+
+    /// Maps one uniform draw `u` in `[0, 1)` to a rank in `0..n` — the pure
+    /// inversion behind [`Self::sample`], split out so batched generators
+    /// can feed pre-drawn uniforms (`Xoshiro256::fill_u64` scratch) through
+    /// the identical arithmetic.
+    ///
+    /// Unlike `sample`, this always consumes its draw: callers replicating
+    /// `sample`'s RNG sequence must keep its `n == 1` early-out (which
+    /// draws nothing) on their side.
+    #[inline]
+    pub fn rank_for(&self, u: f64) -> u64 {
+        // Slice shortcut: `u * slices` is a pure exponent rescale, so the
+        // index is the exact slice [`build_rank_table`] filled; any
+        // non-sentinel entry is that slice's proven-constant rank.
+        if let Some(table) = &self.table {
+            let k = table[(u * self.table_scale) as usize];
+            if k != RANK_TABLE_SENTINEL {
+                return k as u64;
+            }
+        }
+        self.rank_for_uncached(u)
+    }
+
+    /// The full inversion — [`Self::rank_for`] without the table shortcut.
+    #[inline]
+    fn rank_for_uncached(&self, u: f64) -> u64 {
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
         }
-        if uz < 1.0 + 0.5f64.powf(self.theta) {
+        if uz < self.rank1_bound {
             return 1;
         }
         let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
@@ -195,6 +400,92 @@ mod tests {
         let z = Zipf::new(500, 0.7);
         let total: f64 = (0..500).map(|k| z.pmf(k)).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_for_matches_sample() {
+        let z = Zipf::new(777, 0.9);
+        let mut a = Xoshiro256::seed_from_u64(21);
+        let mut b = Xoshiro256::seed_from_u64(21);
+        for _ in 0..50_000 {
+            assert_eq!(z.sample(&mut a), z.rank_for(b.next_f64()));
+        }
+    }
+
+    #[test]
+    fn cached_zeta_is_bit_identical_to_fresh() {
+        // Two constructions with identical parameters (the second hits the
+        // cache above ZETA_CACHE_MIN_N) must agree bit-for-bit with the
+        // direct sum, and produce identical samples.
+        for n in [2u64, 100, ZETA_CACHE_MIN_N, 10_000] {
+            for theta in [0.3, 0.75, 1.0, 1.2] {
+                let a = Zipf::new(n, theta);
+                let b = Zipf::new(n, theta);
+                assert_eq!(a.zetan.to_bits(), b.zetan.to_bits(), "n={n} theta={theta}");
+                assert_eq!(a.zetan.to_bits(), zeta(a.theta(), n).to_bits(), "n={n} theta={theta}");
+                let mut ra = Xoshiro256::seed_from_u64(n ^ theta.to_bits());
+                let mut rb = ra.clone();
+                for _ in 0..200 {
+                    assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_table_matches_full_inversion() {
+        for (n, theta) in [(512u64, 0.5), (8192, 0.8), (3000, 1.0), (40000, 1.2)] {
+            let z = Zipf::new(n, theta);
+            assert!(z.table.is_some(), "n={n} theta={theta}: expected a table");
+            // Dense random coverage.
+            let mut rng = Xoshiro256::seed_from_u64(n ^ theta.to_bits());
+            for _ in 0..200_000 {
+                let u = rng.next_f64();
+                assert_eq!(z.rank_for(u), z.rank_for_uncached(u), "n={n} theta={theta} u={u}");
+            }
+            // Adversarial: slice boundaries and their f64 neighbours, where
+            // the table hand-off to the fallback happens.
+            let slices = table_slices(n);
+            assert_eq!(z.table.as_ref().map(|t| t.len()), Some(slices));
+            for i in (0..slices).step_by(17) {
+                let b = i as f64 / slices as f64;
+                let candidates = [
+                    b,
+                    f64::from_bits(b.to_bits() + 1),
+                    f64::from_bits(b.to_bits().wrapping_sub(1)),
+                ];
+                for u in candidates {
+                    if (0.0..1.0).contains(&u) {
+                        assert_eq!(z.rank_for(u), z.rank_for_uncached(u), "boundary {i} u={u}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_table_gates_on_size() {
+        assert!(Zipf::new(RANK_TABLE_MIN_N - 1, 0.8).table.is_none());
+        assert!(Zipf::new(RANK_TABLE_MIN_N, 0.8).table.is_some());
+        assert!(Zipf::new(RANK_TABLE_MAX_N + 1, 0.8).table.is_none());
+    }
+
+    #[test]
+    fn table_slices_scales_with_n_within_bounds() {
+        assert_eq!(table_slices(RANK_TABLE_MIN_N), RANK_TABLE_MIN_SLICES);
+        assert_eq!(table_slices(8192), RANK_TABLE_MIN_SLICES);
+        assert_eq!(table_slices(16384), 1 << 17);
+        assert_eq!(table_slices(32768), RANK_TABLE_MAX_SLICES);
+        assert_eq!(table_slices(RANK_TABLE_MAX_N), RANK_TABLE_MAX_SLICES);
+        assert_eq!(table_slices(u64::MAX), RANK_TABLE_MAX_SLICES);
+        for n in [513u64, 8191, 20000, 40000] {
+            assert!(table_slices(n).is_power_of_two(), "n={n}");
+        }
+    }
+
+    // `zeta` with the nudged theta, argument order flipped to catch swaps.
+    fn zeta(theta: f64, n: u64) -> f64 {
+        super::zeta(n, theta)
     }
 
     #[test]

@@ -254,6 +254,55 @@ impl BenchmarkSpec {
             .collect()
     }
 
+    /// [`Self::pack_streams`] with one producer thread per workload thread.
+    ///
+    /// Thread streams are seeded from independent forks of the master RNG,
+    /// so their recordings are order-independent: each OS thread generates
+    /// one stream straight into packed columns, and joining in thread order
+    /// yields exactly the traces `pack_streams` would produce (asserted by
+    /// the `parallel_pack_matches_sequential` test). Wall-clock win is the
+    /// per-thread generation overlap on multicore hosts; results are
+    /// bit-identical regardless of core count.
+    ///
+    /// # Panics
+    /// Same conditions as [`Self::build_streams`].
+    pub fn pack_streams_parallel(
+        &self,
+        cfg: &SystemConfig,
+        scale: WorkloadScale,
+        seed: u64,
+        max_events: usize,
+    ) -> Vec<Arc<PackedTrace>> {
+        self.validate();
+        assert_eq!(
+            cfg.cores,
+            self.threads.len(),
+            "spec has {} threads but system has {} cores",
+            self.threads.len(),
+            cfg.cores
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, ts)| {
+                    scope.spawn(move || {
+                        let mut s = SyntheticStream::new(self, ts, t, cfg, scale, seed);
+                        Arc::new(PackedTrace::record(&mut s, max_events))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(trace) => trace,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+
     /// Re-targets the spec to `n` threads by cycling the existing thread
     /// profiles (used for the paper's 8-core sensitivity study, Figure 22).
     ///
@@ -340,5 +389,20 @@ mod tests {
         let s = sample_spec();
         let cfg = SystemConfig::scaled_down(); // 4 cores, spec has 2
         s.build_streams(&cfg, WorkloadScale::Test, 1);
+    }
+
+    #[test]
+    fn parallel_pack_matches_sequential() {
+        let s = sample_spec();
+        let mut cfg = SystemConfig::scaled_down();
+        cfg.cores = s.threads.len();
+        for max_events in [usize::MAX, 100] {
+            let seq = s.pack_streams(&cfg, WorkloadScale::Test, 9, max_events);
+            let par = s.pack_streams_parallel(&cfg, WorkloadScale::Test, 9, max_events);
+            assert_eq!(seq.len(), par.len());
+            for (t, (a, b)) in seq.iter().zip(par.iter()).enumerate() {
+                assert_eq!(a.to_events(), b.to_events(), "thread {t} max_events {max_events}");
+            }
+        }
     }
 }

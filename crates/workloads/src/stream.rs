@@ -7,10 +7,20 @@
 //! around the phase's memory intensity. Sections of a fixed instruction
 //! budget end in barriers, reproducing the parallel-section structure of
 //! the paper's Figure 1.
+//!
+//! Generation is *columnar end to end*: the hot path
+//! ([`SyntheticStream::fill_packed_batch`]) writes gap/addr/mlp/write
+//! columns straight into a [`PackedBlock`], drawing its randomness from a
+//! [`BufferedRng`] scratch filled in bulk — no per-event 24-byte
+//! [`ThreadEvent`] is ever materialised. The scalar `generate` loop remains
+//! as the reference path; both draw through the same buffered RNG, so the
+//! two are interchangeable mid-stream and bit-identical (pinned by the
+//! `stream_equivalence` suite).
 
 use icp_cmp_sim::stream::{AccessStream, ThreadEvent};
-use icp_cmp_sim::SystemConfig;
-use icp_numeric::{Xoshiro256, Zipf};
+use icp_cmp_sim::{PackedBlock, SystemConfig};
+use icp_hot_path::hot_path;
+use icp_numeric::{BufferedRng, FastMod, Zipf};
 
 use crate::spec::{BenchmarkSpec, ThreadSpec, WorkloadScale};
 
@@ -62,7 +72,8 @@ struct PhaseRt {
     len: u64,
     zipf: Zipf,
     mult: u64,
-    ws_lines: u64,
+    /// Div-free `% ws_lines` for the rank -> line mapping.
+    ws_mod: FastMod,
     /// `2 * mean_gap + 1`: bound for the uniform gap sample.
     gap_bound: u64,
     shared_fraction: f64,
@@ -73,7 +84,7 @@ struct PhaseRt {
 
 /// A deterministic synthetic access stream for one thread.
 pub struct SyntheticStream {
-    rng: Xoshiro256,
+    rng: BufferedRng,
     line_bytes: u64,
     /// Base address of this thread's private region.
     base: u64,
@@ -82,7 +93,8 @@ pub struct SyntheticStream {
     insts_into_phase: u64,
     shared_zipf: Zipf,
     shared_mult: u64,
-    shared_ws_lines: u64,
+    /// Div-free `% shared_ws_lines` for the shared-region mapping.
+    shared_ws_mod: FastMod,
     shared_base: u64,
     section_budget: u64,
     insts_left_in_section: u64,
@@ -105,7 +117,7 @@ impl SyntheticStream {
         seed: u64,
     ) -> Self {
         let l2_lines = cfg.l2.size_bytes / cfg.l2.line_bytes;
-        let rng = crate::seeding::thread_rng(seed, thread);
+        let rng = BufferedRng::new(crate::seeding::thread_rng(seed, thread));
         let factor = scale.factor();
 
         let phases = thread_spec
@@ -118,7 +130,7 @@ impl SyntheticStream {
                     len: scale_insts(p.instructions, factor),
                     zipf: Zipf::new(ws_lines, p.theta),
                     mult: coprime_mult(ws_lines),
-                    ws_lines,
+                    ws_mod: FastMod::new(ws_lines),
                     gap_bound: (2.0 * mean_gap) as u64 + 1,
                     shared_fraction: p.shared_fraction,
                     mlp_tenths: (p.mlp * 10.0).round() as u16,
@@ -139,7 +151,7 @@ impl SyntheticStream {
             insts_into_phase: 0,
             shared_zipf: Zipf::new(shared_ws_lines, bench.shared_theta),
             shared_mult: coprime_mult(shared_ws_lines),
-            shared_ws_lines,
+            shared_ws_mod: FastMod::new(shared_ws_lines),
             shared_base: shared_base(bench.shared_region_id),
             section_budget,
             insts_left_in_section: section_budget,
@@ -148,8 +160,14 @@ impl SyntheticStream {
         }
     }
 
-    /// Advances the phase machine by `retired` instructions.
+    /// Advances the phase machine by `retired` instructions. Single-phase
+    /// threads skip the bookkeeping entirely: `cur_phase` can never move,
+    /// so the counter is unobservable and the emitted stream is identical.
+    #[inline]
     fn advance_phase(&mut self, retired: u64) {
+        if self.phases.len() == 1 {
+            return;
+        }
         self.insts_into_phase += retired;
         let len = self.phases[self.cur_phase].len;
         if self.insts_into_phase >= len {
@@ -182,13 +200,16 @@ impl SyntheticStream {
         if (gap as u64 + 1) > self.insts_left_in_section {
             gap = (self.insts_left_in_section - 1) as u32;
         }
+        // `rank_for` always consumes its draw, matching `Zipf::sample` here
+        // because every stream Zipf has n >= 2 (`.max(2)` at construction)
+        // — the n == 1 draw-free early-out never applies.
         let addr = if self.rng.next_bool(phase.shared_fraction) {
-            let rank = self.shared_zipf.sample(&mut self.rng);
-            let line = (rank * self.shared_mult) % self.shared_ws_lines;
+            let rank = self.shared_zipf.rank_for(self.rng.next_f64());
+            let line = self.shared_ws_mod.rem(rank * self.shared_mult);
             self.shared_base + line * self.line_bytes
         } else {
-            let rank = phase.zipf.sample(&mut self.rng);
-            let line = (rank * phase.mult) % phase.ws_lines;
+            let rank = phase.zipf.rank_for(self.rng.next_f64());
+            let line = phase.ws_mod.rem(rank * phase.mult);
             self.base + line * self.line_bytes
         };
         let write = self.rng.next_bool(phase.write_fraction);
@@ -197,6 +218,65 @@ impl SyntheticStream {
         self.insts_left_in_section -= retired;
         self.advance_phase(retired);
         ThreadEvent::Access { gap, addr, write, mlp_tenths }
+    }
+
+    /// Columnar generation: clears `out` and writes up to `cap` events
+    /// (accesses plus barriers) straight into its packed columns, raising
+    /// the block's `finished` flag when the stream ends — the native
+    /// [`AccessStream::fill_packed`] path. Draws come from the same
+    /// buffered RNG as [`Self::generate`] in the same order, so mixing the
+    /// scalar and columnar APIs on one stream still yields the one
+    /// canonical event sequence.
+    pub fn fill_packed_batch(&mut self, out: &mut PackedBlock, cap: usize) {
+        out.clear();
+        while out.len() < cap {
+            if self.finished {
+                out.set_finished(true);
+                return;
+            }
+            if self.insts_left_in_section == 0 {
+                self.sections_left -= 1;
+                if self.sections_left == 0 {
+                    self.finished = true;
+                    out.set_finished(true);
+                    return;
+                }
+                self.insts_left_in_section = self.section_budget;
+                out.push_barrier();
+                continue;
+            }
+            self.gen_accesses(out, cap);
+        }
+    }
+
+    /// The columnar hot loop: generates accesses until the block holds
+    /// `cap` events or the section budget runs out (section and stream
+    /// boundaries are the outer loop's job).
+    #[hot_path]
+    fn gen_accesses(&mut self, out: &mut PackedBlock, cap: usize) {
+        while out.len() < cap && self.insts_left_in_section > 0 {
+            let phase = &self.phases[self.cur_phase];
+            let mut gap = self.rng.next_bounded(phase.gap_bound) as u32;
+            if (gap as u64 + 1) > self.insts_left_in_section {
+                gap = (self.insts_left_in_section - 1) as u32;
+            }
+            // Draw order and arithmetic mirror `generate` exactly (see the
+            // n >= 2 note there for why `rank_for` is equivalent).
+            let addr = if self.rng.next_bool(phase.shared_fraction) {
+                let rank = self.shared_zipf.rank_for(self.rng.next_f64());
+                let line = self.shared_ws_mod.rem(rank * self.shared_mult);
+                self.shared_base + line * self.line_bytes
+            } else {
+                let rank = phase.zipf.rank_for(self.rng.next_f64());
+                let line = phase.ws_mod.rem(rank * phase.mult);
+                self.base + line * self.line_bytes
+            };
+            let write = self.rng.next_bool(phase.write_fraction);
+            out.push_access(gap, addr, write, phase.mlp_tenths);
+            let retired = gap as u64 + 1;
+            self.insts_left_in_section -= retired;
+            self.advance_phase(retired);
+        }
     }
 }
 
@@ -228,6 +308,12 @@ impl AccessStream for SyntheticStream {
             }
         }
         n
+    }
+
+    /// Native columnar generation: events are written straight into the
+    /// packed columns with no intermediate [`ThreadEvent`] buffer.
+    fn fill_packed(&mut self, out: &mut PackedBlock, cap: usize) {
+        self.fill_packed_batch(out, cap);
     }
 }
 
@@ -484,5 +570,92 @@ mod tests {
         assert_eq!(scale_insts(u64::MAX, 10.0), u64::MAX);
         assert_eq!(scale_insts(100, 10.0), 1000);
         assert_eq!(scale_insts(0, 10.0), 1); // clamped to at least 1
+    }
+
+    /// Drains `s` through `fill_packed_batch` with block capacity `cap`,
+    /// re-expanding every block into the scalar event sequence.
+    fn drain_packed(s: &mut SyntheticStream, cap: usize) -> Vec<ThreadEvent> {
+        let mut out = Vec::new();
+        let mut block = PackedBlock::with_capacity(cap);
+        loop {
+            s.fill_packed_batch(&mut block, cap);
+            assert!(block.len() <= cap, "fill_packed_batch overshot its cap");
+            out.extend(block.to_events());
+            if block.finished() {
+                return out;
+            }
+            assert!(!block.is_empty(), "unfinished block must carry events");
+        }
+    }
+
+    #[test]
+    fn packed_generation_matches_scalar_generation() {
+        let b = spec();
+        let c = cfg();
+        // Odd capacities so block boundaries never align with section
+        // boundaries; 1 exercises the degenerate one-event block.
+        for cap in [1usize, 17, 64, 4096] {
+            for (t, ts) in b.threads.iter().enumerate() {
+                let mut scalar =
+                    SyntheticStream::new(&b, ts, t, &c, WorkloadScale::Test, 77);
+                let mut packed =
+                    SyntheticStream::new(&b, ts, t, &c, WorkloadScale::Test, 77);
+                let events = drain_packed(&mut packed, cap);
+                for (i, &e) in events.iter().enumerate() {
+                    assert_eq!(e, scalar.next_event(), "cap {cap} thread {t} event {i}");
+                }
+                assert_eq!(events.last(), Some(&ThreadEvent::Finished));
+                // Both streams stay Finished afterwards.
+                packed.fill_packed_batch(&mut PackedBlock::default(), 8);
+                assert_eq!(scalar.next_event(), ThreadEvent::Finished);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_and_scalar_apis_interleave_on_one_stream() {
+        // Alternating generate() and fill_packed_batch() on a single stream
+        // must still produce the one canonical sequence.
+        let b = spec();
+        let c = cfg();
+        let mut mixed = SyntheticStream::new(&b, &b.threads[0], 0, &c, WorkloadScale::Test, 3);
+        let mut scalar = SyntheticStream::new(&b, &b.threads[0], 0, &c, WorkloadScale::Test, 3);
+        let mut block = PackedBlock::default();
+        let mut finished = false;
+        while !finished {
+            for _ in 0..5 {
+                let e = mixed.generate();
+                assert_eq!(e, scalar.next_event());
+                if matches!(e, ThreadEvent::Finished) {
+                    finished = true;
+                    break;
+                }
+            }
+            if finished {
+                break;
+            }
+            mixed.fill_packed_batch(&mut block, 13);
+            for e in block.to_events() {
+                assert_eq!(e, scalar.next_event());
+                if matches!(e, ThreadEvent::Finished) {
+                    finished = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_cap_zero_is_empty_and_stateless() {
+        let b = spec();
+        let c = cfg();
+        let mut s = SyntheticStream::new(&b, &b.threads[0], 0, &c, WorkloadScale::Test, 21);
+        let mut probe = SyntheticStream::new(&b, &b.threads[0], 0, &c, WorkloadScale::Test, 21);
+        let mut block = PackedBlock::with_capacity(4);
+        s.fill_packed_batch(&mut block, 0);
+        assert!(block.is_empty() && !block.finished());
+        // The zero-cap call consumed nothing: streams still agree.
+        for _ in 0..100 {
+            assert_eq!(s.next_event(), probe.next_event());
+        }
     }
 }

@@ -18,8 +18,8 @@
 
 use icp::experiments::{ExperimentConfig, Scheme, TraceCache};
 use icp::sim::l2::equal_split;
-use icp::sim::stream::AccessStream;
-use icp::sim::{GlobalStats, PackedTrace, PipelinedStream, Simulator, SystemConfig};
+use icp::sim::stream::{AccessStream, ThreadEvent};
+use icp::sim::{GlobalStats, PackedBlock, PackedTrace, PipelinedStream, Simulator, SystemConfig};
 use icp::workloads::{suite, BenchmarkSpec, SyntheticStream, WorkloadScale};
 
 const SEED: u64 = 0x5EED_0004;
@@ -81,6 +81,54 @@ fn packed_replay_identical_across_suite() {
     for spec in suite::all() {
         let (wall_a, stats_a) = simulate(cfg, inline_streams(&spec, &cfg));
         let (wall_b, stats_b) = simulate(cfg, packed_streams(&spec, &cfg));
+        assert_eq!(wall_a, wall_b, "{}: wall clock diverged", spec.name);
+        assert_eq!(stats_a, stats_b, "{}: stats diverged", spec.name);
+    }
+}
+
+/// Columnar generation: draining [`AccessStream::fill_packed`] blocks out
+/// of a synthetic stream yields exactly the scalar `next_event` sequence —
+/// for every thread of every suite workload, across block boundaries that
+/// deliberately never align with section boundaries.
+#[test]
+fn columnar_generation_identical_across_suite() {
+    let cfg = SystemConfig::scaled_down();
+    let mut block = PackedBlock::with_capacity(97);
+    for spec in suite::all() {
+        for (t, ts) in spec.threads.iter().enumerate() {
+            let mut packed = SyntheticStream::new(&spec, ts, t, &cfg, WorkloadScale::Test, SEED);
+            let mut scalar = SyntheticStream::new(&spec, ts, t, &cfg, WorkloadScale::Test, SEED);
+            let mut i = 0usize;
+            loop {
+                packed.fill_packed(&mut block, 97);
+                for e in block.to_events() {
+                    assert_eq!(e, scalar.next_event(), "{} thread {t} event {i}", spec.name);
+                    i += 1;
+                }
+                if block.finished() {
+                    break;
+                }
+                assert!(!block.is_empty(), "{} thread {t}: stalled unfinished", spec.name);
+            }
+            assert_eq!(scalar.next_event(), ThreadEvent::Finished, "{} thread {t}", spec.name);
+        }
+    }
+}
+
+/// Parallel materialisation: simulations over traces packed by per-thread
+/// producer threads are bit-identical to inline generation, for every
+/// suite workload.
+#[test]
+fn parallel_packed_replay_identical_across_suite() {
+    let cfg = SystemConfig::scaled_down();
+    for spec in suite::all() {
+        let replays: Vec<Box<dyn AccessStream>> = spec
+            .pack_streams_parallel(&cfg, WorkloadScale::Test, SEED, usize::MAX)
+            .iter()
+            .map(|t| Box::new(PackedTrace::stream(t)) as Box<dyn AccessStream>)
+            .collect();
+        let (wall_a, stats_a) = simulate(cfg, inline_streams(&spec, &cfg));
+        let (wall_b, stats_b) = simulate(cfg, replays);
         assert_eq!(wall_a, wall_b, "{}: wall clock diverged", spec.name);
         assert_eq!(stats_a, stats_b, "{}: stats diverged", spec.name);
     }
