@@ -1,6 +1,6 @@
 //! Hot-path throughput bench: `cargo bench -p icp-bench --bench hotpath`.
 //!
-//! Self-contained harness (no external bench framework): runs the seven
+//! Self-contained harness (no external bench framework): runs the nine
 //! tracked scenarios from `icp_experiments::hotpath` several times and
 //! reports best/median accesses-per-second. The canonical tracked numbers
 //! come from `cargo run --release --bin bench_hotpath`, which writes
@@ -9,7 +9,7 @@
 
 use icp_experiments::hotpath::{
     gen_only, gen_packed, interleaved_4t, l2_miss_prefetch, pipeline_4t, pipeline_packed,
-    single_access, HotpathResult,
+    sharded_4t, sharded_packed_4t, single_access, HotpathResult,
 };
 
 const EVENTS_PER_THREAD: usize = 500_000;
@@ -35,4 +35,6 @@ fn main() {
     bench("gen_packed", gen_packed);
     bench("pipeline_4t", pipeline_4t);
     bench("pipeline_packed", pipeline_packed);
+    bench("sharded_4t", sharded_4t);
+    bench("sharded_packed_4t", sharded_packed_4t);
 }

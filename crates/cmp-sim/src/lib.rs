@@ -37,6 +37,7 @@ pub mod pipeline;
 pub mod plru;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
+pub mod shard;
 pub mod simulator;
 pub mod stats;
 pub mod stream;
@@ -47,8 +48,9 @@ pub mod victim;
 pub use config::{CacheConfig, L2Geometry, LatencyConfig, SystemConfig};
 pub use l2::{EnforcementKind, PartitionMode, PartitionedL2, ReplacementKind};
 pub use packed::{PackedBlock, PackedReplayStream, PackedTrace};
-pub use perf::PerfReport;
+pub use perf::{Measurable, PerfReport};
 pub use pipeline::{PipelinedStream, TakeStream};
+pub use shard::ShardedSimulator;
 pub use simulator::{IntervalReport, Simulator, ThreadIntervalStats};
 pub use stats::{GlobalStats, InteractionStats, ThreadCounters};
 pub use stream::{AccessStream, ThreadEvent};

@@ -12,7 +12,9 @@
 
 use std::time::Instant;
 
-use crate::simulator::Simulator;
+use crate::simulator::{IntervalReport, Simulator};
+use crate::stats::GlobalStats;
+use crate::stream::AccessStream;
 
 /// Throughput of one timed simulation region.
 #[derive(Clone, Copy, Debug)]
@@ -48,8 +50,43 @@ impl PerfReport {
     }
 }
 
+/// A simulation engine the perf harness can time: anything that advances
+/// interval by interval and exposes cumulative counters. Implemented by
+/// [`Simulator`] (any stream type) and
+/// [`crate::shard::ShardedSimulator`], so the hot-path scenarios and the
+/// tracked bench treat serial and sharded engines uniformly.
+pub trait Measurable {
+    /// Cumulative statistics (see [`Simulator::stats`]).
+    fn stats(&self) -> &GlobalStats;
+    /// Stream events consumed so far (see [`Simulator::events_processed`]).
+    fn events_processed(&self) -> u64;
+    /// Wall-clock cycles simulated so far (see [`Simulator::wall_cycles`]).
+    fn wall_cycles(&self) -> u64;
+    /// Advances to the next interval boundary (see
+    /// [`Simulator::run_interval`]).
+    fn run_interval(&mut self) -> Option<IntervalReport>;
+}
+
+impl<S: AccessStream> Measurable for Simulator<S> {
+    fn stats(&self) -> &GlobalStats {
+        Simulator::stats(self)
+    }
+
+    fn events_processed(&self) -> u64 {
+        Simulator::events_processed(self)
+    }
+
+    fn wall_cycles(&self) -> u64 {
+        Simulator::wall_cycles(self)
+    }
+
+    fn run_interval(&mut self) -> Option<IntervalReport> {
+        Simulator::run_interval(self)
+    }
+}
+
 /// (accesses, events, instructions, wall_cycles) as of now.
-fn snapshot(sim: &Simulator) -> (u64, u64, u64, u64) {
+fn snapshot<M: Measurable>(sim: &M) -> (u64, u64, u64, u64) {
     let stats = sim.stats();
     let accesses = stats.threads.iter().map(|t| t.l1_hits + t.l1_misses).sum();
     let instructions = stats.threads.iter().map(|t| t.instructions).sum();
@@ -60,9 +97,9 @@ fn snapshot(sim: &Simulator) -> (u64, u64, u64, u64) {
 ///
 /// Counters are snapshotted before and after, so `measure` composes with
 /// partially-run simulators and can time individual intervals.
-pub fn measure<R>(
-    sim: &mut Simulator,
-    f: impl FnOnce(&mut Simulator) -> R,
+pub fn measure<M: Measurable, R>(
+    sim: &mut M,
+    f: impl FnOnce(&mut M) -> R,
 ) -> (R, PerfReport) {
     let (a0, e0, i0, c0) = snapshot(sim);
     let started = Instant::now();
@@ -80,7 +117,7 @@ pub fn measure<R>(
 }
 
 /// Runs the simulator to completion under the timer.
-pub fn measure_to_completion(sim: &mut Simulator) -> PerfReport {
+pub fn measure_to_completion<M: Measurable>(sim: &mut M) -> PerfReport {
     measure(sim, |s| {
         while let Some(report) = s.run_interval() {
             if report.finished {

@@ -50,6 +50,13 @@ pub const DEFAULT_DEPTH: usize = 2;
 /// enum APIs (`next_event`/`fill_batch`) decode the same blocks in place,
 /// one pass, with no intermediate buffer.
 ///
+/// On hosts without headroom for producer threads
+/// ([`std::thread::available_parallelism`] < 2 — producers would only
+/// time-slice against the consumer and lose to inline generation),
+/// [`PipelinedStream::spawn`] degrades to a thread-free wrapper that
+/// generates inline on demand. The delivered event sequence is identical
+/// either way; only where generation runs changes.
+///
 /// # Examples
 ///
 /// ```
@@ -61,8 +68,10 @@ pub const DEFAULT_DEPTH: usize = 2;
 /// assert_eq!(piped.next_event(), ThreadEvent::access(3, 0x40));
 /// assert_eq!(piped.next_event(), ThreadEvent::Finished);
 /// ```
-#[derive(Debug)]
 pub struct PipelinedStream {
+    /// Thread-free fallback: the wrapped stream itself, generating inline
+    /// on the consumer thread. When set, the channel fields stay `None`.
+    inline: Option<Box<dyn AccessStream + Send>>,
     /// Full blocks from the producer. `None` once shut down.
     rx_full: Option<Receiver<PackedBlock>>,
     /// Drained blocks back to the producer. `None` once shut down.
@@ -78,11 +87,47 @@ pub struct PipelinedStream {
     done: bool,
 }
 
+impl std::fmt::Debug for PipelinedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedStream")
+            .field("inline", &self.inline.is_some())
+            .field("cur", &self.cur)
+            .field("pos", &self.pos)
+            .field("nb", &self.nb)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
 impl PipelinedStream {
     /// Moves `stream`'s generation onto a producer thread with default
-    /// batch size and channel depth.
+    /// batch size and channel depth — unless the host has no parallelism
+    /// to spend ([`std::thread::available_parallelism`] < 2), in which
+    /// case the stream is wrapped inline instead (same events, no thread),
+    /// so pipelining never loses to serial generation on small hosts.
     pub fn spawn<S: AccessStream + Send + 'static>(stream: S) -> Self {
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if host < 2 {
+            return PipelinedStream::inline(stream);
+        }
         PipelinedStream::spawn_with(stream, DEFAULT_BATCH, DEFAULT_DEPTH)
+    }
+
+    /// The thread-free fallback behind [`Self::spawn`]: wraps `stream`
+    /// without a producer thread, generating inline on demand. Public so
+    /// callers (and the equivalence tests) can request the degraded mode
+    /// explicitly.
+    pub fn inline<S: AccessStream + Send + 'static>(stream: S) -> Self {
+        PipelinedStream {
+            inline: Some(Box::new(stream)),
+            rx_full: None,
+            tx_empty: None,
+            handle: None,
+            cur: PackedBlock::default(),
+            pos: 0,
+            nb: 0,
+            done: false,
+        }
     }
 
     /// [`Self::spawn`] with explicit knobs. `batch` and `depth` are clamped
@@ -114,6 +159,7 @@ impl PipelinedStream {
             }
         });
         PipelinedStream {
+            inline: None,
             rx_full: Some(rx_full),
             tx_empty: Some(tx_empty),
             handle: Some(handle),
@@ -152,6 +198,9 @@ impl PipelinedStream {
 
 impl AccessStream for PipelinedStream {
     fn next_event(&mut self) -> ThreadEvent {
+        if let Some(s) = self.inline.as_mut() {
+            return s.next_event();
+        }
         loop {
             if self.done {
                 return ThreadEvent::Finished;
@@ -175,6 +224,9 @@ impl AccessStream for PipelinedStream {
     /// straight out of the producer's columns into `out` — one pass, no
     /// intermediate enum buffer.
     fn fill_batch(&mut self, out: &mut [ThreadEvent]) -> usize {
+        if let Some(s) = self.inline.as_mut() {
+            return s.fill_batch(out);
+        }
         let mut n = 0;
         while n < out.len() {
             if self.done {
@@ -221,6 +273,11 @@ impl AccessStream for PipelinedStream {
     /// no event data copied (`cap` is advisory; the producer's batch size
     /// governs block length).
     fn next_block(&mut self, out: &mut PackedBlock, _cap: usize) {
+        if let Some(s) = self.inline.as_mut() {
+            // No producer blocks to swap: generate a block's worth inline,
+            // at the batch size the producer would have used.
+            return s.fill_packed(out, DEFAULT_BATCH);
+        }
         if !self.done && self.cur_drained() && !self.cur.finished() {
             if !self.cur.is_empty() {
                 // A leftover from mixed enum-API use: put it back into the
@@ -479,6 +536,44 @@ mod tests {
         let mut buf = [ThreadEvent::Barrier; 4];
         assert_eq!(piped.fill_batch(&mut buf), 1);
         assert_eq!(buf[0], ThreadEvent::Finished);
+    }
+
+    #[test]
+    fn inline_fallback_matches_threaded_sequence() {
+        // The small-host degraded mode must deliver the exact sequence the
+        // producer-thread mode does, through every API.
+        let events = sample_events(3_000);
+        let mut threaded = PipelinedStream::spawn_with(ReplayStream::new(events.clone()), 64, 2);
+        let mut inline = PipelinedStream::inline(ReplayStream::new(events.clone()));
+        assert_eq!(drain(&mut inline), drain(&mut threaded));
+
+        let mut threaded = PipelinedStream::spawn_with(ReplayStream::new(events.clone()), 64, 2);
+        let mut inline = PipelinedStream::inline(ReplayStream::new(events));
+        let mut a = PackedBlock::default();
+        let mut b = PackedBlock::default();
+        loop {
+            inline.next_block(&mut a, 64);
+            for e in a.to_events() {
+                let mut buf = [ThreadEvent::Finished; 1];
+                assert_eq!(threaded.fill_batch(&mut buf), 1);
+                assert_eq!(e, buf[0]);
+            }
+            if a.finished() {
+                break;
+            }
+        }
+        threaded.next_block(&mut b, 64);
+        // Inline consumed everything the threaded stream still owes except
+        // its terminal marker.
+        assert!(b.finished());
+    }
+
+    #[test]
+    fn inline_fallback_spawns_no_thread() {
+        let piped = PipelinedStream::inline(ReplayStream::new(sample_events(10)));
+        assert!(piped.handle.is_none());
+        assert!(piped.rx_full.is_none());
+        drop(piped); // must not hang in Drop's join path
     }
 
     #[test]

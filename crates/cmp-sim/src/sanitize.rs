@@ -468,7 +468,7 @@ impl SetAssocCache {
     }
 }
 
-impl Simulator {
+impl<S: crate::stream::AccessStream> Simulator<S> {
     /// Test-only mutable access to the shared L2 for injecting corruption.
     #[doc(hidden)]
     pub fn l2_mut_for_test(&mut self) -> &mut PartitionedL2 {

@@ -152,7 +152,13 @@ impl EventRing {
 /// }
 /// assert!(sim.wall_cycles() > 0);
 /// ```
-pub struct Simulator {
+///
+/// The stream type defaults to boxed trait objects (heterogeneous streams,
+/// the common case); instantiating with a concrete `Send` stream type such
+/// as [`crate::packed::PackedReplayStream`] yields a `Send` simulator that
+/// worker threads can own — the foundation of
+/// [`crate::shard::ShardedSimulator`].
+pub struct Simulator<S = Box<dyn AccessStream>> {
     cfg: SystemConfig,
     /// Shift/mask address math for the L2 geometry (shared line size with
     /// the L1s, per [`SystemConfig::validate`]).
@@ -160,7 +166,7 @@ pub struct Simulator {
     pub(crate) l1s: Vec<SetAssocCache>,
     pub(crate) l2: PartitionedL2,
     umon: Option<UtilityMonitor>,
-    streams: Vec<Box<dyn AccessStream>>,
+    streams: Vec<S>,
     /// One prefetched-event ring per core (see [`EventRing`]).
     rings: Vec<EventRing>,
     cores: Vec<CoreState>,
@@ -192,12 +198,25 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Builds a simulator for `cfg` with one access stream per core.
+    /// Builds a simulator for `cfg` with one boxed access stream per core.
     ///
     /// # Panics
     /// Panics if the stream count doesn't match `cfg.cores` or the config is
     /// invalid.
     pub fn new(cfg: SystemConfig, streams: Vec<Box<dyn AccessStream>>) -> Self {
+        Simulator::from_streams(cfg, streams)
+    }
+}
+
+impl<S: AccessStream> Simulator<S> {
+    /// Builds a simulator for `cfg` with one access stream per core, keeping
+    /// the concrete stream type (use [`Simulator::new`] for the boxed
+    /// default).
+    ///
+    /// # Panics
+    /// Panics if the stream count doesn't match `cfg.cores` or the config is
+    /// invalid.
+    pub fn from_streams(cfg: SystemConfig, streams: Vec<S>) -> Self {
         cfg.validate();
         assert_eq!(streams.len(), cfg.cores, "one stream per core");
         Simulator {
@@ -299,6 +318,15 @@ impl Simulator {
         self.cores.iter().map(|c| c.clock).max().unwrap_or(0)
     }
 
+    /// Core `t`'s local clock (cycles it has simulated so far). The shard
+    /// merge sums these across slices to reconstitute a per-core clock.
+    ///
+    /// # Panics
+    /// Panics if `t` is not a valid core index.
+    pub fn core_clock(&self, t: ThreadId) -> u64 {
+        self.cores[t].clock
+    }
+
     /// Whether every thread has finished.
     pub fn is_finished(&self) -> bool {
         self.done
@@ -375,7 +403,7 @@ impl Simulator {
     /// Runs every remaining interval, invoking `on_interval` at each
     /// boundary; the callback may inspect the report and repartition.
     /// Returns total wall cycles at completion.
-    pub fn run_to_completion<F: FnMut(&mut Simulator, &IntervalReport)>(
+    pub fn run_to_completion<F: FnMut(&mut Self, &IntervalReport)>(
         &mut self,
         mut on_interval: F,
     ) -> u64 {

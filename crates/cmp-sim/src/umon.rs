@@ -159,6 +159,26 @@ impl UtilityMonitor {
         self.atd_misses.fill(0);
     }
 
+    /// Accumulates another monitor's counters into this one. Used by the
+    /// set-sharded simulator to reduce per-shard UMONs into one system-wide
+    /// profile: each shard observes a disjoint slice of the set space, so
+    /// summing `way_hits` and `atd_misses` in shard order reconstitutes the
+    /// whole hits-vs-ways curve. Tag stacks are left alone (they are
+    /// per-set state and the shards' sets never overlap).
+    ///
+    /// # Panics
+    /// Panics if the two monitors have different thread or way counts.
+    pub fn merge_counters(&mut self, other: &UtilityMonitor) {
+        assert_eq!(self.threads, other.threads, "thread counts must match");
+        assert_eq!(self.ways, other.ways, "way counts must match");
+        for (acc, &x) in self.way_hits.iter_mut().zip(&other.way_hits) {
+            *acc += x;
+        }
+        for (acc, &x) in self.atd_misses.iter_mut().zip(&other.atd_misses) {
+            *acc += x;
+        }
+    }
+
     /// Halves the counters — the exponential-decay aging UCP hardware uses
     /// between repartition points. Compared to a hard reset this keeps a
     /// window of history, damping oscillation when a thread is

@@ -6,20 +6,24 @@
 //! cargo run --release --bin bench_hotpath                 # record current numbers
 //! cargo run --release --bin bench_hotpath -- --set-baseline
 //! cargo run --release --bin bench_hotpath -- --events 250000 --repeats 5 --out other.json
+//! cargo run --release --bin bench_hotpath -- --only sharded --events 2000 --out smoke.json
 //! ```
 //!
-//! A normal run re-measures the seven scenarios and rewrites the `current`
+//! A normal run re-measures the nine scenarios and rewrites the `current`
 //! section while carrying the `baseline` section over from the existing
 //! file, so the pre-optimisation numbers stay recorded alongside every
 //! later measurement. `--set-baseline` (re)captures the baseline section
 //! instead — run it once before a performance change, then compare with a
 //! plain run afterwards.
 //!
-//! Schema `icp-bench-hotpath/v3` adds the `gen_packed` (columnar
-//! direct-to-packed generation) and `pipeline_packed` (parallel trace
-//! materialisation) scenarios on top of v2's `gen_only` and `pipeline_4t`;
-//! a carried-over earlier-schema `baseline` section simply lacks the keys
-//! its version predates.
+//! Schema `icp-bench-hotpath/v4` adds the set-sharded parallel scenarios
+//! (`sharded_4t`, `sharded_packed_4t`) and records the simulator shard
+//! count per scenario (`shards`: 1 for the serial simulator, 0 for
+//! generation-only scenarios) on top of v3's `gen_packed` and
+//! `pipeline_packed`; a carried-over earlier-schema `baseline` section
+//! simply lacks the keys its version predates. `--only SUBSTR` restricts a
+//! run to the scenarios whose names contain `SUBSTR` (used by the CI smoke
+//! matrix to exercise the sharded path in isolation).
 
 use std::path::{Path, PathBuf};
 
@@ -45,7 +49,7 @@ fn default_out_path() -> PathBuf {
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: bench_hotpath [--set-baseline] [--events N] [--repeats N] [--out PATH]");
+    eprintln!("usage: bench_hotpath [--set-baseline] [--events N] [--repeats N] [--out PATH] [--only SUBSTR]");
     std::process::exit(2);
 }
 
@@ -54,6 +58,7 @@ fn main() {
     let mut events = DEFAULT_EVENTS_PER_THREAD;
     let mut repeats = 3usize;
     let mut out_path = default_out_path();
+    let mut only: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -78,12 +83,20 @@ fn main() {
                     .map(PathBuf::from)
                     .unwrap_or_else(|| usage_error("--out takes a path"));
             }
+            "--only" => {
+                only = Some(
+                    argv.next().unwrap_or_else(|| usage_error("--only takes a substring")),
+                );
+            }
             other => usage_error(&format!("unknown argument: {other}")),
         }
     }
 
     eprintln!("running hot-path scenarios ({events} events/thread, best of {repeats})...");
-    let results = hotpath::run_all_best_of(events, repeats);
+    let results = hotpath::run_best_of_matching(events, repeats, only.as_deref());
+    if results.is_empty() {
+        usage_error("--only matched no scenario");
+    }
     for r in &results {
         eprintln!(
             "  {:<18} {:>12.0} accesses/s  {:>12.0} events/s  ({:.3}s host, digest {:016x})",
@@ -109,7 +122,7 @@ fn main() {
     };
 
     let mut pairs = vec![
-        ("schema".to_string(), Json::str("icp-bench-hotpath/v3")),
+        ("schema".to_string(), Json::str("icp-bench-hotpath/v4")),
         ("events_per_thread".to_string(), Json::u64(events as u64)),
     ];
     if let Some(b) = baseline {

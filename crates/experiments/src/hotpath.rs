@@ -27,6 +27,15 @@
 //!   [`BenchmarkSpec::pack_streams_parallel`] (one producer per thread,
 //!   columnar generation straight into packed traces): the trace-cache
 //!   fill path; digest bit-identical to `gen_only`.
+//! * `sharded_4t` — the interleaved workload on the set-sharded parallel
+//!   simulator ([`ShardedSimulator`], 4 slices on 4 worker threads): the
+//!   sliced-LLC machine that scales the sim loop with the host. Sharding
+//!   is a (deliberate) machine-model change at `k > 1`, so its digest is
+//!   its own — pinned deterministic, and bit-identical to
+//!   `sharded_packed_4t`.
+//! * `sharded_packed_4t` — the sharded machine fed from record-once packed
+//!   traces instead of inline generation; digest bit-identical to
+//!   `sharded_4t` (the demux sees the same events either way).
 //!
 //! The `bench_hotpath` binary runs these and records the numbers in
 //! `BENCH_hotpath.json` at the repository root so subsequent changes have a
@@ -37,8 +46,8 @@ use std::time::Instant;
 
 use icp_cmp_sim::stream::{AccessStream, ReplayStream};
 use icp_cmp_sim::{
-    perf, CacheConfig, PackedBlock, PackedTrace, PipelinedStream, Simulator, SystemConfig,
-    TakeStream, ThreadEvent,
+    perf, CacheConfig, PackedBlock, PackedTrace, PipelinedStream, ShardedSimulator, Simulator,
+    SystemConfig, TakeStream, ThreadEvent,
 };
 use icp_workloads::{BenchmarkSpec, SyntheticStream, WorkloadBuilder, WorkloadScale};
 
@@ -49,8 +58,12 @@ use crate::json::Json;
 pub struct HotpathResult {
     /// Scenario name (`single_access`, `l2_miss_prefetch`,
     /// `interleaved_4t`, `gen_only`, `gen_packed`, `pipeline_4t`,
-    /// `pipeline_packed`).
+    /// `pipeline_packed`, `sharded_4t`, `sharded_packed_4t`).
     pub name: &'static str,
+    /// Simulator shards (set slices / worker threads): 1 for the serial
+    /// simulator, the pinned slice count for sharded scenarios, 0 for
+    /// generation-only scenarios that never build a simulator.
+    pub shards: u32,
     /// Demand memory accesses simulated (L1 hits + misses over all threads).
     pub accesses: u64,
     /// Thread events delivered (accesses + barriers + finishes).
@@ -90,6 +103,7 @@ impl HotpathResult {
             ("accesses_per_sec", Json::Num(self.accesses_per_sec().round())),
             ("events_per_sec", Json::Num(self.events_per_sec().round())),
             ("digest", Json::u64(self.digest)),
+            ("shards", Json::u64(self.shards as u64)),
         ])
     }
 }
@@ -109,8 +123,10 @@ fn base_config(cores: usize) -> SystemConfig {
 }
 
 /// Runs `sim` to completion under [`perf::measure_to_completion`] and wraps
-/// the report in a [`HotpathResult`].
-fn run_scenario(name: &'static str, mut sim: Simulator) -> HotpathResult {
+/// the report in a [`HotpathResult`]. Generic over [`perf::Measurable`], so
+/// the serial and sharded engines share one measurement (and digest)
+/// definition.
+fn run_scenario<M: perf::Measurable>(name: &'static str, shards: u32, mut sim: M) -> HotpathResult {
     let report = perf::measure_to_completion(&mut sim);
     let stats = sim.stats();
     let digest: u64 = stats
@@ -125,6 +141,7 @@ fn run_scenario(name: &'static str, mut sim: Simulator) -> HotpathResult {
         .fold(sim.wall_cycles(), |acc, x| acc.wrapping_mul(1_000_003).wrapping_add(x));
     HotpathResult {
         name,
+        shards,
         accesses: report.accesses,
         events: report.events,
         instructions: report.instructions,
@@ -149,7 +166,7 @@ pub fn single_access(events_per_thread: usize) -> HotpathResult {
         .map(|i| ThreadEvent::access(1, ((i.wrapping_mul(0x9E37_79B1)) % ws_lines) * 64))
         .collect();
     let sim = Simulator::new(cfg, vec![Box::new(ReplayStream::new(events))]);
-    run_scenario("single_access", sim)
+    run_scenario("single_access", 1, sim)
 }
 
 /// The L2-miss + prefetch path: one core streaming sequentially through a
@@ -163,7 +180,7 @@ pub fn l2_miss_prefetch(events_per_thread: usize) -> HotpathResult {
         .map(|i| ThreadEvent::Access { gap: 2, addr: i * 64, write: false, mlp_tenths: 40 })
         .collect();
     let sim = Simulator::new(cfg, vec![Box::new(ReplayStream::new(events))]);
-    run_scenario("l2_miss_prefetch", sim)
+    run_scenario("l2_miss_prefetch", 1, sim)
 }
 
 /// The mixed 4-thread workload the interleaved scenarios share (one
@@ -198,7 +215,7 @@ pub fn interleaved_4t(events_per_thread: usize) -> HotpathResult {
         .collect();
     let mut sim = Simulator::new(cfg, replays);
     sim.set_partition(&icp_cmp_sim::l2::equal_split(cfg.l2.ways, cfg.cores));
-    run_scenario("interleaved_4t", sim)
+    run_scenario("interleaved_4t", 1, sim)
 }
 
 /// Wraps per-thread generation counters `(instructions, accesses,
@@ -220,6 +237,7 @@ fn gen_result(name: &'static str, per_thread: &[(u64, u64, u64)], host_secs: f64
         .fold(accesses, |acc, x| acc.wrapping_mul(1_000_003).wrapping_add(x));
     HotpathResult {
         name,
+        shards: 0,
         accesses,
         events,
         instructions,
@@ -329,31 +347,123 @@ pub fn pipeline_4t(events_per_thread: usize) -> HotpathResult {
         .collect();
     let mut sim = Simulator::new(cfg, streams);
     sim.set_partition(&icp_cmp_sim::l2::equal_split(cfg.l2.ways, cfg.cores));
-    run_scenario("pipeline_4t", sim)
+    run_scenario("pipeline_4t", 1, sim)
 }
 
-/// Runs all seven scenarios at the given scale.
+/// Slice count of the sharded scenarios. Pinned (not host-sized) so the
+/// recorded digests are machine-independent; 4 matches the paper-shaped
+/// 4-core config and is enough to saturate typical CI hosts.
+pub const SHARDED_4T_SHARDS: usize = 4;
+
+/// The sharded machine over the [`hotpath_4t_spec`] workload at a given
+/// slice count, fed from inline synthetic generation (the demux drains the
+/// generators before the clock starts, mirroring how `interleaved_4t`
+/// pre-records its traces).
+fn sharded_4t_with(
+    name: &'static str,
+    events_per_thread: usize,
+    shards: usize,
+) -> HotpathResult {
+    let mut cfg = base_config(4);
+    cfg.l2_banks = 8;
+    let spec = hotpath_4t_spec();
+    let streams: Vec<_> = spec
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(t, ts)| {
+            let synth =
+                SyntheticStream::new(&spec, ts, t, &cfg, WorkloadScale::Figure, HOTPATH_4T_SEED);
+            TakeStream::new(synth, events_per_thread)
+        })
+        .collect();
+    let mut sim = ShardedSimulator::new(cfg, streams, shards);
+    sim.set_partition(&icp_cmp_sim::l2::equal_split(cfg.l2.ways, cfg.cores));
+    run_scenario(name, shards as u32, sim)
+}
+
+/// Like [`sharded_4t_with`], but fed from record-once packed traces — the
+/// sharded analogue of `interleaved_4t`'s replay path. Equal slice counts
+/// must produce digests bit-identical to the inline-fed variant (the demux
+/// sees the same events either way).
+fn sharded_packed_4t_with(
+    name: &'static str,
+    events_per_thread: usize,
+    shards: usize,
+) -> HotpathResult {
+    let mut cfg = base_config(4);
+    cfg.l2_banks = 8;
+    let spec = hotpath_4t_spec();
+    let replays: Vec<_> = spec
+        .pack_streams(&cfg, WorkloadScale::Figure, HOTPATH_4T_SEED, events_per_thread)
+        .iter()
+        .map(PackedTrace::stream)
+        .collect();
+    let mut sim = ShardedSimulator::new(cfg, replays, shards);
+    sim.set_partition(&icp_cmp_sim::l2::equal_split(cfg.l2.ways, cfg.cores));
+    run_scenario(name, shards as u32, sim)
+}
+
+/// The set-sharded parallel path: the interleaved workload on a
+/// [`ShardedSimulator`] with [`SHARDED_4T_SHARDS`] slices, each interval
+/// running on its own worker thread. The number that shows the sim loop
+/// scaling with the host.
+pub fn sharded_4t(events_per_thread: usize) -> HotpathResult {
+    sharded_4t_with("sharded_4t", events_per_thread, SHARDED_4T_SHARDS)
+}
+
+/// The sharded machine fed from packed-trace replay — sharding composed
+/// with the record-once/replay pattern the experiment sweeps use. Digest
+/// bit-identical to [`sharded_4t`].
+pub fn sharded_packed_4t(events_per_thread: usize) -> HotpathResult {
+    sharded_packed_4t_with("sharded_packed_4t", events_per_thread, SHARDED_4T_SHARDS)
+}
+
+/// A registry entry: scenario name plus its runner.
+pub type Scenario = (&'static str, fn(usize) -> HotpathResult);
+
+/// The scenario registry, in trajectory order: name → runner. The names
+/// double as the `--only` substring domain of the `bench_hotpath` binary.
+pub const SCENARIOS: &[Scenario] = &[
+    ("single_access", single_access),
+    ("l2_miss_prefetch", l2_miss_prefetch),
+    ("interleaved_4t", interleaved_4t),
+    ("gen_only", gen_only),
+    ("gen_packed", gen_packed),
+    ("pipeline_4t", pipeline_4t),
+    ("pipeline_packed", pipeline_packed),
+    ("sharded_4t", sharded_4t),
+    ("sharded_packed_4t", sharded_packed_4t),
+];
+
+/// Runs the scenarios whose names contain `filter` (all of them when
+/// `None`) at the given scale, in registry order.
+pub fn run_matching(events_per_thread: usize, filter: Option<&str>) -> Vec<HotpathResult> {
+    SCENARIOS
+        .iter()
+        .filter(|(name, _)| filter.is_none_or(|f| name.contains(f)))
+        .map(|(_, scenario)| scenario(events_per_thread))
+        .collect()
+}
+
+/// Runs all nine scenarios at the given scale.
 pub fn run_all(events_per_thread: usize) -> Vec<HotpathResult> {
-    vec![
-        single_access(events_per_thread),
-        l2_miss_prefetch(events_per_thread),
-        interleaved_4t(events_per_thread),
-        gen_only(events_per_thread),
-        gen_packed(events_per_thread),
-        pipeline_4t(events_per_thread),
-        pipeline_packed(events_per_thread),
-    ]
+    run_matching(events_per_thread, None)
 }
 
-/// Runs every scenario `repeats` times and keeps the fastest run of each
-/// (standard best-of-N to squeeze out scheduler/turbo noise). Panics if
-/// repeats of a scenario disagree on the behavioural digest — that would
-/// mean the simulator is not deterministic.
-pub fn run_all_best_of(events_per_thread: usize, repeats: usize) -> Vec<HotpathResult> {
+/// Runs every matching scenario `repeats` times and keeps the fastest run
+/// of each (standard best-of-N to squeeze out scheduler/turbo noise).
+/// Panics if repeats of a scenario disagree on the behavioural digest —
+/// that would mean the simulator is not deterministic.
+pub fn run_best_of_matching(
+    events_per_thread: usize,
+    repeats: usize,
+    filter: Option<&str>,
+) -> Vec<HotpathResult> {
     assert!(repeats > 0);
-    let mut best: Vec<HotpathResult> = run_all(events_per_thread);
+    let mut best: Vec<HotpathResult> = run_matching(events_per_thread, filter);
     for _ in 1..repeats {
-        for (b, r) in best.iter_mut().zip(run_all(events_per_thread)) {
+        for (b, r) in best.iter_mut().zip(run_matching(events_per_thread, filter)) {
             assert_eq!(b.digest, r.digest, "{}: non-deterministic run", r.name);
             if r.host_secs < b.host_secs {
                 *b = r;
@@ -361,6 +471,11 @@ pub fn run_all_best_of(events_per_thread: usize, repeats: usize) -> Vec<HotpathR
         }
     }
     best
+}
+
+/// [`run_best_of_matching`] over every scenario.
+pub fn run_all_best_of(events_per_thread: usize, repeats: usize) -> Vec<HotpathResult> {
+    run_best_of_matching(events_per_thread, repeats, None)
 }
 
 #[cfg(test)]
@@ -399,6 +514,46 @@ mod tests {
         assert_eq!(piped.sim_cycles, inline.sim_cycles);
         assert_eq!(piped.accesses, inline.accesses);
         assert_eq!(piped.instructions, inline.instructions);
+    }
+
+    #[test]
+    fn sharded_digest_is_deterministic_and_feed_independent() {
+        // The two acceptance properties of the sharded scenarios: repeats
+        // agree, and inline-fed vs packed-replay-fed runs of the same
+        // decomposition are bit-identical.
+        let a = sharded_4t(2_000);
+        let b = sharded_4t(2_000);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.sim_cycles, b.sim_cycles);
+        assert_eq!(a.shards as usize, SHARDED_4T_SHARDS);
+        let packed = sharded_packed_4t(2_000);
+        assert_eq!(packed.digest, a.digest);
+        assert_eq!(packed.sim_cycles, a.sim_cycles);
+        assert_eq!(packed.accesses, a.accesses);
+        assert_eq!(packed.instructions, a.instructions);
+    }
+
+    #[test]
+    fn one_shard_matches_serial_interleaved() {
+        // k = 1 sharding is the legacy serial machine: same digest as the
+        // interleaved scenario, which runs the same workload and partition
+        // through the plain simulator.
+        let serial = interleaved_4t(2_000);
+        let one = sharded_packed_4t_with("sharded_packed_1", 2_000, 1);
+        assert_eq!(one.digest, serial.digest);
+        assert_eq!(one.sim_cycles, serial.sim_cycles);
+        assert_eq!(one.accesses, serial.accesses);
+        assert_eq!(one.instructions, serial.instructions);
+        let one_inline = sharded_4t_with("sharded_1", 2_000, 1);
+        assert_eq!(one_inline.digest, serial.digest);
+    }
+
+    #[test]
+    fn run_matching_filters_by_substring() {
+        let sharded = run_matching(1_000, Some("sharded"));
+        let names: Vec<_> = sharded.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["sharded_4t", "sharded_packed_4t"]);
+        assert!(run_matching(1_000, Some("no-such-scenario")).is_empty());
     }
 
     #[test]

@@ -204,7 +204,8 @@ fn rank_table_cached(z: &Zipf) -> Option<Arc<Vec<u16>>> {
     if !(RANK_TABLE_MIN_N..=RANK_TABLE_MAX_N).contains(&z.n) {
         return None;
     }
-    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), Arc<Vec<u16>>>>> = OnceLock::new();
+    type RankTableCache = Mutex<HashMap<(u64, u64), Arc<Vec<u16>>>>;
+    static CACHE: OnceLock<RankTableCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (z.n, z.theta.to_bits());
     if let Some(hit) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {

@@ -1,0 +1,172 @@
+//! Set-sharded simulation must be deterministic and serial-equivalent —
+//! for every workload in the suite.
+//!
+//! The sharded engine (`icp::sim::shard`) makes two bitwise promises
+//! (see the module docs for why exact `k > 1` equality to the global
+//! min-clock interleave is out of reach):
+//!
+//! 1. **One shard is the legacy serial simulator.** At `k = 1` the demux
+//!    preserves the whole event order and the original interval length, so
+//!    every interval report, counter and the wall clock equal the serial
+//!    path bit for bit.
+//! 2. **Worker threads change nothing.** At every `k`, parallel execution
+//!    is bit-identical to the serial-reference engine running the same
+//!    `k`-decomposition on one thread: shard sims are deterministic,
+//!    workers join in shard order, and the merge is a fixed-order fold.
+//!
+//! This suite pins both across every suite benchmark at shards ∈
+//! {1, 2, 4, 7} — including 7, a non-power-of-two that stripes unevenly
+//! across the set space.
+
+use icp::sim::l2::equal_split;
+use icp::sim::shard::ShardedSimulator;
+use icp::sim::stream::AccessStream;
+use icp::sim::{GlobalStats, IntervalReport, Simulator, SystemConfig};
+use icp::workloads::{suite, BenchmarkSpec, WorkloadScale};
+
+const SEED: u64 = 0x5EED_0004;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// Comparable projection of an interval report (CPI compared by bits —
+/// merged deltas must reproduce the exact division).
+type Fingerprint = (usize, bool, u64, Vec<(u64, u32, u64)>);
+
+fn fingerprint(r: &IntervalReport) -> Fingerprint {
+    let threads = r
+        .threads
+        .iter()
+        .map(|t| (t.counters.active_cycles, t.ways, t.cpi.to_bits()))
+        .collect();
+    (r.index, r.finished, r.wall_cycles, threads)
+}
+
+/// Runs a sharded simulation (equal static partition) to completion,
+/// returning everything an experiment driver could observe.
+fn run_sharded(mut sim: ShardedSimulator) -> (u64, u64, GlobalStats, Vec<Fingerprint>) {
+    let mut reports = Vec::new();
+    while let Some(r) = sim.run_interval() {
+        reports.push(fingerprint(&r));
+        // Also compare the full per-thread counter bags, not just the
+        // fingerprint projection.
+        if r.finished {
+            break;
+        }
+    }
+    (sim.wall_cycles(), sim.events_processed(), sim.stats().clone(), reports)
+}
+
+fn inline_streams(spec: &BenchmarkSpec, cfg: &SystemConfig) -> Vec<Box<dyn AccessStream>> {
+    spec.build_streams(cfg, WorkloadScale::Test, SEED)
+}
+
+/// One shard is the legacy serial machine: reports, stats and wall clock
+/// all bit-identical, for every suite workload.
+#[test]
+fn one_shard_identical_to_serial_across_suite() {
+    let cfg = SystemConfig::scaled_down();
+    for spec in suite::all() {
+        let mut serial = Simulator::new(cfg, inline_streams(&spec, &cfg));
+        serial.set_partition(&equal_split(cfg.l2.ways, cfg.cores));
+        let mut serial_reports = Vec::new();
+        while let Some(r) = serial.run_interval() {
+            serial_reports.push(fingerprint(&r));
+            if r.finished {
+                break;
+            }
+        }
+
+        let mut sharded = ShardedSimulator::new(cfg, inline_streams(&spec, &cfg), 1);
+        sharded.set_partition(&equal_split(cfg.l2.ways, cfg.cores));
+        let (wall, events, stats, reports) = run_sharded(sharded);
+
+        assert_eq!(wall, serial.wall_cycles(), "{}: wall diverged", spec.name);
+        assert_eq!(events, serial.events_processed(), "{}: events diverged", spec.name);
+        assert_eq!(&stats, serial.stats(), "{}: stats diverged", spec.name);
+        assert_eq!(reports, serial_reports, "{}: reports diverged", spec.name);
+    }
+}
+
+/// Parallel execution is bit-identical to the serial reference of the same
+/// decomposition at shards ∈ {1, 2, 4, 7}, for every suite workload.
+#[test]
+fn parallel_identical_to_serial_reference_across_suite() {
+    let cfg = SystemConfig::scaled_down();
+    for spec in suite::all() {
+        for k in SHARD_COUNTS {
+            let mut parallel = ShardedSimulator::new(cfg, inline_streams(&spec, &cfg), k);
+            parallel.set_partition(&equal_split(cfg.l2.ways, cfg.cores));
+            assert!(parallel.is_parallel());
+            let a = run_sharded(parallel);
+
+            let mut reference =
+                ShardedSimulator::serial_reference(cfg, inline_streams(&spec, &cfg), k);
+            reference.set_partition(&equal_split(cfg.l2.ways, cfg.cores));
+            assert!(!reference.is_parallel());
+            let b = run_sharded(reference);
+
+            assert_eq!(a, b, "{} k={k}: parallel != serial reference", spec.name);
+        }
+    }
+}
+
+/// Sharding conserves the workload: total instructions and demand accesses
+/// per thread are independent of the shard count, for every suite workload.
+#[test]
+fn shard_count_conserves_work_across_suite() {
+    let cfg = SystemConfig::scaled_down();
+    for spec in suite::all() {
+        let (_, _, base, _) = run_sharded(ShardedSimulator::new(cfg, inline_streams(&spec, &cfg), 1));
+        for k in [2usize, 4, 7] {
+            let (_, _, stats, _) =
+                run_sharded(ShardedSimulator::new(cfg, inline_streams(&spec, &cfg), k));
+            for t in 0..cfg.cores {
+                assert_eq!(
+                    stats.threads[t].instructions, base.threads[t].instructions,
+                    "{} k={k} thread {t}: instructions not conserved",
+                    spec.name
+                );
+                assert_eq!(
+                    stats.threads[t].l1_hits + stats.threads[t].l1_misses,
+                    base.threads[t].l1_hits + base.threads[t].l1_misses,
+                    "{} k={k} thread {t}: accesses not conserved",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+/// Dynamic repartitioning drives both engines identically: flipping the
+/// partition at every boundary (the runtime's usage shape) stays
+/// bit-identical between parallel and serial-reference execution.
+#[test]
+fn repartitioning_identical_between_engines() {
+    let cfg = SystemConfig::scaled_down();
+    for spec in suite::all().into_iter().take(3) {
+        for k in [2usize, 4] {
+            let drive = |mut sim: ShardedSimulator| -> (u64, GlobalStats) {
+                let ways = cfg.l2.ways;
+                let mut i = 0u32;
+                while let Some(r) = sim.run_interval() {
+                    if r.finished {
+                        break;
+                    }
+                    let skew = 1 + (i % (ways / 2));
+                    let rest = ways - skew;
+                    let others = cfg.cores as u32 - 1;
+                    let mut quotas = vec![rest / others; cfg.cores];
+                    quotas[0] = skew;
+                    for q in quotas.iter_mut().skip(1).take((rest % others) as usize) {
+                        *q += 1;
+                    }
+                    sim.set_partition(&quotas);
+                    i += 1;
+                }
+                (sim.wall_cycles(), sim.stats().clone())
+            };
+            let a = drive(ShardedSimulator::new(cfg, inline_streams(&spec, &cfg), k));
+            let b = drive(ShardedSimulator::serial_reference(cfg, inline_streams(&spec, &cfg), k));
+            assert_eq!(a, b, "{} k={k}", spec.name);
+        }
+    }
+}
