@@ -3,13 +3,17 @@
 //! ```text
 //! cargo run -p icp-analysis --bin icp-lint -- [--root DIR] [--config FILE]
 //!                                             [--json FILE] [-D|--deny] [-q]
+//!                                             [--closures]
 //! ```
 //!
-//! Walks the workspace, applies rules R1–R4 from `analysis.toml` (found at
-//! `--root`, or overridden with `--config`), prints one diagnostic per
-//! finding, optionally writes the JSON report, and exits non-zero when
-//! findings exist and severity is `deny` (the config default; `-D` forces it
-//! regardless of config).
+//! Walks the workspace, applies the per-file rules R1–R4 and the call-graph
+//! determinism rules D1–D5 from `analysis.toml` (found at `--root`, or
+//! overridden with `--config`), prints one diagnostic per finding, optionally
+//! writes the JSON report, and exits non-zero when findings exist and
+//! severity is `deny` (the config default; `-D` forces it regardless of
+//! config). `--closures` dumps the `#[deterministic]` / `#[hot_path]`
+//! transitive closures instead of linting — the fastest way to see what a new
+//! annotation pulls into scope before the rules start firing on it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +26,7 @@ struct Args {
     json: Option<PathBuf>,
     deny: bool,
     quiet: bool,
+    closures: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         deny: false,
         quiet: false,
+        closures: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -40,16 +46,20 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = Some(it.next().ok_or("--json needs a value")?.into()),
             "-D" | "--deny" => args.deny = true,
             "-q" | "--quiet" => args.quiet = true,
+            "--closures" => args.closures = true,
             "-h" | "--help" => {
                 println!(
-                    "icp-lint: repo-specific static analysis (rules R1-R4)\n\n\
-                     USAGE: icp-lint [--root DIR] [--config FILE] [--json FILE] [-D] [-q]\n\n\
+                    "icp-lint: repo-specific static analysis (rules R1-R4, D1-D5)\n\n\
+                     USAGE: icp-lint [--root DIR] [--config FILE] [--json FILE] [-D] [-q]\n       \
+                     icp-lint --closures [--root DIR] [--config FILE]\n\n\
                      OPTIONS:\n  \
                      --root DIR     workspace root to scan (default .)\n  \
                      --config FILE  analysis.toml (default <root>/analysis.toml)\n  \
                      --json FILE    write the machine-readable report here\n  \
                      -D, --deny     exit non-zero on any finding, overriding config severity\n  \
-                     -q, --quiet    suppress per-finding diagnostics"
+                     -q, --quiet    suppress per-finding diagnostics\n  \
+                     --closures     print the #[deterministic] / #[hot_path] call-graph\n                 \
+                     closures instead of linting"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +104,27 @@ fn main() -> ExitCode {
             RULE_NAMES.join(", ")
         );
         return ExitCode::from(2);
+    }
+
+    if args.closures {
+        let graph = match icp_analysis::build_call_graph(&args.root, &cfg) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("icp-lint: walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let det = graph.det_closure_names();
+        let hot = graph.hot_closure_names();
+        println!("# deterministic closure ({} fns)", det.len());
+        for name in &det {
+            println!("{name}");
+        }
+        println!("# hot closure ({} fns)", hot.len());
+        for name in &hot {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
     }
 
     let report = match analyze_workspace(&args.root, &cfg) {

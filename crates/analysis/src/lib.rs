@@ -9,6 +9,13 @@
 //!   tier-1 test (`cargo test -p icp-analysis`) and as a binary
 //!   (`cargo run -p icp-analysis --bin icp-lint`), enforcing the repo's
 //!   unsafe/panic/allocation discipline (rules R1–R4; see [`rules`]);
+//! * a **workspace call graph** ([`callgraph`]) rooted at the
+//!   `#[deterministic]` / `#[hot_path]` markers from `icp-hot-path`, over
+//!   which the **determinism rules** D1–D5 ([`rules_determinism`]) prove the
+//!   repo's bit-identity contract statically — no unordered hash iteration,
+//!   ambient clocks/thread identity, unordered float reductions, undisciplined
+//!   synchronisation, or transitive panic/alloc anywhere a digest-bearing
+//!   root can reach;
 //! * configuration via `analysis.toml` ([`config`]) with per-rule allow
 //!   lists, so every waiver is recorded and reviewable;
 //! * a machine-readable JSON report ([`report`]) uploaded as a CI artifact.
@@ -23,13 +30,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod rules_determinism;
 
 use std::path::{Path, PathBuf};
 
+pub use callgraph::CallGraph;
 pub use config::Config;
 pub use report::AnalysisReport;
 pub use rules::{Finding, RULE_NAMES};
@@ -66,20 +76,38 @@ pub fn collect_rust_files(root: &Path, exclude: &[String]) -> std::io::Result<Ve
     Ok(files)
 }
 
-/// Runs every enabled rule over the workspace rooted at `root`.
+/// Runs every enabled rule over the workspace rooted at `root`: pass one
+/// builds the call graph (so obligations propagate across files and crates),
+/// pass two applies the per-file rules R1–R4 and the closure-scoped rules
+/// D1–D5 to every file.
 pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<AnalysisReport> {
     let files = collect_rust_files(root, &cfg.exclude)?;
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for path in &files {
-        let src = std::fs::read_to_string(path)?;
-        let rel = rel_str(root, path);
-        findings.extend(rules::check_file(&rel, &src, cfg));
+        sources.push((rel_str(root, path), std::fs::read_to_string(path)?));
+    }
+    let graph = CallGraph::build(&sources);
+    let mut findings = Vec::new();
+    for (rel, src) in &sources {
+        findings.extend(rules::check_file(rel, src, cfg));
+        findings.extend(rules_determinism::check_file(rel, src, cfg, &graph));
     }
     Ok(AnalysisReport {
         root: root.display().to_string(),
         files_scanned: files.len(),
         findings,
     })
+}
+
+/// Builds just the workspace call graph (the `icp-lint --closures` path and
+/// the self-tests use this directly).
+pub fn build_call_graph(root: &Path, cfg: &Config) -> std::io::Result<CallGraph> {
+    let files = collect_rust_files(root, &cfg.exclude)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        sources.push((rel_str(root, path), std::fs::read_to_string(path)?));
+    }
+    Ok(CallGraph::build(&sources))
 }
 
 /// Workspace-relative `/`-separated path of `path` under `root`.

@@ -5,13 +5,17 @@
 //!
 //! ```json
 //! {
-//!   "schema": "icp-lint/v1",
+//!   "schema": "icp-lint/v2",
+//!   "schema_version": 2,
 //!   "root": "...",
 //!   "files_scanned": 42,
 //!   "findings": [{"rule": "...", "file": "...", "line": 7, "message": "..."}],
 //!   "counts": {"safety_comment": 0, ...}
 //! }
 //! ```
+//!
+//! v2 added the determinism rules D1–D5 to `counts` and the numeric
+//! `schema_version` field so CI diffs can gate on an exact version.
 
 use crate::rules::{Finding, RULE_NAMES};
 
@@ -40,7 +44,7 @@ impl AnalysisReport {
     /// Serializes the report (stable field order, `\n`-terminated).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + self.findings.len() * 128);
-        out.push_str("{\"schema\":\"icp-lint/v1\",\"root\":");
+        out.push_str("{\"schema\":\"icp-lint/v2\",\"schema_version\":2,\"root\":");
         json_string(&mut out, &self.root);
         out.push_str(&format!(",\"files_scanned\":{},\"findings\":[", self.files_scanned));
         for (i, f) in self.findings.iter().enumerate() {
@@ -102,7 +106,10 @@ mod tests {
             }],
         };
         let j = report.to_json();
+        assert!(j.contains("\"schema\":\"icp-lint/v2\""), "{j}");
+        assert!(j.contains("\"schema_version\":2"), "{j}");
         assert!(j.contains("\"files_scanned\":2"), "{j}");
+        assert!(j.contains("\"det_hash_container\":0"), "{j}");
         assert!(j.contains("\\\"boom\\\"\\n"), "{j}");
         assert!(j.contains("\"no_panic\":1"), "{j}");
         assert!(j.contains("\"safety_comment\":0"), "{j}");

@@ -22,9 +22,20 @@
 use crate::config::Config;
 use crate::lexer::{lex, TokKind, Token};
 
-/// Names of all implemented rules, for config validation.
-pub const RULE_NAMES: &[&str] =
-    &["safety_comment", "unsafe_allowlist", "no_panic", "no_alloc_hot_path"];
+/// Names of all implemented rules, for config validation and report counts:
+/// the per-file rules R1–R4 here, plus the call-graph determinism rules
+/// D1–D5 in [`crate::rules_determinism`].
+pub const RULE_NAMES: &[&str] = &[
+    "safety_comment",
+    "unsafe_allowlist",
+    "no_panic",
+    "no_alloc_hot_path",
+    "det_hash_container",
+    "det_ambient",
+    "det_float_order",
+    "det_sync",
+    "det_transitive",
+];
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,7 +58,7 @@ impl std::fmt::Display for Finding {
 
 /// Keywords that can directly precede a `[` without it being an index
 /// expression (array literals, slice types, ...).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub(crate) const NON_INDEX_KEYWORDS: &[&str] = &[
     "mut", "in", "return", "if", "else", "match", "const", "static", "let", "as", "ref",
     "move", "box", "dyn", "where", "break", "yield",
 ];
@@ -330,7 +341,7 @@ pub fn check_file(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
 /// Scans a bracket group starting at `sig[open]` (must be `[`, `(` or `{`);
 /// returns the identifiers inside and the index one past the closing
 /// delimiter. All three delimiter kinds nest.
-fn scan_group(sig: &[&Token], open: usize) -> (Vec<String>, usize) {
+pub(crate) fn scan_group(sig: &[&Token], open: usize) -> (Vec<String>, usize) {
     let mut idents = Vec::new();
     let mut depth = 0i32;
     let mut j = open;
@@ -371,7 +382,7 @@ fn has_safety_comment(lines: &[&str], line: u32) -> bool {
 /// `String::new/from/with_capacity`, `vec!`, `format!`, `.to_vec()`,
 /// `.to_string()`, `.to_owned()`, `.clone()`, `.push()`, `.collect()`.
 #[allow(clippy::collapsible_match)]
-fn alloc_pattern(sig: &[&Token], i: usize) -> Option<String> {
+pub(crate) fn alloc_pattern(sig: &[&Token], i: usize) -> Option<String> {
     let t = sig[i];
     if t.kind != TokKind::Ident {
         return None;
@@ -406,13 +417,17 @@ fn alloc_pattern(sig: &[&Token], i: usize) -> Option<String> {
 
 /// Whether `rel_path` matches any entry in `modules` (suffix match on
 /// `/`-separated paths, so entries can be as precise as needed).
-fn path_in(rel_path: &str, modules: &[String]) -> bool {
+pub(crate) fn path_in(rel_path: &str, modules: &[String]) -> bool {
     modules.iter().any(|m| rel_path == m || rel_path.ends_with(&format!("/{m}")))
 }
 
 /// Whether the rule's `allow` list waives findings at this location.
 /// Entries: `"file.rs"` (whole file) or `"file.rs::function"`.
-fn allowed(rule: &crate::config::RuleConfig, rel_path: &str, cur_fn: Option<&str>) -> bool {
+pub(crate) fn allowed(
+    rule: &crate::config::RuleConfig,
+    rel_path: &str,
+    cur_fn: Option<&str>,
+) -> bool {
     let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
     rule.list("allow").iter().any(|entry| match entry.split_once("::") {
         Some((f, func)) => {

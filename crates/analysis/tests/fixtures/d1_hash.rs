@@ -1,0 +1,16 @@
+//! D1 fixture: `HashMap`/`HashSet` visible to deterministic-closure code.
+//! Expected: four `det_hash_container` findings — two on the `use` line,
+//! one on the struct field, one (deduped) in the closure-fn body.
+
+use std::collections::{HashMap, HashSet};
+
+struct RankCache {
+    by_key: HashMap<u64, u64>,
+}
+
+#[deterministic]
+fn det_d1_root(cache: &RankCache) -> u64 {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(1);
+    cache.by_key.len() as u64 + seen.len() as u64
+}

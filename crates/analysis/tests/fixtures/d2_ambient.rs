@@ -1,0 +1,18 @@
+//! D2 fixture: ambient nondeterminism inside the deterministic closure.
+//! Expected: four `det_ambient` findings, one per source, all inside
+//! `det_d2_root`; the identical clock read in `cold_d2_helper` (outside
+//! the closure) stays silent.
+
+#[deterministic]
+fn det_d2_root() -> u64 {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let id = std::thread::current();
+    let n = std::thread::available_parallelism();
+    let _ = (t, s, id, n);
+    0
+}
+
+fn cold_d2_helper() -> std::time::Instant {
+    std::time::Instant::now()
+}

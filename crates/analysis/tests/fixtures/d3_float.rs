@@ -1,0 +1,12 @@
+//! D3 fixture: float reductions in the closure need an `// ORDER:` note.
+//! Expected: one `det_float_order` finding on the first `.sum()`; the
+//! second is excused by its comment, the third reduces integers.
+
+#[deterministic]
+fn det_d3_merge(per_shard: &[f64]) -> f64 {
+    let unordered: f64 = per_shard.iter().sum();
+    // ORDER: slice index order is shard order, fixed at construction.
+    let ordered: f64 = per_shard.iter().sum();
+    let count: u64 = per_shard.iter().map(|_| 1u64).sum::<u64>();
+    unordered + ordered + count as f64
+}

@@ -1,0 +1,16 @@
+//! D4 fixture: sync discipline in a listed concurrency module (the fixture
+//! `analysis.toml` lists `d4_sync.rs` under `[rules.det_sync]`).
+//! Expected: six `det_sync` findings — `AtomicU64` and `Mutex` on the two
+//! `use` lines, then `Mutex`, `AtomicU64`, `Ordering::Relaxed` and
+//! `thread::spawn` in the body.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+fn d4_worker_pool() {
+    let lock = Mutex::new(0u64);
+    let counter = AtomicU64::new(0);
+    counter.fetch_add(1, Ordering::Relaxed);
+    std::thread::spawn(|| {});
+    drop(lock);
+}

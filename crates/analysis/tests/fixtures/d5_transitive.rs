@@ -1,0 +1,28 @@
+//! D5 fixture: obligations propagate transitively through the call graph.
+//! Expected: two `det_transitive` findings — the `.unwrap()` in `d5_leaf`,
+//! two hops below the `#[deterministic]` root (diagnostic names `d5_mid`
+//! as the via edge), and the allocation in `d5_hot_helper`, one hop below
+//! the `#[hot_path]` root. Neither helper carries a marker of its own.
+
+#[deterministic]
+fn det_d5_root(xs: &[u64]) -> u64 {
+    d5_mid(xs)
+}
+
+fn d5_mid(xs: &[u64]) -> u64 {
+    d5_leaf(xs.first().copied())
+}
+
+fn d5_leaf(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+#[hot_path]
+fn d5_hot_root(n: usize) -> usize {
+    d5_hot_helper(n)
+}
+
+fn d5_hot_helper(n: usize) -> usize {
+    let scratch: Vec<usize> = Vec::with_capacity(n);
+    scratch.capacity()
+}

@@ -1,15 +1,18 @@
 //! Fixture-based self-tests for the lint pass, plus the tier-1 gate that the
 //! real workspace is clean.
 //!
-//! Each rule R1–R4 has a fixture under `tests/fixtures/` seeding a deliberate
-//! violation; the tests assert the rule fires with a pointed diagnostic (and
-//! that the clean fixtures stay clean). The binary is exercised end to end:
+//! Each rule R1–R4 and determinism rule D1–D5 has a fixture under
+//! `tests/fixtures/` seeding a deliberate violation; the tests assert the
+//! rule fires with a pointed diagnostic and an exact count/span (and that
+//! the clean fixtures stay clean). The binary is exercised end to end:
 //! non-zero exit on the fixture tree, zero exit on the actual repository.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use icp_analysis::{analyze_workspace, rules::check_file, Config, RULE_NAMES};
+use icp_analysis::{
+    analyze_workspace, rules::check_file, rules_determinism, CallGraph, Config, RULE_NAMES,
+};
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -29,6 +32,15 @@ fn fixture_cfg() -> Config {
 fn check_fixture(name: &str) -> Vec<icp_analysis::Finding> {
     let src = std::fs::read_to_string(fixtures_dir().join(name)).expect("fixture readable");
     check_file(name, &src, &fixture_cfg())
+}
+
+/// Runs the D-rules over one fixture, with a call graph built from that
+/// fixture alone (each determinism fixture is self-contained).
+fn check_det_fixture(name: &str) -> Vec<icp_analysis::Finding> {
+    let src = std::fs::read_to_string(fixtures_dir().join(name)).expect("fixture readable");
+    let sources = vec![(name.to_string(), src.clone())];
+    let graph = CallGraph::build(&sources);
+    rules_determinism::check_file(name, &src, &fixture_cfg(), &graph)
 }
 
 #[test]
@@ -81,6 +93,66 @@ fn clean_fixtures_stay_clean() {
 }
 
 #[test]
+fn d1_fixture_fires_in_use_field_and_body_positions() {
+    let f = check_det_fixture("d1_hash.rs");
+    let d1: Vec<_> = f.iter().filter(|x| x.rule == "det_hash_container").collect();
+    assert_eq!(d1.len(), 4, "{f:?}");
+    // The `use` line carries both containers; the field and the body (after
+    // per-line dedup) carry one each.
+    let lines: Vec<u32> = d1.iter().map(|x| x.line).collect();
+    assert_eq!(lines, vec![5, 5, 8, 13], "{d1:?}");
+    assert!(d1.iter().any(|x| x.message.contains("type/signature position")), "{d1:?}");
+    assert!(d1.iter().any(|x| x.message.contains("`det_d1_root`")), "{d1:?}");
+}
+
+#[test]
+fn d2_fixture_fires_per_ambient_source_and_spares_cold_code() {
+    let f = check_det_fixture("d2_ambient.rs");
+    let d2: Vec<_> = f.iter().filter(|x| x.rule == "det_ambient").collect();
+    assert_eq!(d2.len(), 4, "{f:?}");
+    assert_eq!(d2.iter().map(|x| x.line).collect::<Vec<_>>(), vec![8, 9, 10, 11], "{d2:?}");
+    for what in ["Instant::now", "SystemTime", "thread::current", "available_parallelism"] {
+        assert!(d2.iter().any(|x| x.message.contains(what)), "missing {what}: {d2:?}");
+    }
+    // `cold_d2_helper` reads the same clock outside the closure: silent.
+    assert!(d2.iter().all(|x| x.line < 16), "{d2:?}");
+}
+
+#[test]
+fn d3_fixture_fires_once_and_order_comment_excuses() {
+    let f = check_det_fixture("d3_float.rs");
+    let d3: Vec<_> = f.iter().filter(|x| x.rule == "det_float_order").collect();
+    assert_eq!(d3.len(), 1, "{f:?}");
+    assert_eq!(d3[0].line, 7);
+    assert!(d3[0].message.contains("ORDER:"), "{}", d3[0].message);
+}
+
+#[test]
+fn d4_fixture_fires_per_sync_primitive() {
+    let f = check_det_fixture("d4_sync.rs");
+    let d4: Vec<_> = f.iter().filter(|x| x.rule == "det_sync").collect();
+    assert_eq!(d4.len(), 6, "{f:?}");
+    for what in ["Mutex", "AtomicU64", "Ordering::Relaxed", "thread::spawn"] {
+        assert!(d4.iter().any(|x| x.message.contains(what)), "missing {what}: {d4:?}");
+    }
+}
+
+#[test]
+fn d5_fixture_propagates_two_hops_with_via_diagnostics() {
+    let f = check_det_fixture("d5_transitive.rs");
+    let d5: Vec<_> = f.iter().filter(|x| x.rule == "det_transitive").collect();
+    assert_eq!(d5.len(), 2, "{f:?}");
+    let panic_half = d5.iter().find(|x| x.message.contains(".unwrap()")).expect("panic half");
+    assert_eq!(panic_half.line, 17);
+    assert!(panic_half.message.contains("`d5_leaf`"), "{}", panic_half.message);
+    assert!(panic_half.message.contains("via `d5_mid`"), "{}", panic_half.message);
+    let alloc_half =
+        d5.iter().find(|x| x.message.contains("Vec::with_capacity")).expect("alloc half");
+    assert_eq!(alloc_half.line, 26);
+    assert!(alloc_half.message.contains("via `d5_hot_root`"), "{}", alloc_half.message);
+}
+
+#[test]
 fn binary_exits_nonzero_on_seeded_violations() {
     let json = std::env::temp_dir().join("icp-lint-fixture-report.json");
     let out = Command::new(env!("CARGO_BIN_EXE_icp-lint"))
@@ -92,12 +164,18 @@ fn binary_exits_nonzero_on_seeded_violations() {
         .expect("icp-lint runs");
     assert!(!out.status.success(), "fixtures must fail the lint");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for rule in ["safety_comment", "unsafe_allowlist", "no_panic", "no_alloc_hot_path"] {
+    for rule in RULE_NAMES {
         assert!(stdout.contains(rule), "missing {rule} diagnostic in:\n{stdout}");
     }
     let report = std::fs::read_to_string(&json).expect("JSON report written");
-    assert!(report.contains("\"schema\":\"icp-lint/v1\""), "{report}");
+    assert!(report.contains("\"schema\":\"icp-lint/v2\""), "{report}");
+    assert!(report.contains("\"schema_version\":2"), "{report}");
     assert!(report.contains("\"no_panic\":4"), "{report}");
+    assert!(report.contains("\"det_hash_container\":4"), "{report}");
+    assert!(report.contains("\"det_ambient\":4"), "{report}");
+    assert!(report.contains("\"det_float_order\":1"), "{report}");
+    assert!(report.contains("\"det_sync\":6"), "{report}");
+    assert!(report.contains("\"det_transitive\":2"), "{report}");
     let _ = std::fs::remove_file(&json);
 }
 

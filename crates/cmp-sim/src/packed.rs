@@ -20,7 +20,7 @@
 
 use std::sync::Arc;
 
-use icp_hot_path::hot_path;
+use icp_hot_path::{deterministic, hot_path};
 
 use crate::stream::{AccessStream, ThreadEvent};
 use crate::trace::Trace;
@@ -342,6 +342,7 @@ impl PackedTrace {
     /// The recorded prefix is exactly what [`Trace::record`] would store;
     /// `fill_packed`'s exact cap means no surplus events are generated when
     /// the limit truncates mid-stream.
+    #[deterministic]
     pub fn record<S: AccessStream>(stream: &mut S, max_events: usize) -> Self {
         const RECORD_BATCH: usize = 4096;
         // Bounded recordings up to this size (128 MB of columns) are
@@ -485,6 +486,7 @@ impl PackedTrace {
     }
 
     /// A zero-copy replay stream over a shared packed trace.
+    #[deterministic]
     pub fn stream(this: &Arc<Self>) -> PackedReplayStream {
         PackedReplayStream::new(Arc::clone(this))
     }

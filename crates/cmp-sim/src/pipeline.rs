@@ -27,6 +27,8 @@
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
 
+use icp_hot_path::deterministic;
+
 use crate::packed::PackedBlock;
 use crate::stream::{AccessStream, ThreadEvent};
 
@@ -105,6 +107,7 @@ impl PipelinedStream {
     /// to spend ([`std::thread::available_parallelism`] < 2), in which
     /// case the stream is wrapped inline instead (same events, no thread),
     /// so pipelining never loses to serial generation on small hosts.
+    #[deterministic]
     pub fn spawn<S: AccessStream + Send + 'static>(stream: S) -> Self {
         let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         if host < 2 {

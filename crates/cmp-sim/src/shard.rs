@@ -57,6 +57,8 @@
 
 use std::sync::Arc;
 
+use icp_hot_path::deterministic;
+
 use crate::config::SystemConfig;
 use crate::packed::{PackedBlock, PackedReplayStream, PackedTrace};
 use crate::perf::Measurable;
@@ -75,6 +77,7 @@ const DEMUX_BATCH: usize = 4096;
 /// their instruction gap travelling along; barriers are replicated into
 /// every slice so cross-core ordering around a barrier holds within each
 /// slice.
+#[deterministic]
 fn demux_stream<S: AccessStream>(
     mut stream: S,
     cfg: &SystemConfig,
@@ -150,6 +153,7 @@ impl ShardedSimulator {
     /// # Panics
     /// Panics if `shards` is zero, the stream count doesn't match
     /// `cfg.cores`, or the config is invalid.
+    #[deterministic]
     pub fn new<S: AccessStream>(cfg: SystemConfig, streams: Vec<S>, shards: usize) -> Self {
         Self::with_mode(cfg, streams, shards, true)
     }
@@ -158,6 +162,7 @@ impl ShardedSimulator {
     /// the calling thread, in shard order. Bit-identical to the parallel
     /// engine by construction — the reference the equivalence suite pins
     /// the worker-thread path against.
+    #[deterministic]
     pub fn serial_reference<S: AccessStream>(
         cfg: SystemConfig,
         streams: Vec<S>,
@@ -171,6 +176,7 @@ impl ShardedSimulator {
     /// (one set per slice is the finest useful decomposition). Falls back
     /// to one shard — the exact serial machine — when the host parallelism
     /// is unknown or 1.
+    #[deterministic]
     pub fn auto<S: AccessStream>(cfg: SystemConfig, streams: Vec<S>) -> Self {
         let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let shards = host.clamp(1, cfg.l2.num_sets() as usize);
@@ -272,6 +278,7 @@ impl ShardedSimulator {
     /// The system-wide utility profile: shard 0's monitor with every other
     /// shard's counters summed in (shard order). `None` when
     /// [`ShardedSimulator::enable_umon`] was never called.
+    #[deterministic]
     pub fn merged_umon(&self) -> Option<UtilityMonitor> {
         let mut iter = self.shards.iter().filter_map(|s| s.umon());
         let mut merged = iter.next()?.clone();
@@ -310,6 +317,7 @@ impl ShardedSimulator {
     /// Runs every shard to its next interval boundary — concurrently in
     /// parallel mode — and merges the per-shard reports in shard order.
     /// Returns `None` once the workload has completed.
+    #[deterministic]
     pub fn run_interval(&mut self) -> Option<IntervalReport> {
         if self.done {
             return None;
@@ -353,6 +361,7 @@ impl ShardedSimulator {
 
     /// Fixed-order reduction of one round of per-shard interval reports.
     /// A `None` entry (shard already finished) contributes a zero delta.
+    #[deterministic]
     fn merge(&mut self, reports: Vec<Option<IntervalReport>>) -> Option<IntervalReport> {
         if reports.iter().all(Option::is_none) {
             self.done = true;

@@ -24,7 +24,7 @@ use crate::stream::{AccessStream, ThreadEvent};
 use crate::umon::UtilityMonitor;
 use crate::victim::VictimCache;
 use crate::ThreadId;
-use icp_hot_path::hot_path;
+use icp_hot_path::{deterministic, hot_path};
 
 /// Per-thread statistics for one execution interval.
 #[derive(Clone, Copy, Debug)]
@@ -335,6 +335,7 @@ impl<S: AccessStream> Simulator<S> {
     /// Runs until the next interval boundary (or workload completion) and
     /// returns the interval's per-thread statistics. Returns `None` once
     /// the workload has already completed.
+    #[deterministic]
     pub fn run_interval(&mut self) -> Option<IntervalReport> {
         if self.done {
             return None;

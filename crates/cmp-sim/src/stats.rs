@@ -6,6 +6,8 @@
 //! counts, instruction counts, hits and misses per thread, plus the
 //! interaction classification used for Figures 8 and 9.
 
+use icp_hot_path::deterministic;
+
 use crate::ThreadId;
 
 /// Inter-thread cache interaction counters (paper §IV-A2).
@@ -99,6 +101,7 @@ impl ThreadCounters {
     }
 
     /// Element-wise accumulation.
+    #[deterministic]
     pub fn add(&mut self, other: &ThreadCounters) {
         self.instructions += other.instructions;
         self.active_cycles += other.active_cycles;

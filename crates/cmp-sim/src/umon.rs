@@ -16,6 +16,8 @@
 //! observed behaviour instead), but the UCP baseline and the ablation
 //! benches do.
 
+use icp_hot_path::deterministic;
+
 use crate::config::CacheConfig;
 use crate::ThreadId;
 
@@ -100,6 +102,7 @@ impl UtilityMonitor {
 
     /// Feeds one access into the monitor. Non-sampled sets are ignored, so
     /// this is cheap to call for every access.
+    #[deterministic]
     pub fn observe(&mut self, thread: ThreadId, addr: u64) {
         debug_assert!(thread < self.threads);
         let line = addr >> self.line_shift;
@@ -168,6 +171,7 @@ impl UtilityMonitor {
     ///
     /// # Panics
     /// Panics if the two monitors have different thread or way counts.
+    #[deterministic]
     pub fn merge_counters(&mut self, other: &UtilityMonitor) {
         assert_eq!(self.threads, other.threads, "thread counts must match");
         assert_eq!(self.ways, other.ways, "way counts must match");

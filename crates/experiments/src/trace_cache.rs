@@ -18,12 +18,13 @@
 //! latency sweep points cache hits. Simulations from cached replays are
 //! bit-identical to inline generation (`trace_cache_equivalence` tests).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use icp_cmp_sim::stream::AccessStream;
 use icp_cmp_sim::{PackedTrace, SystemConfig};
+use icp_hot_path::deterministic;
 use icp_workloads::{BenchmarkSpec, WorkloadScale};
 
 /// A thread-safe generate-once store of packed workload traces.
@@ -33,7 +34,7 @@ use icp_workloads::{BenchmarkSpec, WorkloadScale};
 /// property rather than a hope.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    entries: Mutex<HashMap<String, Vec<Arc<PackedTrace>>>>,
+    entries: Mutex<BTreeMap<String, Vec<Arc<PackedTrace>>>>,
     generations: AtomicU64,
     hits: AtomicU64,
 }
@@ -71,6 +72,7 @@ impl TraceCache {
     /// parallel producers ([`BenchmarkSpec::pack_streams_parallel`]), each
     /// writing straight into packed columns; the result is bit-identical
     /// to sequential recording.
+    #[deterministic]
     pub fn get_or_pack(
         &self,
         spec: &BenchmarkSpec,

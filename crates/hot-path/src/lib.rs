@@ -1,25 +1,41 @@
-//! The `#[hot_path]` marker attribute.
+//! The `#[hot_path]` and `#[deterministic]` marker attributes.
 //!
-//! Marks a function as part of the simulator's innermost loop. The attribute
-//! expands to exactly the item it was applied to — zero tokens added, zero
-//! runtime cost — but the `icp-analysis` lint pass recognises it and enforces
-//! rule R4 (no heap allocation: `Vec::new`/`push`, `Box::new`, `format!`,
-//! container `clone()`, …) inside any function that carries it.
+//! Both attributes expand to exactly the item they were applied to — zero
+//! tokens added, zero runtime cost — but the `icp-analysis` lint pass
+//! recognises them and scopes its rules accordingly:
 //!
-//! Using a real attribute rather than a naming convention means the marker
-//! travels with the code through refactors, shows up in rustdoc, and cannot
+//! * `#[hot_path]` marks a function as part of the simulator's innermost
+//!   loop. Rule R4 denies heap allocation (`Vec::new`/`push`, `Box::new`,
+//!   `format!`, container `clone()`, …) inside any function that carries
+//!   it, and rule D5 extends the no-alloc/no-panic obligation to every
+//!   function it (transitively) calls, via the workspace call graph.
+//! * `#[deterministic]` marks a function whose output feeds digest-bearing
+//!   simulation state — the simulate/merge/replay/generate roots whose
+//!   bit-identity promises the equivalence suites pin. Rules D1–D3 and D5
+//!   deny nondeterminism sources (unordered hash-container iteration,
+//!   ambient clocks/thread identity/host parallelism, unordered float
+//!   reductions, panics) in the root and everything reachable from it.
+//!
+//! Using real attributes rather than naming conventions means the markers
+//! travel with the code through refactors, show up in rustdoc, and cannot
 //! silently drift out of sync with the lint's configuration.
 //!
 //! # Examples
 //!
 //! ```
-//! use icp_hot_path::hot_path;
+//! use icp_hot_path::{deterministic, hot_path};
 //!
 //! #[hot_path]
 //! fn inner_loop(xs: &[u64]) -> u64 {
 //!     xs.iter().sum()
 //! }
 //! assert_eq!(inner_loop(&[1, 2, 3]), 6);
+//!
+//! #[deterministic]
+//! fn merge_counters(a: u64, b: u64) -> u64 {
+//!     a + b
+//! }
+//! assert_eq!(merge_counters(2, 3), 5);
 //! ```
 
 use proc_macro::TokenStream;
@@ -28,5 +44,13 @@ use proc_macro::TokenStream;
 /// unmodified item.
 #[proc_macro_attribute]
 pub fn hot_path(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
+
+/// Marks a function as a determinism root: its output (and that of every
+/// function it transitively calls) must be a pure function of its inputs,
+/// bit for bit. See the crate docs; enforced by `icp-analysis` rules D1–D5.
+#[proc_macro_attribute]
+pub fn deterministic(_attr: TokenStream, item: TokenStream) -> TokenStream {
     item
 }

@@ -12,7 +12,7 @@
 //! an O(n) zeta precomputation at construction, then constant work per
 //! sample.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::rng::Xoshiro256;
@@ -92,8 +92,8 @@ fn zeta_cached(n: u64, theta: f64) -> f64 {
     if n < ZETA_CACHE_MIN_N {
         return zeta(n, theta);
     }
-    static CACHE: OnceLock<Mutex<HashMap<(u64, u64), f64>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    static CACHE: OnceLock<Mutex<BTreeMap<(u64, u64), f64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let key = (n, theta.to_bits());
     if let Some(&hit) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
         return hit;
@@ -204,9 +204,9 @@ fn rank_table_cached(z: &Zipf) -> Option<Arc<Vec<u16>>> {
     if !(RANK_TABLE_MIN_N..=RANK_TABLE_MAX_N).contains(&z.n) {
         return None;
     }
-    type RankTableCache = Mutex<HashMap<(u64, u64), Arc<Vec<u16>>>>;
+    type RankTableCache = Mutex<BTreeMap<(u64, u64), Arc<Vec<u16>>>>;
     static CACHE: OnceLock<RankTableCache> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let key = (z.n, z.theta.to_bits());
     if let Some(hit) = cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
         return Some(Arc::clone(hit));

@@ -19,7 +19,7 @@
 
 use icp_cmp_sim::stream::{AccessStream, ThreadEvent};
 use icp_cmp_sim::{PackedBlock, SystemConfig};
-use icp_hot_path::hot_path;
+use icp_hot_path::{deterministic, hot_path};
 use icp_numeric::{BufferedRng, FastMod, Zipf};
 
 use crate::spec::{BenchmarkSpec, ThreadSpec, WorkloadScale};
@@ -108,6 +108,7 @@ impl SyntheticStream {
     /// Streams for different threads of the same `(bench, seed)` pair are
     /// independent sub-streams of the same master seed, so a whole run is
     /// reproducible from one `u64`.
+    #[deterministic]
     pub fn new(
         bench: &BenchmarkSpec,
         thread_spec: &ThreadSpec,
@@ -227,6 +228,7 @@ impl SyntheticStream {
     /// buffered RNG as [`Self::generate`] in the same order, so mixing the
     /// scalar and columnar APIs on one stream still yields the one
     /// canonical event sequence.
+    #[deterministic]
     pub fn fill_packed_batch(&mut self, out: &mut PackedBlock, cap: usize) {
         out.clear();
         while out.len() < cap {

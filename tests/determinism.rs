@@ -1,8 +1,18 @@
 //! Cross-crate determinism guarantees: a run is a pure function of
 //! (config, spec, scheme, seed).
+//!
+//! The matrix test at the bottom is the static analyzer's runtime
+//! counterpart: `icp-lint`'s D-rules prove the `#[deterministic]` closure
+//! avoids nondeterminism sources; this suite pins the digests those rules
+//! protect, across every delivery path a stream can take into the sharded
+//! engine.
 
-use icp::experiments::{ExperimentConfig, Scheme};
-use icp::workloads::suite;
+use icp::experiments::{ExperimentConfig, Scheme, TraceCache};
+use icp::sim::l2::equal_split;
+use icp::sim::shard::ShardedSimulator;
+use icp::sim::stream::AccessStream;
+use icp::sim::{GlobalStats, PipelinedStream, SystemConfig};
+use icp::workloads::{suite, BenchmarkSpec, SyntheticStream, WorkloadScale};
 
 fn all_schemes() -> Vec<Scheme> {
     vec![
@@ -64,6 +74,104 @@ fn seed_changes_keep_shape() {
             "seed {seed}: dynamic must be at least competitive with shared"
         );
     }
+}
+
+const MATRIX_SEED: u64 = 0x5EED_0D16;
+
+/// FNV-1a fold of everything a digest consumer reads: the wall clock and
+/// every per-thread counter.
+fn digest(wall: u64, stats: &GlobalStats) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(wall);
+    for t in &stats.threads {
+        mix(t.instructions);
+        mix(t.active_cycles);
+        mix(t.barrier_stall_cycles);
+        mix(t.l1_hits);
+        mix(t.l1_misses);
+        mix(t.l2_hits);
+        mix(t.l2_misses);
+        mix(t.l1_writebacks);
+        mix(t.l2_writebacks);
+        mix(t.coherence_invalidations);
+    }
+    h
+}
+
+fn run_sharded(mut sim: ShardedSimulator, cfg: &SystemConfig) -> (u64, GlobalStats) {
+    sim.set_partition(&equal_split(cfg.l2.ways, cfg.cores));
+    while let Some(r) = sim.run_interval() {
+        if r.finished {
+            break;
+        }
+    }
+    (sim.wall_cycles(), sim.stats().clone())
+}
+
+fn pipelined_streams(spec: &BenchmarkSpec, cfg: &SystemConfig) -> Vec<Box<dyn AccessStream>> {
+    spec.threads
+        .iter()
+        .enumerate()
+        .map(|(t, ts)| {
+            let synth = SyntheticStream::new(spec, ts, t, cfg, WorkloadScale::Test, MATRIX_SEED);
+            // Small batch/depth so producer and consumer hand off often.
+            Box::new(PipelinedStream::spawn_with(synth, 64, 2)) as Box<dyn AccessStream>
+        })
+        .collect()
+}
+
+/// The digest matrix: shard counts {1, 3, 8} × stream delivery {inline
+/// generation, pipelined generation, trace-cache cold, trace-cache warm}
+/// × engine {parallel, serial reference}. Within one shard count every
+/// cell must produce the same digest bit for bit — the promise the
+/// `#[deterministic]` annotations (and icp-lint's D-rules) encode
+/// statically.
+#[test]
+fn shard_cache_pipeline_matrix_is_digest_identical() {
+    let cfg = SystemConfig::scaled_down();
+    let bench = suite::cg();
+    let cache = TraceCache::shared();
+    for k in [1usize, 3, 8] {
+        let variants: Vec<(&str, Vec<Box<dyn AccessStream>>)> = vec![
+            ("inline", bench.build_streams(&cfg, WorkloadScale::Test, MATRIX_SEED)),
+            ("pipelined", pipelined_streams(&bench, &cfg)),
+            // First call of the whole test generates (cold); every later
+            // call replays the cached packed columns (warm).
+            ("cache-cold", cache.replay_streams(&bench, &cfg, WorkloadScale::Test, MATRIX_SEED)),
+            ("cache-warm", cache.replay_streams(&bench, &cfg, WorkloadScale::Test, MATRIX_SEED)),
+        ];
+        let mut expected: Option<(u64, GlobalStats, u64)> = None;
+        for (label, streams) in variants {
+            let (wall, stats) = run_sharded(ShardedSimulator::new(cfg, streams, k), &cfg);
+            let d = digest(wall, &stats);
+            match &expected {
+                None => expected = Some((wall, stats, d)),
+                Some((w, s, e)) => {
+                    assert_eq!(wall, *w, "k={k} {label}: wall clock diverged");
+                    assert_eq!(&stats, s, "k={k} {label}: stats diverged");
+                    assert_eq!(d, *e, "k={k} {label}: digest diverged");
+                }
+            }
+        }
+        // The parallel engine against its single-threaded reference, fed
+        // from the (warm) cache like a real sweep.
+        let reference = ShardedSimulator::serial_reference(
+            cfg,
+            cache.replay_streams(&bench, &cfg, WorkloadScale::Test, MATRIX_SEED),
+            k,
+        );
+        let (wall, stats) = run_sharded(reference, &cfg);
+        let (w, s, e) = expected.expect("matrix ran");
+        assert_eq!(wall, w, "k={k}: serial reference wall diverged");
+        assert_eq!(stats, s, "k={k}: serial reference stats diverged");
+        assert_eq!(digest(wall, &stats), e, "k={k}: serial reference digest diverged");
+    }
+    assert_eq!(cache.generations(), 1, "one workload, generated exactly once");
+    assert_eq!(cache.hits(), 8, "every later matrix cell served warm");
 }
 
 #[test]
