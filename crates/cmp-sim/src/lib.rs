@@ -55,7 +55,7 @@ pub use simulator::{IntervalReport, Simulator, ThreadIntervalStats};
 pub use stats::{GlobalStats, InteractionStats, ThreadCounters};
 pub use stream::{AccessStream, ThreadEvent};
 pub use trace::Trace;
-pub use umon::UtilityMonitor;
+pub use umon::{UmonProfile, UtilityMonitor};
 pub use victim::VictimCache;
 
 /// Identifies a hardware thread / core. The paper uses "thread" and "core"

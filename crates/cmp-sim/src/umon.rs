@@ -183,6 +183,22 @@ impl UtilityMonitor {
         }
     }
 
+    /// Snapshots the counters into an owned, serialisable profile.
+    ///
+    /// Taken once at the end of a run (off the per-access hot path), this
+    /// is what lets the analytical fast path consume a *recorded* profile
+    /// instead of re-instrumenting: the snapshot carries everything needed
+    /// to reconstruct the hits-vs-ways and misses-vs-ways curves.
+    pub fn snapshot(&self) -> UmonProfile {
+        UmonProfile {
+            ways: self.ways as u32,
+            sampled_sets: self.sampled as u64,
+            total_sets: self.set_mask + 1,
+            way_hits: (0..self.threads).map(|t| self.way_histogram(t).to_vec()).collect(),
+            atd_misses: self.atd_misses.clone(),
+        }
+    }
+
     /// Halves the counters — the exponential-decay aging UCP hardware uses
     /// between repartition points. Compared to a hard reset this keeps a
     /// window of history, damping oscillation when a thread is
@@ -194,6 +210,60 @@ impl UtilityMonitor {
         for c in &mut self.atd_misses {
             *c /= 2;
         }
+    }
+}
+
+/// An owned snapshot of a [`UtilityMonitor`]'s counters at one point in
+/// time: the per-thread way-hit histograms and ATD miss counts over the
+/// sampled sets, plus the geometry needed to interpret them.
+///
+/// This is the recorded-profile currency of the analytical fast path: one
+/// profiling simulation exports its snapshot, and the miss-curve predictor
+/// reconstructs misses-at-any-allocation from it without touching the
+/// simulator again.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UmonProfile {
+    /// Way count of the monitored cache (histogram width).
+    pub ways: u32,
+    /// Number of sets the monitor sampled.
+    pub sampled_sets: u64,
+    /// Total sets in the monitored cache (`sampled_sets * stride`).
+    pub total_sets: u64,
+    /// Per-thread way-hit histograms: `way_hits[t][d]` counts hits at LRU
+    /// stack distance `d` (a hit iff the thread holds > `d` ways).
+    pub way_hits: Vec<Vec<u64>>,
+    /// Per-thread ATD misses (would miss even with every way).
+    pub atd_misses: Vec<u64>,
+}
+
+impl UmonProfile {
+    /// Number of profiled threads.
+    pub fn threads(&self) -> usize {
+        self.way_hits.len()
+    }
+
+    /// Sampling scale factor: multiply sampled-set counts by this to
+    /// estimate whole-cache counts (1.0 when every set was sampled).
+    pub fn sample_scale(&self) -> f64 {
+        if self.sampled_sets == 0 {
+            return 1.0;
+        }
+        self.total_sets as f64 / self.sampled_sets as f64
+    }
+
+    /// Hits `thread` would have received with `ways` ways (sampled sets),
+    /// by the LRU inclusion property.
+    pub fn hits_with_ways(&self, thread: usize, ways: u32) -> u64 {
+        let hist = self.way_hits.get(thread).map(Vec::as_slice).unwrap_or(&[]);
+        hist.iter().take(ways as usize).sum()
+    }
+
+    /// Misses `thread` would incur with `ways` ways (sampled sets): ATD
+    /// misses plus every hit beyond the allocation.
+    pub fn misses_with_ways(&self, thread: usize, ways: u32) -> u64 {
+        let hist = self.way_hits.get(thread).map(Vec::as_slice).unwrap_or(&[]);
+        let beyond: u64 = hist.iter().skip(ways as usize).sum();
+        self.atd_misses.get(thread).copied().unwrap_or(0) + beyond
     }
 }
 
@@ -298,6 +368,33 @@ mod tests {
         }
         assert_eq!(m.compulsory_capacity_misses(0), 40);
         assert_eq!(m.hits_with_ways(0, 8), 0);
+    }
+
+    #[test]
+    fn snapshot_matches_live_counters() {
+        let mut m = mon();
+        for _ in 0..5 {
+            for i in 0..6 {
+                m.observe(0, addr(1, i));
+            }
+        }
+        m.observe(1, addr(0, 0));
+        m.observe(1, addr(0, 0));
+        let p = m.snapshot();
+        assert_eq!(p.ways, 8);
+        assert_eq!(p.threads(), 2);
+        assert_eq!(p.sampled_sets, 4);
+        assert_eq!(p.total_sets, 4);
+        assert!((p.sample_scale() - 1.0).abs() < 1e-12);
+        for t in 0..2 {
+            for w in 0..=8u32 {
+                assert_eq!(p.hits_with_ways(t, w), m.hits_with_ways(t, w), "t{t} w{w}");
+                assert_eq!(p.misses_with_ways(t, w), m.misses_with_ways(t, w), "t{t} w{w}");
+            }
+        }
+        // Out-of-range thread indices degrade to zero rather than panicking.
+        assert_eq!(p.hits_with_ways(9, 4), 0);
+        assert_eq!(p.misses_with_ways(9, 4), 0);
     }
 
     #[test]

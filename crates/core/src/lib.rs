@@ -34,7 +34,7 @@ pub mod runtime;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use cpi_prop::CpiProportionalPolicy;
+pub use cpi_prop::{estimated_miss_penalty, propagate_cpi, CpiProportionalPolicy};
 pub use hierarchical::{BudgetPolicy, HierarchicalPolicy};
 pub use model::{ModelKind, ThreadCpiModel};
 pub use model_based::ModelBasedPolicy;

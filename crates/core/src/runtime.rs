@@ -70,6 +70,13 @@ pub struct ExecutionOutcome {
     /// simulated 1 GHz, 1 ns ≈ 1 cycle, so
     /// `decision_nanos / wall_cycles` estimates the same ratio.
     pub decision_nanos: u64,
+    /// Final utility-monitor snapshot, when the simulator ran with a UMON
+    /// enabled (`None` otherwise). Exported once at the end of the run —
+    /// off the hot path, and observing through a UMON never changes any
+    /// simulated counter, so enabling it leaves all other fields
+    /// bit-identical. This is the recorded profile the analytical
+    /// miss-curve fast path consumes.
+    pub umon_profile: Option<icp_cmp_sim::UmonProfile>,
 }
 
 impl ExecutionOutcome {
@@ -178,6 +185,7 @@ impl<P: Partitioner> IntraAppRuntime<P> {
             interactions: sim.stats().interactions,
             decision_count,
             decision_nanos,
+            umon_profile: sim.umon().map(|u| u.snapshot()),
         }
     }
 
@@ -253,11 +261,37 @@ mod tests {
             interactions: Default::default(),
             decision_count: 0,
             decision_nanos: 0,
+            umon_profile: None,
         };
         let b = ExecutionOutcome { wall_cycles: 1000, ..a.clone() };
         assert!((a.improvement_percent_over(&b) - 25.0).abs() < 1e-9);
         assert!((b.improvement_percent_over(&a) + 20.0).abs() < 1e-9);
         assert!(a.performance() > b.performance());
+    }
+
+    #[test]
+    fn umon_export_leaves_simulated_state_bit_identical() {
+        // Enabling the utility monitor only *observes*: the exported
+        // profile rides along on the outcome while every simulated number
+        // stays bit-identical to the unmonitored run.
+        let c = cfg();
+        let make = || {
+            Simulator::new(c, vec![Box::new(stream(60, 1)) as _, Box::new(stream(60, 5)) as _])
+        };
+        let mut plain_sim = make();
+        let plain = IntraAppRuntime::new(ModelBasedPolicy::new(), &c).execute(&mut plain_sim);
+        let mut mon_sim = make();
+        mon_sim.enable_umon(1);
+        let monitored = IntraAppRuntime::new(ModelBasedPolicy::new(), &c).execute(&mut mon_sim);
+        assert_eq!(plain.wall_cycles, monitored.wall_cycles);
+        assert_eq!(plain.thread_totals, monitored.thread_totals);
+        assert_eq!(plain.records.len(), monitored.records.len());
+        assert!(plain.umon_profile.is_none());
+        let profile = monitored.umon_profile.expect("profile exported");
+        assert_eq!(profile.threads(), 2);
+        assert_eq!(profile.ways, c.l2.ways);
+        // The ATDs saw traffic: the profile is non-trivial.
+        assert!(profile.atd_misses.iter().sum::<u64>() > 0);
     }
 
     #[test]

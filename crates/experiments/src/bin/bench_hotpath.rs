@@ -9,16 +9,21 @@
 //! cargo run --release --bin bench_hotpath -- --only sharded --events 2000 --out smoke.json
 //! ```
 //!
-//! A normal run re-measures the nine scenarios and rewrites the `current`
+//! A normal run re-measures the eleven scenarios and rewrites the `current`
 //! section while carrying the `baseline` section over from the existing
 //! file, so the pre-optimisation numbers stay recorded alongside every
 //! later measurement. `--set-baseline` (re)captures the baseline section
 //! instead — run it once before a performance change, then compare with a
 //! plain run afterwards.
 //!
-//! Schema `icp-bench-hotpath/v4` adds the set-sharded parallel scenarios
-//! (`sharded_4t`, `sharded_packed_4t`) and records the simulator shard
-//! count per scenario (`shards`: 1 for the serial simulator, 0 for
+//! Schema `icp-bench-hotpath/v5` adds the end-to-end sweep scenarios
+//! (`sweep_axis`, `sweep_axis_warm`): one interval-axis sensitivity sweep
+//! against a cold vs pre-populated result cache, with counters and digest
+//! taken from the cache totals (the cold→warm `host_secs` drop is the
+//! result cache's tracked speedup; these two scenarios run the experiment
+//! test scale and ignore `--events`). v4 added the set-sharded parallel
+//! scenarios (`sharded_4t`, `sharded_packed_4t`) and the per-scenario
+//! simulator shard count (`shards`: 1 for the serial simulator, 0 for
 //! generation-only scenarios) on top of v3's `gen_packed` and
 //! `pipeline_packed`; a carried-over earlier-schema `baseline` section
 //! simply lacks the keys its version predates. `--only SUBSTR` restricts a
@@ -122,7 +127,7 @@ fn main() {
     };
 
     let mut pairs = vec![
-        ("schema".to_string(), Json::str("icp-bench-hotpath/v4")),
+        ("schema".to_string(), Json::str("icp-bench-hotpath/v5")),
         ("events_per_thread".to_string(), Json::u64(events as u64)),
     ];
     if let Some(b) = baseline {

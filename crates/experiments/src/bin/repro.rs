@@ -6,6 +6,11 @@
 //! repro scorecard              # paper-band checks (PASS/OUT-OF-BAND)
 //! repro calibrate              # raw calibration diagnostics
 //! repro dump <bench> <scheme> [cores]   # per-interval execution dump
+//! repro sweeps [--fast|--exact] [--axis NAME] [--cache DIR] [--assert-warm]
+//!                              # sensitivity sweeps; --cache persists
+//!                              # simulation results (e.g. results/cache/),
+//!                              # --assert-warm fails unless everything hit
+//! repro prediction [--max-mean-error PCT]  # fast-path error figure + gate
 //!
 //! options (apply to any command):
 //!   --seed N        master seed (default: fixed)
@@ -166,13 +171,88 @@ fn main() {
     }
 
     if args.iter().any(|a| a == "sweeps") {
+        use icp_experiments::sweeps::{self, SweepMode};
+        let mode = if args.iter().any(|a| a == "--fast") {
+            SweepMode::fast()
+        } else {
+            // --exact is the default; accept the flag for symmetry.
+            SweepMode::Exact
+        };
+        let axis = take_option(&mut args, "--axis");
+        let assert_warm = args.iter().any(|a| a == "--assert-warm");
+        // A persistent result cache shares simulations across axes within
+        // this run and across reruns (the CI cold/warm smoke relies on it).
+        let cache = match take_option(&mut args, "--cache") {
+            Some(dir) => icp_experiments::ResultCache::persistent(dir),
+            None => icp_experiments::ResultCache::shared(),
+        };
+        let cfg = cfg.with_result_cache(cache.clone()).with_default_trace_cache();
         let _ = fs::create_dir_all("results");
         let out = Some(Path::new("results"));
-        eprintln!("[repro] running sensitivity sweeps ...");
-        emit(out, "sweep_cache_size", &icp_experiments::sweeps::sweep_cache_size(&cfg));
-        emit(out, "sweep_thread_count", &icp_experiments::sweeps::sweep_thread_count(&cfg));
-        emit(out, "sweep_interval", &icp_experiments::sweeps::sweep_interval(&cfg));
-        emit(out, "sweep_memory_latency", &icp_experiments::sweeps::sweep_memory_latency(&cfg));
+        eprintln!("[repro] running sensitivity sweeps ({mode:?}) ...");
+        let run_axis = |name: &str| match name {
+            "cache-size" => emit(out, "sweep_cache_size", &sweeps::sweep_cache_size_with(&cfg, mode)),
+            "thread-count" => emit(out, "sweep_thread_count", &sweeps::sweep_thread_count_with(&cfg, mode)),
+            "interval" => emit(out, "sweep_interval", &sweeps::sweep_interval_with(&cfg, mode)),
+            "memory-latency" => {
+                emit(out, "sweep_memory_latency", &sweeps::sweep_memory_latency_with(&cfg, mode))
+            }
+            other => {
+                eprintln!("unknown axis {other} (expected cache-size|thread-count|interval|memory-latency)");
+                std::process::exit(2);
+            }
+        };
+        match axis.as_deref() {
+            Some(name) => run_axis(name),
+            None => {
+                for name in ["cache-size", "thread-count", "interval", "memory-latency"] {
+                    run_axis(name);
+                }
+            }
+        }
+        eprintln!(
+            "[repro] result cache: {} simulations, {} hits ({} from disk)",
+            cache.simulations(),
+            cache.hits(),
+            cache.disk_hits()
+        );
+        if assert_warm && (cache.simulations() > 0 || cache.hits() == 0) {
+            eprintln!(
+                "[repro] --assert-warm failed: expected every run to come from the cache"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "prediction") {
+        let max_mean = take_option(&mut args, "--max-mean-error")
+            .map(|v| {
+                v.parse::<f64>().unwrap_or_else(|_| {
+                    eprintln!("--max-mean-error expects a percentage");
+                    std::process::exit(2);
+                })
+            });
+        eprintln!("[repro] measuring fast-path prediction error ...");
+        let cfg = cfg.with_default_trace_cache().with_default_result_cache();
+        let errors = figures::prediction_errors(&cfg);
+        let table = figures::prediction_error_table(&cfg);
+        println!("{}", table.render());
+        let _ = fs::create_dir_all("results");
+        emit(Some(Path::new("results")), "prediction_error", &table);
+        if let Some(limit) = max_mean {
+            if errors.mean_pct() > limit {
+                eprintln!(
+                    "[repro] prediction gate failed: mean error {:.1}% > {limit}%",
+                    errors.mean_pct()
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[repro] prediction gate passed: mean error {:.1}% <= {limit}%",
+                errors.mean_pct()
+            );
+        }
         return;
     }
 

@@ -25,9 +25,12 @@ impl SuiteData {
     /// Runs all 9 benchmarks under all 4 principal schemes (36 simulations,
     /// parallel across OS threads). Each workload is generated exactly once:
     /// a trace cache is attached if the caller didn't bring one, so the
-    /// other 27 runs replay packed traces zero-copy.
+    /// other 27 runs replay packed traces zero-copy. A result cache is
+    /// likewise attached if absent — callers that bring a shared
+    /// [`crate::result_cache::ResultCache`] get whole-matrix reuse: a warm
+    /// rerun performs zero simulations (pinned by a `result_cache` test).
     pub fn collect(cfg: &ExperimentConfig) -> SuiteData {
-        let cfg = &cfg.with_default_trace_cache();
+        let cfg = &cfg.with_default_trace_cache().with_default_result_cache();
         let benches = suite::all();
         let schemes = [
             Scheme::Shared,

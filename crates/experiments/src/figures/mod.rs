@@ -13,6 +13,7 @@ pub mod mechanism;
 pub mod motivation;
 pub mod occupancy;
 pub mod overhead;
+pub mod prediction;
 pub mod robustness;
 pub mod sensitivity;
 pub mod slack;
@@ -33,6 +34,7 @@ pub use motivation::{
     fig03_thread_performance, fig04_thread_misses, fig05_cpi_miss_correlation,
     fig08_interthread_interaction, fig09_interaction_breakdown,
 };
+pub use prediction::{prediction_error_table, prediction_errors, PredictionErrors};
 pub use robustness::{robustness_outcomes, robustness_table};
 pub use sensitivity::{fig10_way_sensitivity, fig15_chart, fig15_cpi_models};
 pub use slack::{critical_cpi_distribution, slack_fraction, slack_table};

@@ -36,6 +36,15 @@
 //! * `sharded_packed_4t` — the sharded machine fed from record-once packed
 //!   traces instead of inline generation; digest bit-identical to
 //!   `sharded_4t` (the demux sees the same events either way).
+//! * `sweep_axis` — one full interval-axis sensitivity sweep (test scale)
+//!   against a cold [`crate::result_cache::ResultCache`]: the end-to-end
+//!   sweep path the experiment campaigns spend their time in, baseline
+//!   hoisting included. Counters and digest come from the cache totals, so
+//!   they are machine-independent.
+//! * `sweep_axis_warm` — the same sweep timed against a pre-populated
+//!   result cache: zero simulations, pure cache reuse. Digest bit-identical
+//!   to `sweep_axis` (same cached outcomes either way); the cold→warm
+//!   `host_secs` drop is the result cache's tracked speedup.
 //!
 //! The `bench_hotpath` binary runs these and records the numbers in
 //! `BENCH_hotpath.json` at the repository root so subsequent changes have a
@@ -58,7 +67,8 @@ use crate::json::Json;
 pub struct HotpathResult {
     /// Scenario name (`single_access`, `l2_miss_prefetch`,
     /// `interleaved_4t`, `gen_only`, `gen_packed`, `pipeline_4t`,
-    /// `pipeline_packed`, `sharded_4t`, `sharded_packed_4t`).
+    /// `pipeline_packed`, `sharded_4t`, `sharded_packed_4t`, `sweep_axis`,
+    /// `sweep_axis_warm`).
     pub name: &'static str,
     /// Simulator shards (set slices / worker threads): 1 for the serial
     /// simulator, the pinned slice count for sharded scenarios, 0 for
@@ -419,6 +429,58 @@ pub fn sharded_packed_4t(events_per_thread: usize) -> HotpathResult {
     sharded_packed_4t_with("sharded_packed_4t", events_per_thread, SHARDED_4T_SHARDS)
 }
 
+/// The sweep-path scenario: one interval-axis sensitivity sweep
+/// ([`crate::sweeps::sweep_interval`]) at experiment test scale against a
+/// fresh result cache (`warm = false`) or against one pre-populated by an
+/// untimed priming pass (`warm = true`). The sweep sizes its own workloads
+/// from the experiment scale, so `events_per_thread` does not apply here —
+/// the scenario measures the same fixed matrix at every `--events` setting,
+/// keeping its trajectory comparable across runs. Accesses, instructions,
+/// sim cycles and the behavioural digest are read from
+/// [`crate::result_cache::CacheTotals`], folded in key order: equal cache
+/// contents give equal digests whether the timed pass simulated (cold) or
+/// reused (warm). Events are the cached demand accesses (barrier/finish
+/// deliveries are not part of an outcome, so they are not counted here).
+fn sweep_axis_run(name: &'static str, warm: bool) -> HotpathResult {
+    let cache = crate::result_cache::ResultCache::shared();
+    let cfg = crate::runner::ExperimentConfig::test()
+        .with_result_cache(std::sync::Arc::clone(&cache))
+        .with_default_trace_cache();
+    if warm {
+        // Untimed priming pass: fills the trace and result caches so the
+        // timed pass below performs zero simulations.
+        let _ = crate::sweeps::sweep_interval(&cfg);
+    }
+    let start = Instant::now();
+    let _ = crate::sweeps::sweep_interval(&cfg);
+    let host_secs = start.elapsed().as_secs_f64();
+    let totals = cache.totals();
+    HotpathResult {
+        name,
+        shards: 1,
+        accesses: totals.accesses,
+        events: totals.accesses,
+        instructions: totals.instructions,
+        sim_cycles: totals.sim_cycles,
+        host_secs,
+        digest: totals.digest,
+    }
+}
+
+/// The cold sweep path: an interval-axis sweep simulated from scratch into
+/// a fresh result cache. See [`sweep_axis_run`] for why `events_per_thread`
+/// is unused.
+pub fn sweep_axis(_events_per_thread: usize) -> HotpathResult {
+    sweep_axis_run("sweep_axis", false)
+}
+
+/// The warm sweep path: the identical sweep served entirely from a
+/// pre-populated result cache — zero simulations, digest bit-identical to
+/// [`sweep_axis`].
+pub fn sweep_axis_warm(_events_per_thread: usize) -> HotpathResult {
+    sweep_axis_run("sweep_axis_warm", true)
+}
+
 /// A registry entry: scenario name plus its runner.
 pub type Scenario = (&'static str, fn(usize) -> HotpathResult);
 
@@ -434,6 +496,8 @@ pub const SCENARIOS: &[Scenario] = &[
     ("pipeline_packed", pipeline_packed),
     ("sharded_4t", sharded_4t),
     ("sharded_packed_4t", sharded_packed_4t),
+    ("sweep_axis", sweep_axis),
+    ("sweep_axis_warm", sweep_axis_warm),
 ];
 
 /// Runs the scenarios whose names contain `filter` (all of them when
@@ -446,7 +510,7 @@ pub fn run_matching(events_per_thread: usize, filter: Option<&str>) -> Vec<Hotpa
         .collect()
 }
 
-/// Runs all nine scenarios at the given scale.
+/// Runs all eleven scenarios at the given scale.
 pub fn run_all(events_per_thread: usize) -> Vec<HotpathResult> {
     run_matching(events_per_thread, None)
 }
@@ -554,6 +618,20 @@ mod tests {
         let names: Vec<_> = sharded.iter().map(|r| r.name).collect();
         assert_eq!(names, ["sharded_4t", "sharded_packed_4t"]);
         assert!(run_matching(1_000, Some("no-such-scenario")).is_empty());
+    }
+
+    #[test]
+    fn sweep_axis_warm_matches_cold() {
+        // The acceptance property of the sweep scenarios: a warm rerun
+        // serves the identical outcome matrix from the result cache, so
+        // every counter and the behavioural digest match the cold run.
+        let cold = sweep_axis(2_000);
+        let warm = sweep_axis_warm(2_000);
+        assert_eq!(warm.digest, cold.digest);
+        assert_eq!(warm.accesses, cold.accesses);
+        assert_eq!(warm.instructions, cold.instructions);
+        assert_eq!(warm.sim_cycles, cold.sim_cycles);
+        assert!(cold.sim_cycles > 0);
     }
 
     #[test]

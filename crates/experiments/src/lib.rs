@@ -19,12 +19,16 @@ pub mod chart;
 pub mod figures;
 pub mod hotpath;
 pub mod json;
+pub mod miss_model;
 pub mod parallel;
+pub mod result_cache;
 pub mod runner;
 pub mod scorecard;
 pub mod sweeps;
 pub mod table;
 pub mod trace_cache;
 
+pub use miss_model::BenchPredictor;
+pub use result_cache::ResultCache;
 pub use runner::{ExperimentConfig, Scheme};
 pub use trace_cache::TraceCache;

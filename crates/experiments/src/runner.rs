@@ -105,6 +105,13 @@ pub struct ExperimentConfig {
     /// (see [`crate::trace_cache::TraceCache`]). `None` regenerates streams
     /// per run — bit-identical results either way.
     pub trace_cache: Option<std::sync::Arc<crate::trace_cache::TraceCache>>,
+    /// Optional shared result cache: when set, each distinct
+    /// (benchmark, system, scale, seed, scheme) simulation runs once and
+    /// every later request for the same point is served from memory (or
+    /// disk, for persistent caches) — see
+    /// [`crate::result_cache::ResultCache`]. `None` simulates every run —
+    /// bit-identical results either way.
+    pub result_cache: Option<std::sync::Arc<crate::result_cache::ResultCache>>,
 }
 
 impl ExperimentConfig {
@@ -125,6 +132,7 @@ impl ExperimentConfig {
             replacement: icp_cmp_sim::ReplacementKind::TrueLru,
             enforcement: icp_cmp_sim::EnforcementKind::Replacement,
             trace_cache: None,
+            result_cache: None,
         }
     }
 
@@ -141,6 +149,7 @@ impl ExperimentConfig {
             replacement: icp_cmp_sim::ReplacementKind::TrueLru,
             enforcement: icp_cmp_sim::EnforcementKind::Replacement,
             trace_cache: None,
+            result_cache: None,
         }
     }
 
@@ -171,22 +180,86 @@ impl ExperimentConfig {
         cfg
     }
 
-    /// Runs `bench` under `scheme` and returns the outcome.
-    pub fn run(&self, bench: &BenchmarkSpec, scheme: &Scheme) -> ExecutionOutcome {
-        let spec = if bench.threads.len() == self.system.cores {
+    /// Attaches a result cache: each distinct simulation runs once and is
+    /// served from the cache for every later request with the same inputs.
+    pub fn with_result_cache(
+        mut self,
+        cache: std::sync::Arc<crate::result_cache::ResultCache>,
+    ) -> Self {
+        self.result_cache = Some(cache);
+        self
+    }
+
+    /// Attaches a fresh in-memory result cache unless one is already
+    /// present — the figure/sweep entry points call this so every
+    /// multi-run pass simulates each (benchmark, scheme) point exactly
+    /// once by default.
+    pub fn with_default_result_cache(&self) -> Self {
+        let mut cfg = self.clone();
+        if cfg.result_cache.is_none() {
+            cfg.result_cache = Some(crate::result_cache::ResultCache::shared());
+        }
+        cfg
+    }
+
+    /// Resolves `bench` to the configured core count.
+    fn normalized(&self, bench: &BenchmarkSpec) -> BenchmarkSpec {
+        if bench.threads.len() == self.system.cores {
             bench.clone()
         } else {
             bench.with_threads(self.system.cores)
-        };
+        }
+    }
+
+    /// One full simulation of `spec` (already normalised) under `scheme`,
+    /// with a profiling utility monitor attached when `profile` is set.
+    fn simulate(&self, spec: &BenchmarkSpec, scheme: &Scheme, profile: bool) -> ExecutionOutcome {
         let streams = match &self.trace_cache {
-            Some(cache) => cache.replay_streams(&spec, &self.system, self.scale, self.seed),
+            Some(cache) => cache.replay_streams(spec, &self.system, self.scale, self.seed),
             None => spec.build_streams(&self.system, self.scale, self.seed),
         };
         let mut sim = Simulator::new(self.system, streams);
         sim.set_replacement(self.replacement);
         sim.set_enforcement(self.enforcement);
+        if profile {
+            // Passive observation: the monitor shadows the L2 with sampled
+            // ATDs but never feeds back into it, so simulated counters are
+            // bit-identical with and without it (pinned by a runtime test).
+            sim.enable_umon(1);
+        }
         let mut runtime = IntraAppRuntime::new(scheme.policy(), &self.system);
         runtime.execute(&mut sim)
+    }
+
+    fn run_inner(&self, bench: &BenchmarkSpec, scheme: &Scheme, profile: bool) -> ExecutionOutcome {
+        let spec = self.normalized(bench);
+        match &self.result_cache {
+            Some(cache) => {
+                let key = crate::result_cache::ResultCache::key(&spec, self, scheme, profile);
+                // The stored name must be the *policy* name (what the
+                // outcome carries), not the scheme label — ablation
+                // variants share a policy name but differ in the key.
+                let name = scheme.policy().name();
+                cache.get_or_run(key, name, || self.simulate(&spec, scheme, profile))
+            }
+            None => self.simulate(&spec, scheme, profile),
+        }
+    }
+
+    /// Runs `bench` under `scheme` and returns the outcome.
+    pub fn run(&self, bench: &BenchmarkSpec, scheme: &Scheme) -> ExecutionOutcome {
+        self.run_inner(bench, scheme, false)
+    }
+
+    /// Runs `bench` under `scheme` with a full-run profiling utility
+    /// monitor: the returned outcome carries
+    /// [`icp_core::ExecutionOutcome::umon_profile`] with cumulative
+    /// way-hit histograms (the input of the analytical sweep fast path,
+    /// [`crate::miss_model`]). Simulated counters are bit-identical to a
+    /// plain [`ExperimentConfig::run`]; profiled runs cache under a
+    /// distinct key.
+    pub fn run_profiled(&self, bench: &BenchmarkSpec, scheme: &Scheme) -> ExecutionOutcome {
+        self.run_inner(bench, scheme, true)
     }
 
     /// Runs `bench` under several schemes in parallel, preserving order.

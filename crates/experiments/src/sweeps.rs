@@ -9,10 +9,40 @@
 
 use icp_cmp_sim::CacheConfig;
 use icp_numeric::stats;
-use icp_workloads::suite;
+use icp_workloads::{suite, BenchmarkSpec};
 
+use crate::miss_model::BenchPredictor;
 use crate::runner::{ExperimentConfig, Scheme};
 use crate::table::{pct, Table};
+
+/// Default fast-mode fallback margin, in improvement percentage points: a
+/// predicted improvement closer to zero than this is re-resolved by exact
+/// simulation, so reported signs are always simulation-confirmed. Chosen
+/// above the predictor's observed mean error (see `EXPERIMENTS.md`).
+pub const DEFAULT_FAST_MARGIN: f64 = 3.0;
+
+/// How a sweep evaluates each axis point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SweepMode {
+    /// Simulate every scheme at every point — the reference mode; output
+    /// tables are bit-identical to simulating without any fast path.
+    Exact,
+    /// One profiling simulation per (probe, geometry, seed) feeds the
+    /// analytical predictor ([`crate::miss_model`]); full simulation runs
+    /// only where a predicted improvement lies within `margin` percentage
+    /// points of zero (or the predictor cannot be built).
+    Fast {
+        /// Fallback-to-simulation margin in percentage points.
+        margin: f64,
+    },
+}
+
+impl SweepMode {
+    /// Fast mode with the default margin.
+    pub fn fast() -> SweepMode {
+        SweepMode::Fast { margin: DEFAULT_FAST_MARGIN }
+    }
+}
 
 /// Probe benchmarks for sweeps: one strongly contended, one moderately,
 /// one small-working-set (they should react differently).
@@ -20,21 +50,71 @@ fn probes() -> Vec<icp_workloads::BenchmarkSpec> {
     vec![suite::swim(), suite::cg(), suite::ft()]
 }
 
+/// Exact improvements for one probe: baselines run under `baseline` (the
+/// hoisted configuration — identical to `point` except on the interval
+/// axis, where static-scheme walls are interval-invariant, see
+/// `static_scheme_walls_are_interval_invariant`), the dynamic scheme under
+/// `point`.
+fn measure_exact(
+    point: &ExperimentConfig,
+    baseline: &ExperimentConfig,
+    bench: &BenchmarkSpec,
+) -> (f64, f64) {
+    let jobs = vec![
+        (baseline.clone(), Scheme::Shared),
+        (baseline.clone(), Scheme::StaticEqual),
+        (point.clone(), Scheme::ModelBased),
+    ];
+    let outs = crate::parallel::parallel_map(jobs, |(cfg, s)| cfg.run(bench, s));
+    (
+        outs[2].improvement_percent_over(&outs[0]),
+        outs[2].improvement_percent_over(&outs[1]),
+    )
+}
+
+/// Fast-path improvements for one probe: predict from one profiled
+/// static-equal run, falling back to exact simulation for near-zero
+/// predictions (sign must be simulation-confirmed) or an unusable profile.
+fn measure_fast(
+    point: &ExperimentConfig,
+    baseline: &ExperimentConfig,
+    bench: &BenchmarkSpec,
+    margin: f64,
+) -> (f64, f64) {
+    let profile = baseline.run_profiled(bench, &Scheme::StaticEqual);
+    match BenchPredictor::from_outcome(&profile, &point.system) {
+        Some(p) => {
+            let (s, e) = p.improvements();
+            if s.abs() < margin || e.abs() < margin {
+                measure_exact(point, baseline, bench)
+            } else {
+                (s, e)
+            }
+        }
+        None => measure_exact(point, baseline, bench),
+    }
+}
+
 /// Mean improvements of the dynamic scheme over (shared, equal) across the
 /// probe set for one configuration.
-fn measure(cfg: &ExperimentConfig) -> (f64, f64) {
+fn measure_with(
+    point: &ExperimentConfig,
+    baseline: &ExperimentConfig,
+    mode: SweepMode,
+) -> (f64, f64) {
     let mut vs_shared = Vec::new();
     let mut vs_equal = Vec::new();
     for b in probes() {
-        let outs = cfg.run_schemes(
-            &b,
-            &[Scheme::Shared, Scheme::StaticEqual, Scheme::ModelBased],
-        );
-        vs_shared.push(outs[2].improvement_percent_over(&outs[0]));
-        vs_equal.push(outs[2].improvement_percent_over(&outs[1]));
+        let (s, e) = match mode {
+            SweepMode::Exact => measure_exact(point, baseline, &b),
+            SweepMode::Fast { margin } => measure_fast(point, baseline, &b, margin),
+        };
+        vs_shared.push(s);
+        vs_equal.push(e);
     }
     (stats::mean(&vs_shared), stats::mean(&vs_equal))
 }
+
 
 /// Sweeps the L2 capacity (way count held at 64; sets scale).
 ///
@@ -42,7 +122,12 @@ fn measure(cfg: &ExperimentConfig) -> (f64, f64) {
 /// cannot help much; with a huge cache nothing contends; the sweet spot in
 /// between is where the paper's effect lives.
 pub fn sweep_cache_size(cfg: &ExperimentConfig) -> Table {
-    let cfg = &cfg.with_default_trace_cache();
+    sweep_cache_size_with(cfg, SweepMode::Exact)
+}
+
+/// [`sweep_cache_size`] with an explicit evaluation mode.
+pub fn sweep_cache_size_with(cfg: &ExperimentConfig, mode: SweepMode) -> Table {
+    let cfg = &cfg.with_default_trace_cache().with_default_result_cache();
     let mut t = Table::new(
         "Sweep: L2 capacity (dynamic scheme improvements, probe set)",
         &["l2 size", "vs shared", "vs equal"],
@@ -50,7 +135,7 @@ pub fn sweep_cache_size(cfg: &ExperimentConfig) -> Table {
     for kb in [64u64, 128, 256, 512, 1024] {
         let mut c = cfg.clone();
         c.system.l2 = CacheConfig::new(kb * 1024, 64, 64);
-        let (s, e) = measure(&c);
+        let (s, e) = measure_with(&c, &c, mode);
         t.row(vec![format!("{kb} KB"), pct(s), pct(e)]);
     }
     t
@@ -59,14 +144,19 @@ pub fn sweep_cache_size(cfg: &ExperimentConfig) -> Table {
 /// Sweeps the core/thread count at fixed L2 capacity (the Figure 22 axis,
 /// extended).
 pub fn sweep_thread_count(cfg: &ExperimentConfig) -> Table {
-    let cfg = &cfg.with_default_trace_cache();
+    sweep_thread_count_with(cfg, SweepMode::Exact)
+}
+
+/// [`sweep_thread_count`] with an explicit evaluation mode.
+pub fn sweep_thread_count_with(cfg: &ExperimentConfig, mode: SweepMode) -> Table {
+    let cfg = &cfg.with_default_trace_cache().with_default_result_cache();
     let mut t = Table::new(
         "Sweep: cores/threads sharing one L2 (dynamic scheme improvements)",
         &["cores", "vs shared", "vs equal"],
     );
     for cores in [2usize, 4, 8, 16] {
         let c = cfg.clone().with_cores(cores);
-        let (s, e) = measure(&c);
+        let (s, e) = measure_with(&c, &c, mode);
         t.row(vec![cores.to_string(), pct(s), pct(e)]);
     }
     t
@@ -75,7 +165,18 @@ pub fn sweep_thread_count(cfg: &ExperimentConfig) -> Table {
 /// Sweeps the execution interval length (the paper reports "little
 /// variation", §VII).
 pub fn sweep_interval(cfg: &ExperimentConfig) -> Table {
-    let cfg = &cfg.with_default_trace_cache();
+    sweep_interval_with(cfg, SweepMode::Exact)
+}
+
+/// [`sweep_interval`] with an explicit evaluation mode.
+///
+/// The static baselines are *hoisted*: interval boundaries only snapshot
+/// counters, so shared / static-equal walls are bit-identical at every
+/// interval length (pinned by `static_scheme_walls_are_interval_invariant`)
+/// and run once at the base interval — with a result cache attached, the
+/// other axis points hit instead of re-simulating.
+pub fn sweep_interval_with(cfg: &ExperimentConfig, mode: SweepMode) -> Table {
+    let cfg = &cfg.with_default_trace_cache().with_default_result_cache();
     let mut t = Table::new(
         "Sweep: execution interval length (dynamic scheme improvements)",
         &["interval (instructions)", "vs shared", "vs equal"],
@@ -83,7 +184,7 @@ pub fn sweep_interval(cfg: &ExperimentConfig) -> Table {
     for divisor in [8u64, 4, 2, 1] {
         let mut c = cfg.clone();
         c.system.interval_instructions = (cfg.system.interval_instructions / divisor).max(1_000);
-        let (s, e) = measure(&c);
+        let (s, e) = measure_with(&c, cfg, mode);
         t.row(vec![c.system.interval_instructions.to_string(), pct(s), pct(e)]);
     }
     t
@@ -92,7 +193,12 @@ pub fn sweep_interval(cfg: &ExperimentConfig) -> Table {
 /// Sweeps the DRAM latency: the slower memory is, the more a miss costs
 /// and the bigger the partitioning stakes.
 pub fn sweep_memory_latency(cfg: &ExperimentConfig) -> Table {
-    let cfg = &cfg.with_default_trace_cache();
+    sweep_memory_latency_with(cfg, SweepMode::Exact)
+}
+
+/// [`sweep_memory_latency`] with an explicit evaluation mode.
+pub fn sweep_memory_latency_with(cfg: &ExperimentConfig, mode: SweepMode) -> Table {
+    let cfg = &cfg.with_default_trace_cache().with_default_result_cache();
     let mut t = Table::new(
         "Sweep: DRAM latency (dynamic scheme improvements)",
         &["latency (cycles)", "vs shared", "vs equal"],
@@ -100,7 +206,7 @@ pub fn sweep_memory_latency(cfg: &ExperimentConfig) -> Table {
     for mem in [75u64, 150, 300] {
         let mut c = cfg.clone();
         c.system.latency.memory = mem;
-        let (s, e) = measure(&c);
+        let (s, e) = measure_with(&c, &c, mode);
         t.row(vec![mem.to_string(), pct(s), pct(e)]);
     }
     t
@@ -142,14 +248,118 @@ mod tests {
     }
 
     #[test]
+    fn static_scheme_walls_are_interval_invariant() {
+        // The physics behind baseline hoisting: interval boundaries only
+        // snapshot counters, and the static schemes never change partition
+        // state at a boundary, so their wall cycles cannot depend on the
+        // interval length.
+        let base = ExperimentConfig::test();
+        let bench = suite::swim();
+        for scheme in [Scheme::Shared, Scheme::StaticEqual] {
+            let mut walls = Vec::new();
+            for divisor in [8u64, 2, 1] {
+                let mut c = base.clone();
+                c.system.interval_instructions =
+                    (base.system.interval_instructions / divisor).max(1_000);
+                walls.push(c.run(&bench, &scheme).wall_cycles);
+            }
+            assert!(
+                walls.windows(2).all(|w| w[0] == w[1]),
+                "{scheme:?} wall cycles vary with interval: {walls:?}"
+            );
+        }
+    }
+
+    #[test]
     fn thread_sweep_runs_at_2_and_8() {
         let mut cfg = ExperimentConfig::test();
         // Keep the test fast: only verify the mechanics at two points.
         cfg.system.interval_instructions *= 2;
         for cores in [2usize, 8] {
             let c = cfg.clone().with_cores(cores);
-            let (s, e) = measure(&c);
+            let (s, e) = measure_with(&c, &c, SweepMode::Exact);
             assert!(s.is_finite() && e.is_finite(), "{cores} cores");
         }
+    }
+
+    #[test]
+    fn interval_axis_hoists_baselines_through_the_result_cache() {
+        // Satellite 1 pin: the static baselines run once per probe at the
+        // base interval and every other axis point reuses them.
+        let cache = crate::result_cache::ResultCache::shared();
+        let cfg =
+            ExperimentConfig::test().with_result_cache(std::sync::Arc::clone(&cache));
+        let _ = sweep_interval_with(&cfg, SweepMode::Exact);
+        assert_eq!(
+            cache.simulations(),
+            18,
+            "3 probes x (2 hoisted baselines + 4 dynamic points)"
+        );
+        assert_eq!(cache.hits(), 18, "3 probes x 3 repeated points x 2 baselines");
+    }
+
+    fn signed_cells(t: &Table) -> Vec<f64> {
+        t.to_csv()
+            .lines()
+            .skip(1)
+            .flat_map(|l| {
+                l.split(',')
+                    .skip(1)
+                    .map(|c| c.trim_end_matches('%').parse::<f64>().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_mode_agrees_with_exact_on_every_improvement_sign() {
+        let cfg = ExperimentConfig::test();
+        let exact = signed_cells(&sweep_interval(&cfg));
+        let fast = signed_cells(&sweep_interval_with(&cfg, SweepMode::fast()));
+        assert_eq!(exact.len(), fast.len());
+        for (i, (e, f)) in exact.iter().zip(&fast).enumerate() {
+            assert!(
+                e.signum() == f.signum() || e.abs() < 1e-9,
+                "cell {i}: exact {e:.2} vs fast {f:.2} disagree in sign"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_mode_tables_are_identical_to_the_unhoisted_reference() {
+        // Bit-identity acceptance: hoisted baselines + result cache must
+        // not change a single byte of the interval sweep table relative to
+        // simulating every scheme at every point directly.
+        let cfg = ExperimentConfig::test();
+        let hoisted = sweep_interval(&cfg).render();
+        let mut reference = Table::new(
+            "Sweep: execution interval length (dynamic scheme improvements)",
+            &["interval (instructions)", "vs shared", "vs equal"],
+        );
+        for divisor in [8u64, 4, 2, 1] {
+            let mut c = cfg.clone();
+            c.system.interval_instructions =
+                (cfg.system.interval_instructions / divisor).max(1_000);
+            let outs = c.run_schemes(
+                &suite::swim(),
+                &[Scheme::Shared, Scheme::StaticEqual, Scheme::ModelBased],
+            );
+            let mut vs_shared = vec![outs[2].improvement_percent_over(&outs[0])];
+            let mut vs_equal = vec![outs[2].improvement_percent_over(&outs[1])];
+            for b in [suite::cg(), suite::ft()] {
+                let outs = c.run_schemes(
+                    &b,
+                    &[Scheme::Shared, Scheme::StaticEqual, Scheme::ModelBased],
+                );
+                vs_shared.push(outs[2].improvement_percent_over(&outs[0]));
+                vs_equal.push(outs[2].improvement_percent_over(&outs[1]));
+            }
+            reference.row(vec![
+                c.system.interval_instructions.to_string(),
+                pct(stats::mean(&vs_shared)),
+                pct(stats::mean(&vs_equal)),
+            ]);
+        }
+        assert_eq!(hoisted, reference.render());
     }
 }

@@ -1,0 +1,115 @@
+//! Monotone non-increasing curve fits over integer-indexed counts.
+//!
+//! The analytical miss-curve fast path needs to evaluate a
+//! misses-vs-ways curve at *fractional* allocations (the shared-cache
+//! occupancy model assigns non-integer effective ways). The curve is known
+//! exactly at every integer point — the UMON way-hit histogram gives it by
+//! the LRU inclusion property — so this is interpolation, not regression:
+//! a shape-preserving PCHIP through the points, with the data pre-clamped
+//! to non-increasing (a miss curve can never rise with more capacity) and
+//! evaluations clamped to the physically meaningful range.
+
+use crate::pchip::Pchip;
+use crate::spline::SplineError;
+
+/// A monotone non-increasing interpolant through `(i, ys[i])`, `i = 0..n`.
+#[derive(Clone, Debug)]
+pub struct MonotoneDecreasing {
+    pchip: Pchip,
+    floor: f64,
+    ceil: f64,
+}
+
+impl MonotoneDecreasing {
+    /// Fits through `ys` at integer abscissae `0, 1, ..., ys.len() - 1`.
+    ///
+    /// Input values are first clamped to a running minimum, so weakly
+    /// rising stretches (measurement noise; impossible for true miss
+    /// curves) are flattened rather than interpolated through. Needs at
+    /// least two finite points.
+    pub fn fit(ys: &[f64]) -> Result<Self, SplineError> {
+        if ys.len() < 2 {
+            return Err(SplineError::TooFewPoints);
+        }
+        if ys.iter().any(|v| !v.is_finite()) {
+            return Err(SplineError::NonFinite);
+        }
+        let mut clamped = Vec::with_capacity(ys.len());
+        let mut run_min = f64::INFINITY;
+        for &y in ys {
+            run_min = run_min.min(y.max(0.0));
+            clamped.push(run_min);
+        }
+        let xs: Vec<f64> = (0..clamped.len()).map(|i| i as f64).collect();
+        let pchip = Pchip::fit(&xs, &clamped)?;
+        let (floor, ceil) = (clamped[clamped.len() - 1], clamped[0]);
+        Ok(MonotoneDecreasing { pchip, floor, ceil })
+    }
+
+    /// Evaluates at `x`, clamped into `[last, first]` of the fitted data —
+    /// extrapolation beyond the knot range holds the boundary value, since
+    /// a miss count below the full-capacity level (or above the
+    /// zero-capacity level) is physically meaningless.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.pchip.eval(x).clamp(self.floor, self.ceil)
+    }
+
+    /// Number of fitted points.
+    pub fn num_knots(&self) -> usize {
+        self.pchip.num_knots()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_decreasing_counts_exactly() {
+        let ys = [100.0, 60.0, 35.0, 20.0, 12.0, 12.0, 12.0];
+        let c = MonotoneDecreasing::fit(&ys).unwrap();
+        for (i, y) in ys.iter().enumerate() {
+            assert!((c.eval(i as f64) - y).abs() < 1e-9, "knot {i}");
+        }
+        assert_eq!(c.num_knots(), 7);
+    }
+
+    #[test]
+    fn stays_monotone_between_knots() {
+        let ys = [100.0, 60.0, 35.0, 20.0, 12.0, 11.0];
+        let c = MonotoneDecreasing::fit(&ys).unwrap();
+        let mut prev = c.eval(0.0);
+        for i in 1..=50 {
+            let y = c.eval(i as f64 * 0.1);
+            assert!(y <= prev + 1e-9, "rises at {i}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn rising_noise_is_flattened_not_followed() {
+        // A true miss curve cannot rise; a noisy sample that does gets
+        // clamped to the running minimum.
+        let c = MonotoneDecreasing::fit(&[50.0, 30.0, 42.0, 10.0]).unwrap();
+        assert!((c.eval(2.0) - 30.0).abs() < 1e-9);
+        let mut prev = c.eval(0.0);
+        for i in 1..=30 {
+            let y = c.eval(i as f64 * 0.1);
+            assert!(y <= prev + 1e-9);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn extrapolation_holds_boundary_values() {
+        let c = MonotoneDecreasing::fit(&[80.0, 40.0, 25.0]).unwrap();
+        assert!((c.eval(-3.0) - 80.0).abs() < 1e-12);
+        assert!((c.eval(10.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(MonotoneDecreasing::fit(&[1.0]).is_err());
+        assert!(MonotoneDecreasing::fit(&[f64::NAN, 1.0]).is_err());
+    }
+}

@@ -11,12 +11,15 @@
 //!   primitive of the paper's model-based partitioner, §VI-B),
 //! * [`pchip`] — monotone piecewise-cubic Hermite interpolation (ablation
 //!   alternative to the cubic spline),
+//! * [`curve`] — monotone non-increasing fits over integer-indexed counts
+//!   (the miss-vs-ways curves of the analytical sweep fast path),
 //! * [`stats`] — Pearson correlation, linear regression and summary
 //!   statistics (used to regenerate Figure 5).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod curve;
 pub mod fastmod;
 pub mod histogram;
 pub mod pchip;
@@ -25,6 +28,7 @@ pub mod spline;
 pub mod stats;
 pub mod zipf;
 
+pub use curve::MonotoneDecreasing;
 pub use fastmod::FastMod;
 pub use histogram::Histogram;
 pub use pchip::Pchip;
