@@ -38,41 +38,11 @@ impl UcpThroughputPolicy {
         UcpThroughputPolicy { curves: Vec::new(), min_ways: 1 }
     }
 
-    /// Lookahead allocation (Qureshi & Patt, MICRO'06): starting from the
-    /// floor allocation, repeatedly grant the thread/block-size pair with
-    /// the maximum marginal utility (extra hits per extra way) until all
-    /// ways are assigned.
+    /// Lookahead allocation (Qureshi & Patt, MICRO'06) over the per-thread
+    /// curves — delegates to the shared allocator in
+    /// [`icp_core::lookahead_allocate`] with a uniform floor.
     fn lookahead(&self, threads: usize, total_ways: u32) -> Vec<u32> {
-        let mut alloc = vec![self.min_ways; threads];
-        let mut remaining = total_ways - self.min_ways * threads as u32;
-        let hits = |t: usize, w: u32| -> u64 {
-            let c = &self.curves[t];
-            c[(w as usize).min(c.len() - 1)]
-        };
-        while remaining > 0 {
-            let mut best: Option<(f64, usize, u32)> = None; // (utility, thread, block)
-            for (t, &cur) in alloc.iter().enumerate() {
-                for block in 1..=remaining {
-                    let gain = hits(t, cur + block).saturating_sub(hits(t, cur));
-                    let mu = gain as f64 / block as f64;
-                    let better = match best {
-                        None => true,
-                        // Deterministic tie-breaks: smaller block, then
-                        // lower thread id.
-                        Some((b_mu, b_t, b_blk)) => {
-                            mu > b_mu || (mu == b_mu && (block < b_blk || (block == b_blk && t < b_t)))
-                        }
-                    };
-                    if better {
-                        best = Some((mu, t, block));
-                    }
-                }
-            }
-            let (_, t, block) = best.expect("threads exist");
-            alloc[t] += block;
-            remaining -= block;
-        }
-        alloc
+        icp_core::lookahead_allocate(&self.curves, total_ways, &vec![self.min_ways; threads])
     }
 }
 

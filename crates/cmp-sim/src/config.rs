@@ -126,6 +126,40 @@ impl L2Geometry {
     }
 }
 
+/// Topology of the shared LLC: how many address-hashed slices the L2 is
+/// split into.
+///
+/// `slices = 1` is the paper's monolithic L2 (the degenerate case — nothing
+/// in the simulator changes). At `slices > 1` the L2 capacity is divided
+/// into `slices` independent slices of `size_bytes / slices` each (same
+/// associativity and line size), and a line-address hash assigns every
+/// access to one slice — the machine model of [`crate::slice::Llc`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LlcConfig {
+    /// Number of address-hashed L2 slices. Must be a power of two, at
+    /// least 1, and small enough that each slice keeps a valid geometry
+    /// (at least one set per slice).
+    pub slices: u32,
+}
+
+impl LlcConfig {
+    /// The monolithic LLC (one slice — the paper's machine).
+    pub fn monolithic() -> Self {
+        LlcConfig { slices: 1 }
+    }
+
+    /// A sliced LLC with `slices` address-hashed slices.
+    pub fn sliced(slices: u32) -> Self {
+        LlcConfig { slices }
+    }
+}
+
+impl Default for LlcConfig {
+    fn default() -> Self {
+        Self::monolithic()
+    }
+}
+
 /// Access latencies in core cycles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LatencyConfig {
@@ -155,8 +189,12 @@ pub struct SystemConfig {
     pub cores: usize,
     /// Private per-core L1 geometry.
     pub l1: CacheConfig,
-    /// Shared L2 geometry.
+    /// Shared L2 geometry (the *total* LLC capacity; see `llc` for how it
+    /// is divided into slices).
     pub l2: CacheConfig,
+    /// LLC topology: number of address-hashed L2 slices.
+    /// [`LlcConfig::monolithic`] (1 slice) reproduces the paper's machine.
+    pub llc: LlcConfig,
     /// Hierarchy latencies.
     pub latency: LatencyConfig,
     /// Execution interval length in instructions, summed over all threads
@@ -201,6 +239,7 @@ impl SystemConfig {
             cores: 4,
             l1: CacheConfig::new(8 * 1024, 4, 64),
             l2: CacheConfig::new(1024 * 1024, 64, 64),
+            llc: LlcConfig::monolithic(),
             latency: LatencyConfig::default(),
             interval_instructions: 15_000_000,
             inclusive: false,
@@ -225,6 +264,7 @@ impl SystemConfig {
             cores: 4,
             l1: CacheConfig::new(2 * 1024, 4, 64),
             l2: CacheConfig::new(256 * 1024, 64, 64),
+            llc: LlcConfig::monolithic(),
             latency: LatencyConfig::default(),
             interval_instructions: 200_000,
             inclusive: false,
@@ -253,6 +293,35 @@ impl SystemConfig {
             self.l2_banks == 0 || self.l2_banks.is_power_of_two(),
             "L2 bank count must be 0 (unbanked) or a power of two for mask-based striping"
         );
+        assert!(
+            self.llc.slices >= 1 && self.llc.slices.is_power_of_two(),
+            "LLC slice count must be a power of two (got {})",
+            self.llc.slices
+        );
+        assert!(
+            (self.llc.slices as u64) <= self.l2.num_sets(),
+            "LLC slice count {} exceeds the L2 set count {}",
+            self.llc.slices,
+            self.l2.num_sets()
+        );
+    }
+
+    /// Geometry of one LLC slice: `1/slices` of the L2 capacity at the same
+    /// associativity and line size. Equals `l2` for a monolithic LLC.
+    ///
+    /// # Panics
+    /// Panics (via [`CacheConfig::new`]) if the slice count does not divide
+    /// the L2 into a valid geometry; [`SystemConfig::validate`] rules that
+    /// out for power-of-two slice counts up to the set count.
+    pub fn slice_l2(&self) -> CacheConfig {
+        if self.llc.slices <= 1 {
+            return self.l2;
+        }
+        CacheConfig::new(
+            self.l2.size_bytes / self.llc.slices as u64,
+            self.l2.ways,
+            self.l2.line_bytes,
+        )
     }
 }
 
@@ -356,5 +425,51 @@ mod tests {
         let mut c = SystemConfig::paper_default();
         c.l2_banks = 3;
         c.validate();
+    }
+
+    #[test]
+    fn default_llc_is_monolithic() {
+        assert_eq!(LlcConfig::default(), LlcConfig::monolithic());
+        assert_eq!(SystemConfig::paper_default().llc.slices, 1);
+        assert_eq!(SystemConfig::paper_default().slice_l2(), SystemConfig::paper_default().l2);
+    }
+
+    #[test]
+    fn sliced_llc_divides_sets_not_ways() {
+        let mut c = SystemConfig::paper_default();
+        c.llc = LlcConfig::sliced(8);
+        c.validate();
+        let s = c.slice_l2();
+        assert_eq!(s.ways, c.l2.ways);
+        assert_eq!(s.line_bytes, c.l2.line_bytes);
+        assert_eq!(s.num_sets(), c.l2.num_sets() / 8);
+        assert_eq!(s.size_bytes * 8, c.l2.size_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_slices() {
+        let mut c = SystemConfig::paper_default();
+        c.llc = LlcConfig::sliced(3);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the L2 set count")]
+    fn rejects_more_slices_than_sets() {
+        let mut c = SystemConfig::paper_default();
+        c.llc = LlcConfig::sliced(512);
+        c.validate();
+    }
+
+    #[test]
+    fn sixty_four_threads_eight_slices_is_valid() {
+        let mut c = SystemConfig::paper_default();
+        c.cores = 64;
+        c.llc = LlcConfig::sliced(8);
+        c.validate();
+        // Ways are not divided across slices, so the one-way-per-core
+        // invariant holds per slice even at 64 threads.
+        assert!(c.slice_l2().ways as usize >= c.cores);
     }
 }

@@ -39,19 +39,21 @@ pub mod plru;
 pub mod sanitize;
 pub mod shard;
 pub mod simulator;
+pub mod slice;
 pub mod stats;
 pub mod stream;
 pub mod trace;
 pub mod umon;
 pub mod victim;
 
-pub use config::{CacheConfig, L2Geometry, LatencyConfig, SystemConfig};
+pub use config::{CacheConfig, L2Geometry, LatencyConfig, LlcConfig, SystemConfig};
 pub use l2::{EnforcementKind, PartitionMode, PartitionedL2, ReplacementKind};
 pub use packed::{PackedBlock, PackedReplayStream, PackedTrace};
-pub use perf::{Measurable, PerfReport};
+pub use perf::{Machine, Measurable, PerfReport};
 pub use pipeline::{PipelinedStream, TakeStream};
 pub use shard::ShardedSimulator;
 pub use simulator::{IntervalReport, Simulator, ThreadIntervalStats};
+pub use slice::{Llc, SliceTopology};
 pub use stats::{GlobalStats, InteractionStats, ThreadCounters};
 pub use stream::{AccessStream, ThreadEvent};
 pub use trace::Trace;

@@ -10,11 +10,17 @@
 //! The tracked harness in `icp-experiments::hotpath` builds on this to
 //! record a perf trajectory (`BENCH_hotpath.json`) across changes.
 
+use std::borrow::Cow;
 use std::time::Instant;
 
+use crate::config::SystemConfig;
+use crate::l2::{EnforcementKind, ReplacementKind};
+use crate::shard::ShardedSimulator;
 use crate::simulator::{IntervalReport, Simulator};
+use crate::slice::Llc;
 use crate::stats::GlobalStats;
 use crate::stream::AccessStream;
+use crate::umon::UtilityMonitor;
 
 /// Throughput of one timed simulation region.
 #[derive(Clone, Copy, Debug)]
@@ -85,6 +91,170 @@ impl<S: AccessStream> Measurable for Simulator<S> {
     }
 }
 
+/// A complete partitionable CMP machine the `icp-core` runtime can drive:
+/// a [`Measurable`] engine that additionally exposes partition control,
+/// replacement/enforcement selection and utility monitoring. Implemented
+/// by the serial [`Simulator`], the set-sharded [`ShardedSimulator`] and
+/// the sliced-LLC [`Llc`], so one runtime loop drives every machine model.
+///
+/// The UMON surface is read-by-value ([`Machine::umon_view`]) because
+/// multi-slice machines materialise a merged monitor on demand; the serial
+/// simulator hands out a zero-copy borrow.
+pub trait Machine: Measurable {
+    /// The system configuration (full-LLC geometry for sliced machines).
+    fn config(&self) -> &SystemConfig;
+    /// Applies a way partition (see [`Simulator::set_partition`]).
+    fn set_partition(&mut self, targets: &[u32]);
+    /// Applies a set partition from way-unit quotas (see
+    /// [`Simulator::set_set_partition`]).
+    fn set_set_partition(&mut self, quotas: &[u32]);
+    /// Reverts to plain shared (global LRU) operation.
+    fn set_unpartitioned(&mut self);
+    /// Selects the L2 replacement policy.
+    fn set_replacement(&mut self, kind: ReplacementKind);
+    /// Selects the partition enforcement mechanism.
+    fn set_enforcement(&mut self, kind: EnforcementKind);
+    /// Attaches a utility monitor (see [`Simulator::enable_umon`];
+    /// sliced machines clamp the sampling rate to the slice set count).
+    fn enable_umon(&mut self, sample_every: u64);
+    /// Whether a utility monitor is attached.
+    fn umon_enabled(&self) -> bool;
+    /// The machine-wide utility monitor: borrowed from a serial simulator,
+    /// merged-on-demand (owned) from a multi-slice machine. `None` when
+    /// UMON was never enabled.
+    fn umon_view(&self) -> Option<Cow<'_, UtilityMonitor>>;
+    /// Halves the monitor's counters (no-op without a monitor).
+    fn decay_umon(&mut self);
+}
+
+impl<S: AccessStream> Machine for Simulator<S> {
+    fn config(&self) -> &SystemConfig {
+        Simulator::config(self)
+    }
+
+    fn set_partition(&mut self, targets: &[u32]) {
+        Simulator::set_partition(self, targets);
+    }
+
+    fn set_set_partition(&mut self, quotas: &[u32]) {
+        Simulator::set_set_partition(self, quotas);
+    }
+
+    fn set_unpartitioned(&mut self) {
+        Simulator::set_unpartitioned(self);
+    }
+
+    fn set_replacement(&mut self, kind: ReplacementKind) {
+        Simulator::set_replacement(self, kind);
+    }
+
+    fn set_enforcement(&mut self, kind: EnforcementKind) {
+        Simulator::set_enforcement(self, kind);
+    }
+
+    fn enable_umon(&mut self, sample_every: u64) {
+        Simulator::enable_umon(self, sample_every);
+    }
+
+    fn umon_enabled(&self) -> bool {
+        self.umon().is_some()
+    }
+
+    fn umon_view(&self) -> Option<Cow<'_, UtilityMonitor>> {
+        self.umon().map(Cow::Borrowed)
+    }
+
+    fn decay_umon(&mut self) {
+        if let Some(u) = self.umon_mut() {
+            u.decay_counters();
+        }
+    }
+}
+
+impl Machine for ShardedSimulator {
+    fn config(&self) -> &SystemConfig {
+        ShardedSimulator::config(self)
+    }
+
+    fn set_partition(&mut self, targets: &[u32]) {
+        ShardedSimulator::set_partition(self, targets);
+    }
+
+    fn set_set_partition(&mut self, quotas: &[u32]) {
+        ShardedSimulator::set_set_partition(self, quotas);
+    }
+
+    fn set_unpartitioned(&mut self) {
+        ShardedSimulator::set_unpartitioned(self);
+    }
+
+    fn set_replacement(&mut self, kind: ReplacementKind) {
+        ShardedSimulator::set_replacement(self, kind);
+    }
+
+    fn set_enforcement(&mut self, kind: EnforcementKind) {
+        ShardedSimulator::set_enforcement(self, kind);
+    }
+
+    fn enable_umon(&mut self, sample_every: u64) {
+        ShardedSimulator::enable_umon(self, sample_every);
+    }
+
+    fn umon_enabled(&self) -> bool {
+        self.merged_umon().is_some()
+    }
+
+    fn umon_view(&self) -> Option<Cow<'_, UtilityMonitor>> {
+        self.merged_umon().map(Cow::Owned)
+    }
+
+    fn decay_umon(&mut self) {
+        ShardedSimulator::decay_umon(self);
+    }
+}
+
+impl Machine for Llc {
+    fn config(&self) -> &SystemConfig {
+        Llc::config(self)
+    }
+
+    fn set_partition(&mut self, targets: &[u32]) {
+        Llc::set_partition(self, targets);
+    }
+
+    fn set_set_partition(&mut self, quotas: &[u32]) {
+        Llc::set_set_partition(self, quotas);
+    }
+
+    fn set_unpartitioned(&mut self) {
+        Llc::set_unpartitioned(self);
+    }
+
+    fn set_replacement(&mut self, kind: ReplacementKind) {
+        Llc::set_replacement(self, kind);
+    }
+
+    fn set_enforcement(&mut self, kind: EnforcementKind) {
+        Llc::set_enforcement(self, kind);
+    }
+
+    fn enable_umon(&mut self, sample_every: u64) {
+        Llc::enable_umon(self, sample_every);
+    }
+
+    fn umon_enabled(&self) -> bool {
+        self.merged_umon().is_some()
+    }
+
+    fn umon_view(&self) -> Option<Cow<'_, UtilityMonitor>> {
+        self.merged_umon().map(Cow::Owned)
+    }
+
+    fn decay_umon(&mut self) {
+        Llc::decay_umon(self);
+    }
+}
+
 /// (accesses, events, instructions, wall_cycles) as of now.
 fn snapshot<M: Measurable>(sim: &M) -> (u64, u64, u64, u64) {
     let stats = sim.stats();
@@ -139,6 +309,7 @@ mod tests {
             cores: 1,
             l1: CacheConfig::new(2 * 64 * 2, 2, 64),
             l2: CacheConfig::new(4 * 64 * 4, 4, 64),
+            llc: Default::default(),
             latency: LatencyConfig { l1_hit: 1, l2_hit: 10, memory: 100 },
             interval_instructions: 1000,
             inclusive: false,

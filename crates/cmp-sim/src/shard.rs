@@ -71,19 +71,20 @@ use crate::ThreadId;
 /// Events drained per demux refill.
 const DEMUX_BATCH: usize = 4096;
 
-/// Demuxes one core's event stream into `k` per-slice packed sub-traces.
+/// Demuxes one core's event stream into `k` packed sub-traces, routing
+/// each access by an arbitrary address key (`key(addr)` must be `< k`).
 ///
-/// Accesses go to the slice owning their L2 set (`set_index mod k`), with
-/// their instruction gap travelling along; barriers are replicated into
-/// every slice so cross-core ordering around a barrier holds within each
-/// slice.
+/// The instruction gap travels with its access; barriers are replicated
+/// into every sub-trace so cross-core ordering around a barrier holds
+/// within each slice. This is the shared demux engine behind both the
+/// set-striped decomposition here and the slice-hash decomposition in
+/// [`crate::slice`].
 #[deterministic]
-fn demux_stream<S: AccessStream>(
+pub(crate) fn demux_stream_by<S: AccessStream>(
     mut stream: S,
-    cfg: &SystemConfig,
     k: usize,
+    mut key: impl FnMut(u64) -> usize,
 ) -> Vec<PackedTrace> {
-    let geom = cfg.l2.geometry();
     let mut out: Vec<PackedTrace> = (0..k).map(|_| PackedTrace::new()).collect();
     let mut block = PackedBlock::with_capacity(DEMUX_BATCH);
     loop {
@@ -91,8 +92,7 @@ fn demux_stream<S: AccessStream>(
         for e in block.to_events() {
             match e {
                 ThreadEvent::Access { gap, addr, write, mlp_tenths } => {
-                    let slice = (geom.set_index(addr) as usize) % k;
-                    out[slice].push_access(gap, addr, write, mlp_tenths);
+                    out[key(addr)].push_access(gap, addr, write, mlp_tenths);
                 }
                 ThreadEvent::Barrier => {
                     for t in &mut out {
@@ -108,6 +108,18 @@ fn demux_stream<S: AccessStream>(
         assert!(!block.is_empty(), "stream stalled without finishing");
     }
     out
+}
+
+/// Demuxes one core's event stream into `k` per-slice packed sub-traces
+/// using the set-striped key (`set_index mod k`).
+#[deterministic]
+fn demux_stream<S: AccessStream>(
+    stream: S,
+    cfg: &SystemConfig,
+    k: usize,
+) -> Vec<PackedTrace> {
+    let geom = cfg.l2.geometry();
+    demux_stream_by(stream, k, |addr| (geom.set_index(addr) as usize) % k)
 }
 
 /// A set-sharded CMP simulator — see the [module docs](self) for the
@@ -199,14 +211,42 @@ impl ShardedSimulator {
         shard_cfg.interval_instructions = cfg.interval_instructions.div_ceil(shards as u64);
         // Demux core-by-core, then transpose: shard j simulates every
         // core's slice-j sub-trace.
-        let mut per_core: Vec<Vec<Arc<PackedTrace>>> = streams
+        let per_core: Vec<Vec<Arc<PackedTrace>>> = streams
             .into_iter()
             .map(|s| demux_stream(s, &cfg, shards).into_iter().map(Arc::new).collect())
             .collect();
+        Self::from_demuxed(cfg, shard_cfg, per_core, parallel)
+    }
+
+    /// Assembles a sharded simulator from already-demuxed per-core traces:
+    /// `per_core[c][j]` holds core `c`'s sub-trace for shard `j`. `cfg` is
+    /// the outer machine config; `shard_cfg` is what each shard simulator
+    /// runs (possibly a different L2 geometry and interval share — the
+    /// sliced-LLC machine in [`crate::slice`] passes the per-slice
+    /// geometry here).
+    ///
+    /// # Panics
+    /// Panics if either config is invalid, the per-core trace matrix is
+    /// ragged or empty, or the core count doesn't match `cfg.cores`.
+    pub(crate) fn from_demuxed(
+        cfg: SystemConfig,
+        shard_cfg: SystemConfig,
+        per_core: Vec<Vec<Arc<PackedTrace>>>,
+        parallel: bool,
+    ) -> Self {
+        cfg.validate();
+        shard_cfg.validate();
+        assert_eq!(per_core.len(), cfg.cores, "one demuxed trace set per core");
+        let shards = per_core.first().map_or(0, Vec::len);
+        assert!(shards > 0, "at least one shard");
+        assert!(
+            per_core.iter().all(|traces| traces.len() == shards),
+            "every core must be demuxed into the same shard count"
+        );
         let sims = (0..shards)
             .map(|j| {
                 let slice_streams: Vec<PackedReplayStream> = per_core
-                    .iter_mut()
+                    .iter()
                     .map(|traces| PackedTrace::stream(&traces[j]))
                     .collect();
                 Simulator::from_streams(shard_cfg, slice_streams)
@@ -250,6 +290,26 @@ impl ShardedSimulator {
     pub fn set_unpartitioned(&mut self) {
         for s in &mut self.shards {
             s.set_unpartitioned();
+        }
+    }
+
+    /// Applies a set partition (quotas in way units, converted to set
+    /// ranges per slice — see [`Simulator::set_set_partition`]) to every
+    /// slice's L2.
+    pub fn set_set_partition(&mut self, quotas: &[u32]) {
+        for s in &mut self.shards {
+            s.set_set_partition(quotas);
+        }
+    }
+
+    /// Halves every slice monitor's counters (exponential decay at
+    /// interval boundaries — see [`UtilityMonitor::decay_counters`]).
+    /// No-op when UMON was never enabled.
+    pub fn decay_umon(&mut self) {
+        for s in &mut self.shards {
+            if let Some(u) = s.umon_mut() {
+                u.decay_counters();
+            }
         }
     }
 
@@ -442,6 +502,7 @@ mod tests {
             cores: 2,
             l1: CacheConfig::new(2 * 64 * 2, 2, 64), // 2 sets x 2 ways
             l2: CacheConfig::new(4 * 64 * 4, 4, 64), // 4 sets x 4 ways
+            llc: Default::default(),
             latency: LatencyConfig { l1_hit: 1, l2_hit: 10, memory: 100 },
             interval_instructions: 64,
             inclusive: false,

@@ -684,6 +684,7 @@ mod tests {
             cores: 2,
             l1: CacheConfig::new(2 * 64 * 2, 2, 64), // 2 sets x 2 ways
             l2: CacheConfig::new(4 * 64 * 4, 4, 64), // 4 sets x 4 ways
+            llc: Default::default(),
             latency: LatencyConfig { l1_hit: 1, l2_hit: 10, memory: 100 },
             interval_instructions: 1000,
             inclusive: false,

@@ -11,11 +11,18 @@
 //! The OS budget can be static, or re-balanced at interval granularity in
 //! proportion to each application's critical-path CPI
 //! ([`BudgetPolicy::CriticalCpiProportional`]) — the paper's intra-app idea
-//! lifted one level up.
+//! lifted one level up — or by the greedy UCP-style lookahead allocator
+//! over merged per-cluster UMON curves
+//! ([`BudgetPolicy::UmonLookahead`]), mirroring LFOC's
+//! cluster-then-partition structure. The lookahead variant is the scaling
+//! path past 8 threads: its inter-cluster decision is
+//! `O(ways²·clusters)` where a flat model-based hill-climb explores an
+//! `O(ways^threads)` state space.
 
 use icp_cmp_sim::simulator::IntervalReport;
 use icp_cmp_sim::umon::UtilityMonitor;
 
+use crate::lookahead::lookahead_allocate;
 use crate::policy::{proportional_allocation, PartitionDecision, Partitioner};
 
 /// How the OS level assigns way budgets to applications.
@@ -27,6 +34,13 @@ pub enum BudgetPolicy {
     /// Budgets re-proportioned each interval to the applications'
     /// critical-path (max-thread) CPIs, with a floor of one way per thread.
     CriticalCpiProportional,
+    /// Budgets chosen each interval by greedy lookahead
+    /// ([`lookahead_allocate`]) over merged per-cluster UMON hit curves
+    /// (member curves summed — the slices observe disjoint address
+    /// subsets, so the sum is the cluster's aggregate utility), with a
+    /// floor of one way per thread. Requires a UMON; until the first
+    /// profile arrives the budgets stay as constructed.
+    UmonLookahead,
 }
 
 /// Two-level partitioner: OS budgets across applications, an inner policy
@@ -54,6 +68,13 @@ pub struct HierarchicalPolicy {
     budgets: Vec<u32>,
     budget_policy: BudgetPolicy,
     inner: Vec<Box<dyn Partitioner + Send>>,
+    /// Merged per-cluster cumulative hit curves from the last UMON
+    /// observation (only maintained under [`BudgetPolicy::UmonLookahead`]).
+    cluster_curves: Vec<Vec<u64>>,
+    /// Set by [`HierarchicalPolicy::clustered_lookahead`]: groups/budgets/
+    /// inner policies are materialised lazily at `initial`, when the
+    /// thread count is known.
+    pending_clusters: Option<usize>,
 }
 
 impl HierarchicalPolicy {
@@ -85,7 +106,63 @@ impl HierarchicalPolicy {
                 assert!(seen.insert(*t), "thread {t} appears in two applications");
             }
         }
-        HierarchicalPolicy { groups, budgets, budget_policy: BudgetPolicy::Static, inner }
+        HierarchicalPolicy {
+            groups,
+            budgets,
+            budget_policy: BudgetPolicy::Static,
+            inner,
+            cluster_curves: Vec::new(),
+            pending_clusters: None,
+        }
+    }
+
+    /// The hierarchical *lookahead* configuration (LFOC-style
+    /// cluster-then-partition): threads are split into `clusters`
+    /// contiguous near-equal clusters at first use, inter-cluster capacity
+    /// is assigned by greedy lookahead over merged per-cluster UMON curves
+    /// ([`BudgetPolicy::UmonLookahead`]), and the paper's critical-path
+    /// CPI-proportional policy runs within each cluster.
+    ///
+    /// Groups, budgets and inner policies are materialised lazily at
+    /// [`Partitioner::initial`], when the thread and way counts are known —
+    /// so one constructor serves any core count.
+    ///
+    /// # Panics
+    /// Panics (at `initial`) if `clusters` is zero or exceeds the thread
+    /// count.
+    pub fn clustered_lookahead(clusters: usize) -> Self {
+        HierarchicalPolicy {
+            groups: Vec::new(),
+            budgets: Vec::new(),
+            budget_policy: BudgetPolicy::UmonLookahead,
+            inner: Vec::new(),
+            cluster_curves: Vec::new(),
+            pending_clusters: Some(clusters),
+        }
+    }
+
+    /// Materialises the deferred [`HierarchicalPolicy::clustered_lookahead`]
+    /// topology once the thread and way counts are known.
+    fn materialise(&mut self, threads: usize, total_ways: u32) {
+        let Some(clusters) = self.pending_clusters.take() else { return };
+        assert!(clusters > 0, "need at least one cluster");
+        assert!(clusters <= threads, "more clusters than threads");
+        let sizes = icp_cmp_sim::l2::equal_split(threads as u32, clusters);
+        let mut next = 0usize;
+        self.groups = sizes
+            .iter()
+            .map(|&n| {
+                let g: Vec<usize> = (next..next + n as usize).collect();
+                next += n as usize;
+                g
+            })
+            .collect();
+        self.budgets = icp_cmp_sim::l2::equal_split(total_ways, clusters);
+        self.inner = (0..clusters)
+            .map(|_| {
+                Box::new(crate::CpiProportionalPolicy::new()) as Box<dyn Partitioner + Send>
+            })
+            .collect();
     }
 
     /// Enables dynamic OS-level budget re-balancing.
@@ -106,26 +183,37 @@ impl HierarchicalPolicy {
 
     /// Recomputes budgets per [`BudgetPolicy`].
     fn rebalance(&mut self, report: &IntervalReport, total_ways: u32) {
-        if self.budget_policy != BudgetPolicy::CriticalCpiProportional {
-            return;
-        }
-        // Each application's weight is its critical-path CPI this interval
-        // (idle threads excluded).
-        let weights: Vec<f64> = self
-            .groups
-            .iter()
-            .map(|g| {
-                g.iter()
-                    .map(|&t| report.threads[t].cpi)
-                    .fold(0.0_f64, f64::max)
-            })
-            .collect();
         // Floor: every application keeps one way per thread.
         let floors: Vec<u32> = self.groups.iter().map(|g| g.len() as u32).collect();
         let reserved: u32 = floors.iter().sum();
-        assert!(total_ways >= reserved, "fewer ways than threads");
-        let alloc = proportional_allocation(&weights, total_ways - reserved, 0);
-        self.budgets = alloc.iter().zip(&floors).map(|(a, f)| a + f).collect();
+        match self.budget_policy {
+            BudgetPolicy::Static => {}
+            BudgetPolicy::CriticalCpiProportional => {
+                // Each application's weight is its critical-path CPI this
+                // interval (idle threads excluded).
+                let weights: Vec<f64> = self
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        g.iter()
+                            .map(|&t| report.threads[t].cpi)
+                            .fold(0.0_f64, f64::max)
+                    })
+                    .collect();
+                assert!(total_ways >= reserved, "fewer ways than threads");
+                let alloc = proportional_allocation(&weights, total_ways - reserved, 0);
+                self.budgets = alloc.iter().zip(&floors).map(|(a, f)| a + f).collect();
+            }
+            BudgetPolicy::UmonLookahead => {
+                // Greedy lookahead over the merged cluster curves; keep the
+                // constructed budgets until the first UMON profile lands.
+                if self.cluster_curves.len() == self.groups.len() {
+                    assert!(total_ways >= reserved, "fewer ways than threads");
+                    self.budgets =
+                        lookahead_allocate(&self.cluster_curves, total_ways, &floors);
+                }
+            }
+        }
     }
 
     /// Assembles the global partition from per-application decisions.
@@ -164,10 +252,15 @@ impl HierarchicalPolicy {
 
 impl Partitioner for HierarchicalPolicy {
     fn name(&self) -> &'static str {
-        "hierarchical"
+        if self.budget_policy == BudgetPolicy::UmonLookahead {
+            "hier-lookahead"
+        } else {
+            "hierarchical"
+        }
     }
 
     fn initial(&mut self, threads: usize, total_ways: u32) -> PartitionDecision {
+        self.materialise(threads, total_ways);
         let covered: usize = self.groups.iter().map(|g| g.len()).sum();
         assert_eq!(covered, threads, "groups must cover every thread exactly once");
         assert_eq!(
@@ -184,10 +277,30 @@ impl Partitioner for HierarchicalPolicy {
     }
 
     fn wants_umon(&self) -> bool {
-        self.inner.iter().any(|p| p.wants_umon())
+        self.budget_policy == BudgetPolicy::UmonLookahead
+            || self.inner.iter().any(|p| p.wants_umon())
     }
 
     fn observe_umon(&mut self, umon: &UtilityMonitor) {
+        if self.budget_policy == BudgetPolicy::UmonLookahead && !self.groups.is_empty() {
+            // Merge the member threads' cumulative hit curves into one
+            // aggregate utility curve per cluster.
+            self.cluster_curves = self
+                .groups
+                .iter()
+                .map(|g| {
+                    let mut curve = vec![0u64; umon.ways() + 1];
+                    for &t in g {
+                        let mut acc = 0u64;
+                        for (w, &h) in umon.way_histogram(t).iter().enumerate() {
+                            acc += h;
+                            curve[w + 1] += acc;
+                        }
+                    }
+                    curve
+                })
+                .collect();
+        }
         // The UMON profiles global thread ids; inner policies that want it
         // see the whole monitor (their repartition only reads their own
         // threads' curves is not guaranteed, so this is a conservative
@@ -271,6 +384,67 @@ mod tests {
             vec![40, 10],
             vec![Box::new(ModelBasedPolicy::new()), Box::new(ModelBasedPolicy::new())],
         );
+        let _ = p.initial(4, 64);
+    }
+
+    #[test]
+    fn clustered_lookahead_materialises_on_first_use() {
+        let mut p = HierarchicalPolicy::clustered_lookahead(2);
+        assert_eq!(p.name(), "hier-lookahead");
+        assert!(p.wants_umon());
+        let PartitionDecision::Partition(w) = p.initial(8, 64) else { panic!() };
+        assert_eq!(p.groups(), &[vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+        assert_eq!(p.budgets(), &[32, 32]);
+        assert_eq!(w.iter().sum::<u32>(), 64);
+    }
+
+    #[test]
+    fn lookahead_budgets_follow_cluster_utility() {
+        use icp_cmp_sim::config::CacheConfig;
+
+        let mut p = HierarchicalPolicy::clustered_lookahead(2);
+        let _ = p.initial(4, 16);
+        // 1 set x 16 ways, 4 threads, sample every set. Cluster 0's
+        // threads reuse a working set (utility grows with ways); cluster
+        // 1's threads stream (no reuse, no utility).
+        let cfg = CacheConfig::new(16 * 64, 16, 64);
+        let mut m = UtilityMonitor::new(&cfg, 4, 1);
+        for _ in 0..50 {
+            for i in 0..6u64 {
+                m.observe(0, i * 64);
+                m.observe(1, (100 + i) * 64);
+            }
+        }
+        for i in 0..300u64 {
+            m.observe(2, (1000 + i) * 64);
+            m.observe(3, (10_000 + i) * 64);
+        }
+        p.observe_umon(&m);
+        let r = fake_report(0, &[3.0, 3.0, 3.0, 3.0], &[4, 4, 4, 4]);
+        let PartitionDecision::Partition(w) = p.repartition(&r, 16) else { panic!() };
+        assert_eq!(w.iter().sum::<u32>(), 16);
+        assert!(
+            p.budgets()[0] > p.budgets()[1],
+            "high-utility cluster should win capacity: {:?}",
+            p.budgets()
+        );
+        // Floors hold: the streaming cluster keeps a way per thread.
+        assert!(p.budgets()[1] >= 2);
+    }
+
+    #[test]
+    fn lookahead_without_profile_keeps_constructed_budgets() {
+        let mut p = HierarchicalPolicy::clustered_lookahead(2);
+        let _ = p.initial(4, 16);
+        let r = fake_report(0, &[5.0, 1.0, 1.0, 1.0], &[4, 4, 4, 4]);
+        let _ = p.repartition(&r, 16);
+        assert_eq!(p.budgets(), &[8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters than threads")]
+    fn clustered_lookahead_rejects_too_many_clusters() {
+        let mut p = HierarchicalPolicy::clustered_lookahead(8);
         let _ = p.initial(4, 64);
     }
 

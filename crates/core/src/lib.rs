@@ -26,6 +26,7 @@
 
 pub mod cpi_prop;
 pub mod hierarchical;
+pub mod lookahead;
 pub mod model;
 pub mod model_based;
 pub mod policy;
@@ -36,6 +37,7 @@ pub(crate) mod testutil;
 
 pub use cpi_prop::{estimated_miss_penalty, propagate_cpi, CpiProportionalPolicy};
 pub use hierarchical::{BudgetPolicy, HierarchicalPolicy};
+pub use lookahead::lookahead_allocate;
 pub use model::{ModelKind, ThreadCpiModel};
 pub use model_based::ModelBasedPolicy;
 pub use policy::{proportional_allocation, PartitionDecision, Partitioner};

@@ -1,0 +1,300 @@
+//! The greedy lookahead capacity allocator (Qureshi & Patt, MICRO'06).
+//!
+//! Given per-entity cumulative utility curves (`curves[e][w]` = hits entity
+//! `e` would get with `w` ways), [`lookahead_allocate`] starts every entity
+//! at its floor and repeatedly grants the entity/block-size pair with the
+//! maximum *marginal* utility (extra hits per extra way) until the budget
+//! is spent. Considering multi-way blocks lets it step over utility
+//! plateaus — the property that distinguishes lookahead from plain greedy —
+//! where a hill-climb explores an `O(ways^threads)` state space one move at
+//! a time.
+//!
+//! The textbook formulation rescans every block size for every entity each
+//! round, `O(entities·budget²)` per decision. This implementation gets the
+//! identical allocation in `O(entities·budget)`: the best marginal block of
+//! an entity is always the first segment of the *upper concave envelope* of
+//! its curve, so each entity's envelope is precomputed once and each round
+//! just compares the entities' current segment slopes. Slopes are compared
+//! exactly as integer rationals (cross-multiplication) — no floating point
+//! on this path, and ties break bit-reproducibly.
+//!
+//! The "entities" are deliberately abstract: `icp-baselines`'
+//! `UcpThroughputPolicy` allocates among threads (one curve per thread,
+//! 1-way floors), and [`crate::HierarchicalPolicy`]'s lookahead budget
+//! policy allocates among *clusters* (merged per-cluster curves, one-way-
+//! per-member floors) — LFOC's cluster-then-partition structure.
+
+use icp_hot_path::deterministic;
+
+/// Greedy lookahead allocation of `total_ways` among `curves.len()`
+/// entities, each starting at its floor from `floors`.
+///
+/// Ties are broken deterministically: higher marginal utility first, then
+/// the smaller block, then the lower entity index. The returned quotas sum
+/// to exactly `total_ways`.
+///
+/// Curves must be non-decreasing (they are *cumulative* utility); they may
+/// be shorter than the budget, in which case the last point extends flat
+/// (granting ways past the curve's end adds no utility).
+///
+/// # Panics
+/// Panics if `curves` is empty, the floor count differs from the curve
+/// count, or the floors exceed the budget.
+#[deterministic]
+pub fn lookahead_allocate(curves: &[Vec<u64>], total_ways: u32, floors: &[u32]) -> Vec<u32> {
+    assert!(!curves.is_empty(), "lookahead needs at least one entity");
+    assert_eq!(curves.len(), floors.len(), "one floor per entity");
+    let reserved: u32 = floors.iter().sum();
+    assert!(
+        reserved <= total_ways,
+        "floors ({reserved}) exceed the way budget ({total_ways})"
+    );
+    let n = curves.len();
+    let mut alloc = floors.to_vec();
+    let mut remaining = total_ways - reserved;
+    if remaining == 0 {
+        return alloc;
+    }
+    let value = |e: usize, w: u32| -> u64 {
+        let c = &curves[e];
+        match c.len() {
+            0 => 0,
+            len => c[(w as usize).min(len - 1)],
+        }
+    };
+
+    // Upper concave envelope of each curve over its reachable range
+    // [floor, floor + budget], as (way, value) vertices with non-increasing
+    // segment slopes. Interior points strictly below a chord are dropped;
+    // collinear points are kept, so equal-utility capacity is granted in
+    // the smallest blocks first (the tie rule below).
+    let hulls: Vec<Vec<(u32, u64)>> = (0..n)
+        .map(|e| {
+            let start = alloc[e];
+            let mut hull: Vec<(u32, u64)> = Vec::with_capacity(remaining as usize + 1);
+            hull.push((start, value(e, start)));
+            for w in start + 1..=start + remaining {
+                let v = value(e, w);
+                while hull.len() >= 2 {
+                    let (w1, v1) = hull[hull.len() - 1];
+                    let (w0, v0) = hull[hull.len() - 2];
+                    // Pop the middle vertex when slope(w0→w1) < slope(w1→w).
+                    let lhs = (v1 as i128 - v0 as i128) * (w - w1) as i128;
+                    let rhs = (v as i128 - v1 as i128) * (w1 - w0) as i128;
+                    if lhs < rhs {
+                        hull.pop();
+                    } else {
+                        break;
+                    }
+                }
+                hull.push((w, v));
+            }
+            hull
+        })
+        .collect();
+
+    // Best capped step by direct scan — only needed when an envelope
+    // segment is longer than the remaining budget (end-game) or after a
+    // capped grant desynced an entity from its envelope.
+    let capped_best = |e: usize, cur: u32, cap: u32| -> (u64, u32) {
+        let base = value(e, cur);
+        let mut best_gain = value(e, cur + 1).saturating_sub(base);
+        let mut best_block = 1u32;
+        for b in 2..=cap {
+            let g = value(e, cur + b).saturating_sub(base);
+            // g/b > best_gain/best_block, exactly; ties keep the smaller b.
+            if g as u128 * best_block as u128 > best_gain as u128 * b as u128 {
+                best_gain = g;
+                best_block = b;
+            }
+        }
+        (best_gain, best_block)
+    };
+
+    let mut pos: Vec<u32> = alloc.clone();
+    let mut hull_idx: Vec<usize> = vec![1; n];
+    let mut on_hull = vec![true; n];
+    while remaining > 0 {
+        // (gain, block, entity), compared as exact rationals gain/block.
+        let mut best: Option<(u64, u32, usize)> = None;
+        for e in 0..n {
+            let (gain, block) = if on_hull[e] && hull_idx[e] < hulls[e].len() {
+                let (w_next, v_next) = hulls[e][hull_idx[e]];
+                let seg = w_next - pos[e];
+                if seg <= remaining {
+                    (v_next.saturating_sub(hulls[e][hull_idx[e] - 1].1), seg)
+                } else {
+                    capped_best(e, pos[e], remaining)
+                }
+            } else {
+                capped_best(e, pos[e], remaining)
+            };
+            let better = match best {
+                None => true,
+                Some((bg, bb, _)) => {
+                    let lhs = gain as u128 * bb as u128;
+                    let rhs = bg as u128 * block as u128;
+                    // Entities are scanned in index order, so replacing
+                    // only on strict improvement keeps the lowest index.
+                    lhs > rhs || (lhs == rhs && block < bb)
+                }
+            };
+            if better {
+                best = Some((gain, block, e));
+            }
+        }
+        let Some((_, block, e)) = best else { break };
+        if on_hull[e]
+            && hull_idx[e] < hulls[e].len()
+            && hulls[e][hull_idx[e]].0 == pos[e] + block
+        {
+            hull_idx[e] += 1;
+        } else {
+            // A capped grant stopped mid-segment: this entity walks by
+            // direct scan for the (short) remainder of the allocation.
+            on_hull[e] = false;
+        }
+        pos[e] += block;
+        alloc[e] += block;
+        remaining -= block;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The textbook O(entities·budget²) formulation, kept as the parity
+    /// oracle: rescan every block size for every entity each round.
+    fn naive_lookahead(curves: &[Vec<u64>], total_ways: u32, floors: &[u32]) -> Vec<u32> {
+        let mut alloc = floors.to_vec();
+        let mut remaining = total_ways - floors.iter().sum::<u32>();
+        let hits = |e: usize, w: u32| -> u64 {
+            let c = &curves[e];
+            match c.len() {
+                0 => 0,
+                len => c[(w as usize).min(len - 1)],
+            }
+        };
+        while remaining > 0 {
+            let mut best: Option<(u64, u32, usize)> = None;
+            for (e, &cur) in alloc.iter().enumerate() {
+                for block in 1..=remaining {
+                    let gain = hits(e, cur + block).saturating_sub(hits(e, cur));
+                    let better = match best {
+                        None => true,
+                        Some((bg, bb, _)) => {
+                            let lhs = gain as u128 * bb as u128;
+                            let rhs = bg as u128 * block as u128;
+                            lhs > rhs || (lhs == rhs && block < bb)
+                        }
+                    };
+                    if better {
+                        best = Some((gain, block, e));
+                    }
+                }
+            }
+            let Some((_, block, e)) = best else { break };
+            alloc[e] += block;
+            remaining -= block;
+        }
+        alloc
+    }
+
+    #[test]
+    fn allocates_exactly_the_budget() {
+        let curves = vec![vec![0, 10, 18, 24, 28], vec![0, 2, 3, 4, 5]];
+        let alloc = lookahead_allocate(&curves, 6, &[1, 1]);
+        assert_eq!(alloc.iter().sum::<u32>(), 6);
+        assert!(alloc.iter().zip([1u32, 1]).all(|(&a, f)| a >= f));
+        // The steep curve wins the contested ways.
+        assert!(alloc[0] > alloc[1], "{alloc:?}");
+    }
+
+    #[test]
+    fn lookahead_steps_over_plateaus() {
+        // Entity 0: no gain at 1 extra way, big gain at a 3-way block —
+        // plain greedy (block = 1 only) would starve it.
+        let curves = vec![vec![0, 0, 0, 0, 90, 90, 90], vec![0, 4, 8, 12, 16, 20, 24]];
+        let alloc = lookahead_allocate(&curves, 6, &[1, 1]);
+        // Marginal utility of the 3-way block (90/3 = 30) beats entity 1's
+        // per-way 4, so entity 0 reaches the cliff at 4 ways.
+        assert!(alloc[0] >= 4, "{alloc:?}");
+        assert_eq!(alloc.iter().sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn respects_heterogeneous_floors() {
+        let curves = vec![vec![0, 100, 200], vec![0, 1, 2], vec![0, 1, 2]];
+        let alloc = lookahead_allocate(&curves, 12, &[1, 4, 2]);
+        assert!(alloc[1] >= 4 && alloc[2] >= 2, "{alloc:?}");
+        assert_eq!(alloc.iter().sum::<u32>(), 12);
+    }
+
+    #[test]
+    fn flat_curves_tie_break_to_low_index_small_blocks() {
+        let curves = vec![vec![0, 0], vec![0, 0]];
+        let alloc = lookahead_allocate(&curves, 5, &[1, 1]);
+        // All utilities are zero: 1-way blocks to entity 0 every round.
+        assert_eq!(alloc, vec![4, 1]);
+    }
+
+    #[test]
+    fn short_curves_extend_flat() {
+        let curves = vec![vec![0, 7], vec![0, 6]];
+        let alloc = lookahead_allocate(&curves, 10, &[1, 1]);
+        assert_eq!(alloc.iter().sum::<u32>(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the way budget")]
+    fn rejects_overcommitted_floors() {
+        lookahead_allocate(&[vec![0, 1]], 2, &[3]);
+    }
+
+    #[test]
+    fn envelope_walk_matches_naive_rescan() {
+        // Deterministic LCG-driven non-decreasing curves across entity
+        // counts, budgets and shapes (plateaus, cliffs, flat tails): the
+        // envelope walk must reproduce the textbook rescans bit for bit.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let n = 1 + (rng() % 6) as usize;
+            let ways = 4 + (rng() % 61) as u32;
+            let curves: Vec<Vec<u64>> = (0..n)
+                .map(|_| {
+                    let len = (rng() % (ways as u64 + 2)) as usize + 1;
+                    let mut acc = 0u64;
+                    (0..len)
+                        .map(|_| {
+                            // Frequent zero steps produce plateaus and ties.
+                            let step = match rng() % 4 {
+                                0 => 0,
+                                1 => rng() % 8,
+                                2 => rng() % 100,
+                                _ => rng() % 10_000,
+                            };
+                            acc += step;
+                            acc
+                        })
+                        .collect()
+                })
+                .collect();
+            let floors: Vec<u32> = (0..n).map(|_| 1 + (rng() % 2) as u32).collect();
+            if floors.iter().sum::<u32>() > ways {
+                continue;
+            }
+            let fast = lookahead_allocate(&curves, ways, &floors);
+            let slow = naive_lookahead(&curves, ways, &floors);
+            assert_eq!(fast, slow, "trial {trial}: curves {curves:?} ways {ways} floors {floors:?}");
+            assert_eq!(fast.iter().sum::<u32>(), ways);
+        }
+    }
+}

@@ -9,14 +9,19 @@
 //! cargo run --release --bin bench_hotpath -- --only sharded --events 2000 --out smoke.json
 //! ```
 //!
-//! A normal run re-measures the eleven scenarios and rewrites the `current`
-//! section while carrying the `baseline` section over from the existing
-//! file, so the pre-optimisation numbers stay recorded alongside every
-//! later measurement. `--set-baseline` (re)captures the baseline section
-//! instead — run it once before a performance change, then compare with a
-//! plain run afterwards.
+//! A normal run re-measures the fourteen scenarios and rewrites the
+//! `current` section while carrying the `baseline` section over from the
+//! existing file, so the pre-optimisation numbers stay recorded alongside
+//! every later measurement. `--set-baseline` (re)captures the baseline
+//! section instead — run it once before a performance change, then compare
+//! with a plain run afterwards.
 //!
-//! Schema `icp-bench-hotpath/v5` adds the end-to-end sweep scenarios
+//! Schema `icp-bench-hotpath/v6` adds the sliced-LLC machine scenarios
+//! (`sliced_16t`, `sliced_16t_serial`, `sliced_64t`): 16 threads on a
+//! 4-slice and 64 threads on an 8-slice address-hashed LLC, slice-parallel
+//! vs the in-order serial reference (digest bit-identical; the throughput
+//! ratio is the tracked slice-scaling speedup). v5 added the end-to-end
+//! sweep scenarios
 //! (`sweep_axis`, `sweep_axis_warm`): one interval-axis sensitivity sweep
 //! against a cold vs pre-populated result cache, with counters and digest
 //! taken from the cache totals (the cold→warm `host_secs` drop is the
@@ -127,7 +132,7 @@ fn main() {
     };
 
     let mut pairs = vec![
-        ("schema".to_string(), Json::str("icp-bench-hotpath/v5")),
+        ("schema".to_string(), Json::str("icp-bench-hotpath/v6")),
         ("events_per_thread".to_string(), Json::u64(events as u64)),
     ];
     if let Some(b) = baseline {

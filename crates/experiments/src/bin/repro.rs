@@ -4,6 +4,8 @@
 //! repro all                    # every figure, printed and saved to results/
 //! repro fig3 fig19 ...         # selected figures
 //! repro scorecard              # paper-band checks (PASS/OUT-OF-BAND)
+//! repro eight-plus             # 8+ core sliced-LLC tier (lookahead vs
+//!                              # hill-climb speedup, scaling gains)
 //! repro calibrate              # raw calibration diagnostics
 //! repro dump <bench> <scheme> [cores]   # per-interval execution dump
 //! repro sweeps [--fast|--exact] [--axis NAME] [--cache DIR] [--assert-warm]
@@ -88,7 +90,7 @@ fn main() {
 
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|scorecard|calibrate|fig2|fig3|...|fig22|dump <bench> <scheme> [cores]]\n\
+            "usage: repro [all|scorecard|eight-plus|calibrate|fig2|fig3|...|fig22|dump <bench> <scheme> [cores]]\n\
              options: --seed N  --cores N  --scale test|figure|paper"
         );
         return;
@@ -299,6 +301,21 @@ fn main() {
         println!("{}", table.render());
         let _ = fs::create_dir_all("results");
         let _ = fs::write("results/scorecard.txt", table.render());
+        let failed = checks.iter().filter(|c| !c.pass()).count();
+        if failed > 0 {
+            eprintln!("{failed} claim(s) out of band");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "eight-plus") {
+        eprintln!("[repro] running the 8+ core sliced-LLC tier (16t x 4 slices, 8t x 2 slices) ...");
+        let checks = scorecard::eight_plus_core_tier(&cfg);
+        let table = scorecard::scorecard_table(&checks);
+        println!("{}", table.render());
+        let _ = fs::create_dir_all("results");
+        let _ = fs::write("results/eight_plus_core.txt", table.render());
         let failed = checks.iter().filter(|c| !c.pass()).count();
         if failed > 0 {
             eprintln!("{failed} claim(s) out of band");

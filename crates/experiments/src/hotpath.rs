@@ -36,6 +36,17 @@
 //! * `sharded_packed_4t` — the sharded machine fed from record-once packed
 //!   traces instead of inline generation; digest bit-identical to
 //!   `sharded_4t` (the demux sees the same events either way).
+//! * `sliced_16t` — sixteen cores on a 4-slice address-hashed LLC
+//!   ([`Llc`], one worker thread per slice): the 8+-core machine model the
+//!   `eight_plus_core` scorecard tier runs on. Slicing at N > 1 is a
+//!   machine-model change (per-slice geometry), so its digest is its own —
+//!   pinned deterministic, and bit-identical to `sliced_16t_serial`.
+//! * `sliced_16t_serial` — the same sliced machine with every slice
+//!   interval on the calling thread, in slice order: the serial reference
+//!   the slice-parallel digest is pinned against, and the denominator of
+//!   the tracked slice-scaling speedup.
+//! * `sliced_64t` — sixty-four cores on an 8-slice LLC: the top of the
+//!   configured topology range, showing slice scaling holds at width.
 //! * `sweep_axis` — one full interval-axis sensitivity sweep (test scale)
 //!   against a cold [`crate::result_cache::ResultCache`]: the end-to-end
 //!   sweep path the experiment campaigns spend their time in, baseline
@@ -55,8 +66,8 @@ use std::time::Instant;
 
 use icp_cmp_sim::stream::{AccessStream, ReplayStream};
 use icp_cmp_sim::{
-    perf, CacheConfig, PackedBlock, PackedTrace, PipelinedStream, ShardedSimulator, Simulator,
-    SystemConfig, TakeStream, ThreadEvent,
+    perf, CacheConfig, Llc, LlcConfig, PackedBlock, PackedTrace, PipelinedStream,
+    ShardedSimulator, Simulator, SystemConfig, TakeStream, ThreadEvent,
 };
 use icp_workloads::{BenchmarkSpec, SyntheticStream, WorkloadBuilder, WorkloadScale};
 
@@ -67,12 +78,13 @@ use crate::json::Json;
 pub struct HotpathResult {
     /// Scenario name (`single_access`, `l2_miss_prefetch`,
     /// `interleaved_4t`, `gen_only`, `gen_packed`, `pipeline_4t`,
-    /// `pipeline_packed`, `sharded_4t`, `sharded_packed_4t`, `sweep_axis`,
-    /// `sweep_axis_warm`).
+    /// `pipeline_packed`, `sharded_4t`, `sharded_packed_4t`, `sliced_16t`,
+    /// `sliced_16t_serial`, `sliced_64t`, `sweep_axis`, `sweep_axis_warm`).
     pub name: &'static str,
-    /// Simulator shards (set slices / worker threads): 1 for the serial
-    /// simulator, the pinned slice count for sharded scenarios, 0 for
-    /// generation-only scenarios that never build a simulator.
+    /// Simulator shards (set stripes or LLC slices / worker threads): 1
+    /// for the serial simulator, the pinned shard or slice count for
+    /// sharded and sliced scenarios, 0 for generation-only scenarios that
+    /// never build a simulator.
     pub shards: u32,
     /// Demand memory accesses simulated (L1 hits + misses over all threads).
     pub accesses: u64,
@@ -429,6 +441,86 @@ pub fn sharded_packed_4t(events_per_thread: usize) -> HotpathResult {
     sharded_packed_4t_with("sharded_packed_4t", events_per_thread, SHARDED_4T_SHARDS)
 }
 
+/// Master seed of the sliced-LLC scenarios.
+const SLICED_SEED: u64 = 0x511C_ED16;
+
+/// A many-thread mix cycling the four [`hotpath_4t_spec`] archetypes
+/// (streaming, cache-friendly, two mid-size) across `threads` threads with
+/// the same 10 % sharing — the wide-chip workload of the sliced scenarios.
+fn sliced_spec(threads: usize) -> BenchmarkSpec {
+    let mut b = WorkloadBuilder::new("hotpath-sliced")
+        .sections(1, 1_000_000_000_000)
+        .shared_region(0.1, 0.8);
+    for i in 0..threads {
+        b = match i % 4 {
+            0 => b.thread(|t| t.working_set(2.0).theta(0.5).memory_intensity(0.3).mlp(6.0)),
+            1 => b.thread(|t| t.working_set(0.05).theta(1.0).memory_intensity(0.25)),
+            2 => b.thread(|t| t.working_set(0.5).theta(0.8).memory_intensity(0.2)),
+            _ => b.thread(|t| t.working_set(0.3).theta(0.7).memory_intensity(0.15).mlp(2.0)),
+        };
+    }
+    b.build()
+}
+
+/// The sliced-LLC machine over [`sliced_spec`] at a given topology, under
+/// an equal way partition (the demux drains the generators before the
+/// clock starts, like the other simulation scenarios).
+fn sliced_with(
+    name: &'static str,
+    events_per_thread: usize,
+    cores: usize,
+    slices: u32,
+    parallel: bool,
+) -> HotpathResult {
+    let mut cfg = base_config(cores);
+    cfg.l2_banks = 8;
+    cfg.llc = LlcConfig::sliced(slices);
+    let spec = sliced_spec(cores);
+    let streams: Vec<_> = spec
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(t, ts)| {
+            let synth =
+                SyntheticStream::new(&spec, ts, t, &cfg, WorkloadScale::Figure, SLICED_SEED);
+            TakeStream::new(synth, events_per_thread)
+        })
+        .collect();
+    let mut sim = if parallel {
+        Llc::new(cfg, streams)
+    } else {
+        Llc::serial_reference(cfg, streams)
+    };
+    sim.set_partition(&icp_cmp_sim::l2::equal_split(cfg.l2.ways, cfg.cores));
+    run_scenario(name, slices, sim)
+}
+
+/// The slice-parallel 16-thread path: 16 cores on a 4-slice LLC, each
+/// slice's interval on its own worker thread — the machine the
+/// `eight_plus_core` scorecard tier measures. The tracked number for slice
+/// scaling past the paper's 4-core chip. On a host without a second core
+/// `Llc::new` degrades to the bit-identical in-order engine (same digest,
+/// no worker threads), so this scenario never pays for time-sliced
+/// workers.
+pub fn sliced_16t(events_per_thread: usize) -> HotpathResult {
+    sliced_with("sliced_16t", events_per_thread, 16, 4, true)
+}
+
+/// The serial sliced reference: identical machine and workload to
+/// [`sliced_16t`] with all slices advanced on the calling thread. Digest
+/// bit-identical to `sliced_16t`; the throughput ratio between the two is
+/// the tracked slice-parallel speedup on this host.
+pub fn sliced_16t_serial(events_per_thread: usize) -> HotpathResult {
+    sliced_with("sliced_16t_serial", events_per_thread, 16, 4, false)
+}
+
+/// The widest configured topology: 64 cores on an 8-slice LLC,
+/// slice-parallel. Tracks that slice scaling holds at the top of the
+/// supported range (64 threads × 8 slices).
+pub fn sliced_64t(events_per_thread: usize) -> HotpathResult {
+    sliced_with("sliced_64t", events_per_thread, 64, 8, true)
+}
+
 /// The sweep-path scenario: one interval-axis sensitivity sweep
 /// ([`crate::sweeps::sweep_interval`]) at experiment test scale against a
 /// fresh result cache (`warm = false`) or against one pre-populated by an
@@ -496,6 +588,9 @@ pub const SCENARIOS: &[Scenario] = &[
     ("pipeline_packed", pipeline_packed),
     ("sharded_4t", sharded_4t),
     ("sharded_packed_4t", sharded_packed_4t),
+    ("sliced_16t", sliced_16t),
+    ("sliced_16t_serial", sliced_16t_serial),
+    ("sliced_64t", sliced_64t),
     ("sweep_axis", sweep_axis),
     ("sweep_axis_warm", sweep_axis_warm),
 ];
@@ -510,7 +605,7 @@ pub fn run_matching(events_per_thread: usize, filter: Option<&str>) -> Vec<Hotpa
         .collect()
 }
 
-/// Runs all eleven scenarios at the given scale.
+/// Runs all fourteen scenarios at the given scale.
 pub fn run_all(events_per_thread: usize) -> Vec<HotpathResult> {
     run_matching(events_per_thread, None)
 }
@@ -618,6 +713,32 @@ mod tests {
         let names: Vec<_> = sharded.iter().map(|r| r.name).collect();
         assert_eq!(names, ["sharded_4t", "sharded_packed_4t"]);
         assert!(run_matching(1_000, Some("no-such-scenario")).is_empty());
+        let sliced = run_matching(500, Some("sliced"));
+        let names: Vec<_> = sliced.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["sliced_16t", "sliced_16t_serial", "sliced_64t"]);
+    }
+
+    #[test]
+    fn sliced_parallel_digest_matches_serial_reference() {
+        // The bitwise promise of the sliced scenarios: per-slice worker
+        // threads change nothing observable vs the in-order serial
+        // reference, and repeats agree.
+        let par = sliced_16t(1_000);
+        let ser = sliced_16t_serial(1_000);
+        assert_eq!(par.digest, ser.digest);
+        assert_eq!(par.sim_cycles, ser.sim_cycles);
+        assert_eq!(par.accesses, ser.accesses);
+        assert_eq!(par.instructions, ser.instructions);
+        assert_eq!(par.shards, 4);
+        let again = sliced_16t(1_000);
+        assert_eq!(again.digest, par.digest);
+    }
+
+    #[test]
+    fn sliced_64t_runs_the_full_width() {
+        let r = sliced_64t(200);
+        assert_eq!(r.shards, 8);
+        assert!(r.accesses > 0 && r.sim_cycles > 0);
     }
 
     #[test]

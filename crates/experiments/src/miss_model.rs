@@ -287,6 +287,31 @@ fn equal_split(total: u32, n: usize) -> Vec<u32> {
     (0..n).map(|t| base + u32::from(t < rem)).collect()
 }
 
+/// The *cluster-wise* equal split: `total` ways divided equally among
+/// `clusters` contiguous thread groups first, then equally within each
+/// group — the static baseline of the hierarchical (cluster-then-
+/// partition) schemes, matching `icp_core::HierarchicalPolicy`'s
+/// materialisation convention.
+///
+/// This is the per-cluster re-anchor point for sliced configs: when way
+/// counts don't divide evenly it differs from the flat equal split (e.g.
+/// 64 ways, 6 threads, 2 clusters: `[11, 11, 10, 11, 11, 10]` vs the flat
+/// `[11, 11, 11, 11, 10, 10]`), and a [`BenchPredictor`] profiled at the
+/// flat split would carry that anchor error into every sliced-config
+/// prediction.
+#[deterministic]
+pub fn clustered_equal_split(total: u32, threads: usize, clusters: usize) -> Vec<u32> {
+    if clusters <= 1 || !threads.is_multiple_of(clusters) {
+        return equal_split(total, threads);
+    }
+    let group = threads / clusters;
+    let mut out = Vec::with_capacity(threads);
+    for budget in equal_split(total, clusters) {
+        out.extend(equal_split(budget, group));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,5 +422,43 @@ mod tests {
         assert_eq!(equal_split(10, 4), vec![3, 3, 2, 2]);
         assert_eq!(equal_split(3, 4), vec![1, 1, 1, 0]);
         assert_eq!(equal_split(5, 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn clustered_split_groups_then_divides() {
+        // Divisible case: identical to the flat split.
+        assert_eq!(clustered_equal_split(64, 16, 4), vec![4; 16]);
+        // Remainders land per cluster, not globally.
+        assert_eq!(clustered_equal_split(64, 6, 2), vec![11, 11, 10, 11, 11, 10]);
+        assert_eq!(equal_split(64, 6), vec![11, 11, 11, 11, 10, 10]);
+        // Degenerate cluster counts fall back to the flat split.
+        assert_eq!(clustered_equal_split(10, 4, 1), equal_split(10, 4));
+        assert_eq!(clustered_equal_split(10, 5, 2), equal_split(10, 5));
+    }
+
+    #[test]
+    fn clustered_anchor_reproduces_sliced_simulation() {
+        // The per-cluster re-anchor property: profile a *sliced* config at
+        // the cluster's equal split and the predictor must reproduce that
+        // run exactly at its anchor — the invariant the sweep fast path
+        // relies on for sliced axis points.
+        let cfg = ExperimentConfig::test().with_topology(6, 2);
+        let anchor = clustered_equal_split(cfg.system.l2.ways, 6, 2);
+        let out = cfg.run_profiled(&suite::swim(), &Scheme::StaticCustom(anchor.clone()));
+        let p = BenchPredictor::from_outcome(&out, &cfg.system)
+            .expect("sliced profiled run must yield a predictor");
+        for (t, &w) in anchor.iter().enumerate() {
+            let m = p.predict_thread_misses(t, w as f64);
+            assert!(
+                (m - out.thread_totals[t].l2_misses as f64).abs() < 1e-6,
+                "thread {t}: {m} vs {}",
+                out.thread_totals[t].l2_misses
+            );
+        }
+        let alloc: Vec<f64> = anchor.iter().map(|&w| w as f64).collect();
+        assert!(
+            (p.predict_wall(&alloc) - out.wall_cycles as f64).abs()
+                < out.wall_cycles as f64 * 1e-9
+        );
     }
 }

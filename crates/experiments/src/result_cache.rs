@@ -511,6 +511,13 @@ mod tests {
         repl.replacement = icp_cmp_sim::ReplacementKind::TreePlru;
         push(&repl, &Scheme::ModelBased, false); // replacement
 
+        let mut sliced = base_cfg.clone();
+        sliced.system.llc = icp_cmp_sim::LlcConfig::sliced(4);
+        push(&sliced, &Scheme::ModelBased, false); // LLC slice count
+
+        push(&base_cfg, &Scheme::HierarchicalLookahead(2), false); // cluster topology
+        push(&base_cfg, &Scheme::HierarchicalLookahead(4), false); // cluster count payload
+
         for (i, a) in keys.iter().enumerate() {
             for (j, b) in keys.iter().enumerate().skip(i + 1) {
                 assert_ne!(a, b, "keys {i} and {j} alias");

@@ -5,9 +5,12 @@ use icp_baselines::{
     FairnessOrientedPolicy, ModelThroughputPolicy, SharedCachePolicy, StaticEqualPolicy,
     StaticPolicy, UcpThroughputPolicy,
 };
-use icp_cmp_sim::{Simulator, SystemConfig};
+use icp_cmp_sim::{Llc, Machine, Simulator, SystemConfig};
 use icp_core::policy::Partitioner;
-use icp_core::{CpiProportionalPolicy, ExecutionOutcome, IntraAppRuntime, ModelBasedPolicy};
+use icp_core::{
+    CpiProportionalPolicy, ExecutionOutcome, HierarchicalPolicy, IntraAppRuntime,
+    ModelBasedPolicy,
+};
 use icp_workloads::{BenchmarkSpec, WorkloadScale};
 
 /// The partitioning schemes the experiments compare.
@@ -42,6 +45,12 @@ pub enum Scheme {
     SetPartitionDynamic,
     /// A fixed custom partition (sensitivity sweeps).
     StaticCustom(Vec<u32>),
+    /// Hierarchical lookahead (LFOC-style cluster-then-partition): the
+    /// given number of thread clusters, inter-cluster capacity by greedy
+    /// lookahead over merged per-cluster UMON curves, the paper's
+    /// CPI-proportional critical-path policy within each cluster — the
+    /// scaling path for 8+ core sliced-LLC configs.
+    HierarchicalLookahead(usize),
 }
 
 impl Scheme {
@@ -62,6 +71,9 @@ impl Scheme {
                 icp_baselines::SetPartitionAdapter::new(ModelBasedPolicy::new()),
             ),
             Scheme::StaticCustom(ways) => Box::new(StaticPolicy::new(ways.clone())),
+            Scheme::HierarchicalLookahead(clusters) => {
+                Box::new(HierarchicalPolicy::clustered_lookahead(*clusters))
+            }
         }
     }
 
@@ -80,6 +92,7 @@ impl Scheme {
             Scheme::Fairness => "fairness",
             Scheme::SetPartitionDynamic => "set-partition",
             Scheme::StaticCustom(_) => "static-custom",
+            Scheme::HierarchicalLookahead(_) => "hier-lookahead",
         }
     }
 }
@@ -159,6 +172,16 @@ impl ExperimentConfig {
         self
     }
 
+    /// Re-targets the experiment to `cores` cores over an LLC of `slices`
+    /// address-hashed slices (1 = the paper's monolithic L2). The shared
+    /// entry point for the eight-core figure and the `eight_plus_core`
+    /// scorecard tier, so both drive the same machine-model code path.
+    pub fn with_topology(mut self, cores: usize, slices: u32) -> Self {
+        self.system.cores = cores;
+        self.system.llc = icp_cmp_sim::LlcConfig::sliced(slices);
+        self
+    }
+
     /// Attaches a trace cache: workloads are generated once and replayed
     /// from packed traces for every subsequent run with the same inputs.
     pub fn with_trace_cache(
@@ -213,12 +236,23 @@ impl ExperimentConfig {
 
     /// One full simulation of `spec` (already normalised) under `scheme`,
     /// with a profiling utility monitor attached when `profile` is set.
+    /// Monolithic configs run the serial [`Simulator`]; sliced configs
+    /// (`system.llc.slices > 1`) run the slice-parallel [`Llc`] machine —
+    /// same runtime loop either way, via the [`Machine`] trait.
     fn simulate(&self, spec: &BenchmarkSpec, scheme: &Scheme, profile: bool) -> ExecutionOutcome {
         let streams = match &self.trace_cache {
             Some(cache) => cache.replay_streams(spec, &self.system, self.scale, self.seed),
             None => spec.build_streams(&self.system, self.scale, self.seed),
         };
-        let mut sim = Simulator::new(self.system, streams);
+        if self.system.llc.slices > 1 {
+            self.drive(&mut Llc::new(self.system, streams), scheme, profile)
+        } else {
+            self.drive(&mut Simulator::new(self.system, streams), scheme, profile)
+        }
+    }
+
+    /// Configures a machine and executes `scheme`'s runtime loop on it.
+    fn drive<M: Machine>(&self, sim: &mut M, scheme: &Scheme, profile: bool) -> ExecutionOutcome {
         sim.set_replacement(self.replacement);
         sim.set_enforcement(self.enforcement);
         if profile {
@@ -228,7 +262,7 @@ impl ExperimentConfig {
             sim.enable_umon(1);
         }
         let mut runtime = IntraAppRuntime::new(scheme.policy(), &self.system);
-        runtime.execute(&mut sim)
+        runtime.execute(sim)
     }
 
     fn run_inner(&self, bench: &BenchmarkSpec, scheme: &Scheme, profile: bool) -> ExecutionOutcome {
@@ -315,13 +349,17 @@ mod tests {
             Scheme::Fairness,
             Scheme::SetPartitionDynamic,
             Scheme::StaticCustom(vec![16; 4]),
+            Scheme::HierarchicalLookahead(2),
         ];
         for s in schemes {
             let p = s.policy();
             assert!(!p.name().is_empty(), "{s:?}");
             assert!(!s.label().is_empty(), "{s:?}");
-            // Only the UCP baseline needs a utility monitor.
-            assert_eq!(p.wants_umon(), s == Scheme::UcpThroughput, "{s:?}");
+            // Only the UCP baseline and the hierarchical lookahead scheme
+            // need a utility monitor.
+            let umon_schemes = s == Scheme::UcpThroughput
+                || matches!(s, Scheme::HierarchicalLookahead(_));
+            assert_eq!(p.wants_umon(), umon_schemes, "{s:?}");
         }
     }
 
@@ -340,5 +378,26 @@ mod tests {
         let cfg = ExperimentConfig::test().with_cores(8);
         let out = cfg.run(&suite::mg(), &Scheme::StaticEqual);
         assert_eq!(out.thread_totals.len(), 8);
+    }
+
+    #[test]
+    fn sliced_topology_routes_through_llc_machine() {
+        // One slice through with_topology must equal the monolithic path
+        // bit for bit (the N = 1 degenerate case runs the serial engine).
+        let mono = ExperimentConfig::test().with_cores(8);
+        let one = ExperimentConfig::test().with_topology(8, 1);
+        let a = mono.run(&suite::mg(), &Scheme::ModelBased);
+        let b = one.run(&suite::mg(), &Scheme::ModelBased);
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        // A genuinely sliced config runs and reports per-thread totals.
+        let sliced = ExperimentConfig::test().with_topology(8, 4);
+        let out = sliced.run(&suite::mg(), &Scheme::HierarchicalLookahead(2));
+        assert_eq!(out.thread_totals.len(), 8);
+        assert!(out.wall_cycles > 0);
+        assert_eq!(out.scheme, "hier-lookahead");
+        // Sliced runs are reproducible (slice-parallel merge is
+        // deterministic).
+        let again = sliced.run(&suite::mg(), &Scheme::HierarchicalLookahead(2));
+        assert_eq!(out.wall_cycles, again.wall_cycles);
     }
 }

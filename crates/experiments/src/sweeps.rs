@@ -72,8 +72,29 @@ fn measure_exact(
     )
 }
 
+/// The static scheme the fast path profiles at: the flat equal split on
+/// monolithic configs, the *cluster-wise* equal split on sliced ones
+/// (one cluster per slice). Anchoring the predictor at the allocation the
+/// hierarchical schemes actually start from keeps sliced axis points
+/// inside the prediction-error gate — with uneven way counts the flat and
+/// cluster-wise splits differ, and the ratio anchoring would otherwise
+/// carry that offset into every sliced prediction.
+fn profile_anchor(point: &ExperimentConfig) -> Scheme {
+    let slices = point.system.llc.slices as usize;
+    if slices > 1 {
+        Scheme::StaticCustom(crate::miss_model::clustered_equal_split(
+            point.system.l2.ways,
+            point.system.cores,
+            slices,
+        ))
+    } else {
+        Scheme::StaticEqual
+    }
+}
+
 /// Fast-path improvements for one probe: predict from one profiled
-/// static-equal run, falling back to exact simulation for near-zero
+/// static-equal run (re-anchored per cluster on sliced configs, see
+/// [`profile_anchor`]), falling back to exact simulation for near-zero
 /// predictions (sign must be simulation-confirmed) or an unusable profile.
 fn measure_fast(
     point: &ExperimentConfig,
@@ -81,7 +102,7 @@ fn measure_fast(
     bench: &BenchmarkSpec,
     margin: f64,
 ) -> (f64, f64) {
-    let profile = baseline.run_profiled(bench, &Scheme::StaticEqual);
+    let profile = baseline.run_profiled(bench, &profile_anchor(baseline));
     match BenchPredictor::from_outcome(&profile, &point.system) {
         Some(p) => {
             let (s, e) = p.improvements();
@@ -309,6 +330,27 @@ mod tests {
                     .collect::<Vec<_>>()
             })
             .collect()
+    }
+
+    #[test]
+    fn fast_mode_anchors_sliced_configs_at_the_cluster_split() {
+        // Monolithic configs keep the bit-compatible StaticEqual anchor;
+        // sliced configs profile at the cluster-wise equal split, and the
+        // profile still yields a usable predictor (no silent fallback to
+        // exact simulation on every sliced axis point).
+        let mono = ExperimentConfig::test();
+        assert_eq!(profile_anchor(&mono), Scheme::StaticEqual);
+        let sliced = ExperimentConfig::test().with_topology(6, 2);
+        let anchor = profile_anchor(&sliced);
+        assert_eq!(
+            anchor,
+            Scheme::StaticCustom(vec![11, 11, 10, 11, 11, 10]),
+            "cluster-wise split of 64 ways over 6 threads in 2 clusters"
+        );
+        let profile = sliced.run_profiled(&suite::swim(), &anchor);
+        assert!(BenchPredictor::from_outcome(&profile, &sliced.system).is_some());
+        let (s, e) = measure_fast(&sliced, &sliced, &suite::swim(), 0.0);
+        assert!(s.is_finite() && e.is_finite());
     }
 
     #[test]

@@ -53,11 +53,15 @@ impl TraceCache {
     /// The content address of one workload materialisation.
     ///
     /// `Debug` for `f64` prints the shortest round-trip representation, so
-    /// distinct parameter values always yield distinct keys.
+    /// distinct parameter values always yield distinct keys. The LLC slice
+    /// count participates even though generation itself is slice-blind:
+    /// keying the topology keeps cached traces unambiguous about the
+    /// machine they were recorded for, at the cost of one extra generation
+    /// per topology (sliced scenarios are rare next to figure sweeps).
     fn key(spec: &BenchmarkSpec, cfg: &SystemConfig, scale: WorkloadScale, seed: u64) -> String {
         format!(
-            "{spec:?}|l2={}x{}|scale={scale:?}|seed={seed:#x}",
-            cfg.l2.size_bytes, cfg.l2.line_bytes
+            "{spec:?}|l2={}x{}|slices={}|scale={scale:?}|seed={seed:#x}",
+            cfg.l2.size_bytes, cfg.l2.line_bytes, cfg.llc.slices
         )
     }
 
@@ -195,8 +199,11 @@ mod tests {
         let mut big = cfg.system;
         big.l2.size_bytes *= 2; // geometry differs
         cache.get_or_pack(&b, &big, cfg.scale, 1);
+        let mut sliced = cfg.system;
+        sliced.llc = icp_cmp_sim::LlcConfig::sliced(4); // topology differs
+        cache.get_or_pack(&b, &sliced, cfg.scale, 1);
         cache.get_or_pack(&b, &cfg.system, cfg.scale, 1); // repeat: hit
-        assert_eq!(cache.generations(), 3);
+        assert_eq!(cache.generations(), 4);
         assert_eq!(cache.hits(), 1);
     }
 }

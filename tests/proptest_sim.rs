@@ -11,6 +11,7 @@ fn cfg(interval: u64) -> SystemConfig {
         cores: 2,
         l1: CacheConfig::new(2 * 64 * 2, 2, 64),
         l2: CacheConfig::new(4 * 64 * 4, 4, 64),
+        llc: Default::default(),
         latency: LatencyConfig { l1_hit: 1, l2_hit: 10, memory: 100 },
         interval_instructions: interval,
         inclusive: false,
