@@ -1,6 +1,6 @@
 //! Hot-path throughput bench: `cargo bench -p icp-bench --bench hotpath`.
 //!
-//! Self-contained harness (no external bench framework): runs the fourteen
+//! Self-contained harness (no external bench framework): runs the sixteen
 //! tracked scenarios from `icp_experiments::hotpath` several times and
 //! reports best/median accesses-per-second. The canonical tracked numbers
 //! come from `cargo run --release --bin bench_hotpath`, which writes
@@ -10,7 +10,7 @@
 use icp_experiments::hotpath::{
     gen_only, gen_packed, interleaved_4t, l2_miss_prefetch, pipeline_4t, pipeline_packed,
     sharded_4t, sharded_packed_4t, single_access, sliced_16t, sliced_16t_serial, sliced_64t,
-    sweep_axis, sweep_axis_warm, HotpathResult,
+    suite_figures, suite_figures_warm, sweep_axis, sweep_axis_warm, HotpathResult,
 };
 
 const EVENTS_PER_THREAD: usize = 500_000;
@@ -43,4 +43,6 @@ fn main() {
     bench("sliced_64t", sliced_64t);
     bench("sweep_axis", sweep_axis);
     bench("sweep_axis_warm", sweep_axis_warm);
+    bench("suite_figures", suite_figures);
+    bench("suite_figures_warm", suite_figures_warm);
 }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod budget;
 pub mod cache;
 pub mod config;
 pub mod l2;
@@ -46,6 +47,7 @@ pub mod trace;
 pub mod umon;
 pub mod victim;
 
+pub use budget::{CoreBudget, Lease};
 pub use config::{CacheConfig, L2Geometry, LatencyConfig, LlcConfig, SystemConfig};
 pub use l2::{EnforcementKind, PartitionMode, PartitionedL2, ReplacementKind};
 pub use packed::{PackedBlock, PackedReplayStream, PackedTrace};

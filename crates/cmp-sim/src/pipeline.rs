@@ -52,12 +52,12 @@ pub const DEFAULT_DEPTH: usize = 2;
 /// enum APIs (`next_event`/`fill_batch`) decode the same blocks in place,
 /// one pass, with no intermediate buffer.
 ///
-/// On hosts without headroom for producer threads
-/// ([`std::thread::available_parallelism`] < 2 — producers would only
-/// time-slice against the consumer and lose to inline generation),
-/// [`PipelinedStream::spawn`] degrades to a thread-free wrapper that
-/// generates inline on demand. The delivered event sequence is identical
-/// either way; only where generation runs changes.
+/// When the process core budget ([`crate::budget`]) has no spare token —
+/// producers would only time-slice against the consumer and lose to
+/// inline generation — [`PipelinedStream::spawn`] degrades to a
+/// thread-free wrapper that generates inline on demand. The delivered
+/// event sequence is identical either way; only where generation runs
+/// changes.
 ///
 /// # Examples
 ///
@@ -103,17 +103,19 @@ impl std::fmt::Debug for PipelinedStream {
 
 impl PipelinedStream {
     /// Moves `stream`'s generation onto a producer thread with default
-    /// batch size and channel depth — unless the host has no parallelism
-    /// to spend ([`std::thread::available_parallelism`] < 2), in which
+    /// batch size and channel depth — unless the process core budget
+    /// ([`crate::budget`]) has no spare token for the producer, in which
     /// case the stream is wrapped inline instead (same events, no thread),
-    /// so pipelining never loses to serial generation on small hosts.
+    /// so pipelining never loses to serial generation on busy or small
+    /// hosts. A granted token rides with the producer thread and returns
+    /// to the pool at the join boundary (when the stream drops).
     #[deterministic]
     pub fn spawn<S: AccessStream + Send + 'static>(stream: S) -> Self {
-        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if host < 2 {
+        let lease = crate::budget::current().lease(1);
+        if lease.tokens() == 0 {
             return PipelinedStream::inline(stream);
         }
-        PipelinedStream::spawn_with(stream, DEFAULT_BATCH, DEFAULT_DEPTH)
+        PipelinedStream::spawn_with_lease(stream, DEFAULT_BATCH, DEFAULT_DEPTH, Some(lease))
     }
 
     /// The thread-free fallback behind [`Self::spawn`]: wraps `stream`
@@ -135,11 +137,24 @@ impl PipelinedStream {
 
     /// [`Self::spawn`] with explicit knobs. `batch` and `depth` are clamped
     /// to at least 1; tiny values are valid (the deadlock regression tests
-    /// run `batch = depth = 1`) just slow.
+    /// run `batch = depth = 1`) just slow. Spawns unconditionally — budget
+    /// arbitration lives in [`Self::spawn`]; explicit-knob callers opt out.
     pub fn spawn_with<S: AccessStream + Send + 'static>(
+        stream: S,
+        batch: usize,
+        depth: usize,
+    ) -> Self {
+        Self::spawn_with_lease(stream, batch, depth, None)
+    }
+
+    /// Shared producer-thread construction: the optional core-token lease
+    /// is moved into the producer closure so it is returned exactly when
+    /// the producer exits (the join boundary).
+    fn spawn_with_lease<S: AccessStream + Send + 'static>(
         mut stream: S,
         batch: usize,
         depth: usize,
+        lease: Option<crate::budget::Lease>,
     ) -> Self {
         let batch = batch.max(1);
         let depth = depth.max(1);
@@ -151,6 +166,9 @@ impl PipelinedStream {
             let _ = tx_empty.send(PackedBlock::with_capacity(batch));
         }
         let handle = std::thread::spawn(move || {
+            // The producer holds its core token for its whole lifetime;
+            // dropping it here returns the token at the join boundary.
+            let _token = lease;
             // Ends when the stream finishes or the consumer hangs up
             // (either channel end dropped).
             while let Ok(mut block) = rx_empty.recv() {

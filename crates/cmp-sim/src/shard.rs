@@ -183,15 +183,16 @@ impl ShardedSimulator {
         Self::with_mode(cfg, streams, shards, false)
     }
 
-    /// Builds a parallel sharded simulator sized from
-    /// [`std::thread::available_parallelism`], clamped to the L2 set count
-    /// (one set per slice is the finest useful decomposition). Falls back
-    /// to one shard — the exact serial machine — when the host parallelism
-    /// is unknown or 1.
+    /// Builds a parallel sharded simulator sized from the process core
+    /// budget ([`crate::budget`]: `--jobs` / `ICP_CORES` / host cores),
+    /// clamped to the L2 set count (one set per slice is the finest useful
+    /// decomposition). Falls back to one shard — the exact serial machine —
+    /// at a budget of 1. Note the budget total picks the *decomposition*
+    /// here; how many worker threads each interval actually gets is leased
+    /// separately in [`ShardedSimulator::run_interval`].
     #[deterministic]
     pub fn auto<S: AccessStream>(cfg: SystemConfig, streams: Vec<S>) -> Self {
-        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let shards = host.clamp(1, cfg.l2.num_sets() as usize);
+        let shards = crate::budget::current().total().clamp(1, cfg.l2.num_sets() as usize);
         Self::new(cfg, streams, shards)
     }
 
@@ -377,28 +378,26 @@ impl ShardedSimulator {
     /// Runs every shard to its next interval boundary — concurrently in
     /// parallel mode — and merges the per-shard reports in shard order.
     /// Returns `None` once the workload has completed.
+    ///
+    /// Parallel mode means *allowed* to use worker threads: each interval
+    /// leases its extra workers from the process core budget
+    /// ([`crate::budget`]) and returns them at the merge barrier, so a
+    /// busy machine degrades this engine to the bit-identical serial walk
+    /// while a draining outer pool lets later intervals widen again.
     #[deterministic]
     pub fn run_interval(&mut self) -> Option<IntervalReport> {
         if self.done {
             return None;
         }
         let reports: Vec<Option<IntervalReport>> = if self.parallel && self.shards.len() > 1 {
-            std::thread::scope(|scope| {
-                let workers: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .map(|s| scope.spawn(move || s.run_interval()))
-                    .collect();
-                // Joining in spawn (= shard) order makes the collected
-                // sequence independent of completion order.
-                workers
-                    .into_iter()
-                    .map(|w| match w.join() {
-                        Ok(r) => r,
-                        Err(panic) => std::panic::resume_unwind(panic),
-                    })
-                    .collect()
-            })
+            // Lease per interval; the guard drops at the merge boundary.
+            let lease = crate::budget::current().lease(self.shards.len() - 1);
+            let workers = 1 + lease.tokens();
+            if workers > 1 {
+                run_shard_chunks(&mut self.shards, workers)
+            } else {
+                self.shards.iter_mut().map(|s| s.run_interval()).collect()
+            }
         } else {
             self.shards.iter_mut().map(|s| s.run_interval()).collect()
         };
@@ -471,6 +470,56 @@ impl ShardedSimulator {
         self.interval_index += 1;
         Some(report)
     }
+}
+
+/// Runs one interval of every shard on `workers` threads: the calling
+/// thread takes the first contiguous chunk of shards, `workers - 1`
+/// scoped workers take the rest, and the per-chunk report vectors are
+/// concatenated in chunk (= shard) order. Bit-identical to the serial
+/// walk and to one-thread-per-shard execution because each shard still
+/// advances exactly one interval, independently — chunking only decides
+/// which OS thread hosts which shard.
+fn run_shard_chunks(
+    shards: &mut [Simulator<PackedReplayStream>],
+    workers: usize,
+) -> Vec<Option<IntervalReport>> {
+    let n = shards.len();
+    let workers = workers.clamp(1, n);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut rest = shards;
+    let mut chunks: Vec<&mut [Simulator<PackedReplayStream>]> = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let take = base + usize::from(i < extra);
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push(head);
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        let mut iter = chunks.into_iter();
+        let mine = iter.next();
+        let handles: Vec<_> = iter
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk.iter_mut().map(|s| s.run_interval()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut reports: Vec<Option<IntervalReport>> = Vec::with_capacity(n);
+        // The calling thread works its own chunk while the workers run.
+        if let Some(chunk) = mine {
+            reports.extend(chunk.iter_mut().map(|s| s.run_interval()));
+        }
+        // Joining in spawn (= shard-chunk) order makes the concatenated
+        // sequence independent of completion order.
+        for h in handles {
+            match h.join() {
+                Ok(part) => reports.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        reports
+    })
 }
 
 impl Measurable for ShardedSimulator {

@@ -153,19 +153,21 @@ pub struct Llc {
 impl Llc {
     /// Builds a sliced-LLC machine from `cfg` (slice count taken from
     /// `cfg.llc`), run slice-parallel on scoped worker threads — unless
-    /// the host has fewer than two cores, where worker threads could only
+    /// the process core budget ([`crate::budget`]: `--jobs` / `ICP_CORES`
+    /// / host cores) is a single core, where worker threads could only
     /// time-slice against each other and the machine degrades to the
     /// (bit-identical) in-order serial engine instead, exactly as
     /// [`PipelinedStream`](crate::pipeline::PipelinedStream) degrades to
-    /// inline generation. Use [`Llc::with_mode`] to force either mode.
+    /// inline generation. Parallel mode itself is arbitrated per interval:
+    /// each interval leases its workers from the budget and returns them
+    /// at the merge barrier. Use [`Llc::with_mode`] to force either mode.
     ///
     /// # Panics
     /// Panics if the config is invalid or the stream count doesn't match
     /// `cfg.cores`.
     #[deterministic]
     pub fn new<S: AccessStream>(cfg: SystemConfig, streams: Vec<S>) -> Self {
-        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self::with_mode(cfg, streams, host >= 2)
+        Self::with_mode(cfg, streams, crate::budget::current().total() >= 2)
     }
 
     /// Like [`Llc::new`], but every slice interval runs on the calling

@@ -9,14 +9,21 @@
 //! cargo run --release --bin bench_hotpath -- --only sharded --events 2000 --out smoke.json
 //! ```
 //!
-//! A normal run re-measures the fourteen scenarios and rewrites the
+//! A normal run re-measures the sixteen scenarios and rewrites the
 //! `current` section while carrying the `baseline` section over from the
 //! existing file, so the pre-optimisation numbers stay recorded alongside
 //! every later measurement. `--set-baseline` (re)captures the baseline
 //! section instead — run it once before a performance change, then compare
 //! with a plain run afterwards.
 //!
-//! Schema `icp-bench-hotpath/v6` adds the sliced-LLC machine scenarios
+//! Schema `icp-bench-hotpath/v7` adds the core-budget scheduler scenarios
+//! (`suite_figures`, `suite_figures_warm`): one whole figure pass (9
+//! benchmarks × 4 schemes at experiment test scale, `--events` ignored)
+//! through the LPT token-arbitrated scheduler, cold vs pre-populated
+//! caches, plus per-scenario `utilization` and `peak_threads` stats (0
+//! where no outer pool runs). `--jobs N` caps the process core budget for
+//! the run (equivalent to `ICP_CORES=N`); results are bit-identical at
+//! every budget. v6 added the sliced-LLC machine scenarios
 //! (`sliced_16t`, `sliced_16t_serial`, `sliced_64t`): 16 threads on a
 //! 4-slice and 64 threads on an 8-slice address-hashed LLC, slice-parallel
 //! vs the in-order serial reference (digest bit-identical; the throughput
@@ -59,7 +66,10 @@ fn default_out_path() -> PathBuf {
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: bench_hotpath [--set-baseline] [--events N] [--repeats N] [--out PATH] [--only SUBSTR]");
+    eprintln!(
+        "usage: bench_hotpath [--set-baseline] [--events N] [--repeats N] [--out PATH] \
+         [--only SUBSTR] [--jobs N]"
+    );
     std::process::exit(2);
 }
 
@@ -98,6 +108,14 @@ fn main() {
                     argv.next().unwrap_or_else(|| usage_error("--only takes a substring")),
                 );
             }
+            "--jobs" => {
+                let n: usize = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage_error("--jobs takes a positive integer"));
+                icp_experiments::sched::budget::configure_total(n);
+            }
             other => usage_error(&format!("unknown argument: {other}")),
         }
     }
@@ -132,7 +150,7 @@ fn main() {
     };
 
     let mut pairs = vec![
-        ("schema".to_string(), Json::str("icp-bench-hotpath/v6")),
+        ("schema".to_string(), Json::str("icp-bench-hotpath/v7")),
         ("events_per_thread".to_string(), Json::u64(events as u64)),
     ];
     if let Some(b) = baseline {

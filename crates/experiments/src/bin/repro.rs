@@ -13,11 +13,23 @@
 //!                              # simulation results (e.g. results/cache/),
 //!                              # --assert-warm fails unless everything hit
 //! repro prediction [--max-mean-error PCT]  # fast-path error figure + gate
+//! repro suite [--assert-warm]  # one cold + one warm figure pass through the
+//!                              # core-budget scheduler, with utilization and
+//!                              # peak-thread stats; --assert-warm fails unless
+//!                              # the warm pass simulated nothing
+//! repro sched-bench [--min-speedup X] [--repeats N]
+//!                              # scheduled vs flat-pool suite pass at an 8x8
+//!                              # topology: asserts bit-identical digests and
+//!                              # (optionally) a cold wall-clock speedup floor
 //!
 //! options (apply to any command):
 //!   --seed N        master seed (default: fixed)
 //!   --cores N       simulated cores/threads (default 4)
 //!   --scale test|figure   workload length (default figure)
+//!   --jobs N        core budget for this process (like ICP_CORES=N): every
+//!                   thread — suite workers, slice/shard workers, pipeline
+//!                   producers — is leased from this pool; results are
+//!                   bit-identical at every value
 //! ```
 
 use std::fs;
@@ -57,6 +69,15 @@ fn take_option(args: &mut Vec<String>, flag: &str) -> Option<String> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
+    if let Some(jobs) = take_option(&mut args, "--jobs") {
+        let n: usize = jobs.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--jobs expects a positive integer");
+            std::process::exit(2);
+        });
+        // Must win the race with first use: nothing parallel has run yet.
+        icp_experiments::sched::budget::configure_total(n);
+    }
+
     let mut cfg = ExperimentConfig::quick();
     if let Some(seed) = take_option(&mut args, "--seed") {
         cfg.seed = seed.parse().unwrap_or_else(|_| {
@@ -90,8 +111,8 @@ fn main() {
 
     if args.is_empty() {
         eprintln!(
-            "usage: repro [all|scorecard|eight-plus|calibrate|fig2|fig3|...|fig22|dump <bench> <scheme> [cores]]\n\
-             options: --seed N  --cores N  --scale test|figure|paper"
+            "usage: repro [all|scorecard|eight-plus|calibrate|suite|sched-bench|fig2|fig3|...|fig22|dump <bench> <scheme> [cores]]\n\
+             options: --seed N  --cores N  --scale test|figure|paper  --jobs N"
         );
         return;
     }
@@ -254,6 +275,115 @@ fn main() {
                 "[repro] prediction gate passed: mean error {:.1}% <= {limit}%",
                 errors.mean_pct()
             );
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "suite") {
+        let assert_warm = args.iter().any(|a| a == "--assert-warm");
+        let cache = icp_experiments::ResultCache::shared();
+        let cfg = cfg.with_result_cache(cache.clone()).with_default_trace_cache();
+        let budget = icp_experiments::sched::budget::current();
+        eprintln!(
+            "[repro] cold figure pass through the core-budget scheduler (budget {}) ...",
+            budget.total()
+        );
+        let (cold_data, cold) = SuiteData::collect_with_stats(&cfg);
+        eprintln!(
+            "[repro] cold: {:.3}s, {} jobs on {} workers, peak {} threads, {:.0}% utilization",
+            cold.elapsed_secs,
+            cold.jobs,
+            cold.workers,
+            cold.peak_threads,
+            cold.utilization * 100.0
+        );
+        let cold_sims = cache.simulations();
+        eprintln!("[repro] warm figure pass (same caches) ...");
+        let (warm_data, warm) = SuiteData::collect_with_stats(&cfg);
+        eprintln!(
+            "[repro] warm: {:.3}s, {} simulations (cold pass ran {})",
+            warm.elapsed_secs,
+            cache.simulations() - cold_sims,
+            cold_sims
+        );
+        if warm_data.digest() != cold_data.digest() {
+            eprintln!("[repro] suite failed: warm digest differs from cold");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] digest {:016x} (cold == warm)", cold_data.digest());
+        if assert_warm && (cache.simulations() != cold_sims || cache.hits() == 0) {
+            eprintln!("[repro] --assert-warm failed: expected every warm run to come from the cache");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "sched-bench") {
+        let min_speedup = take_option(&mut args, "--min-speedup").map(|v| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("--min-speedup expects a number");
+                std::process::exit(2);
+            })
+        });
+        let repeats: usize = take_option(&mut args, "--repeats")
+            .map(|v| {
+                v.parse().ok().filter(|&n: &usize| n > 0).unwrap_or_else(|| {
+                    eprintln!("--repeats expects a positive integer");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(2);
+        // The inner-parallelism stress topology: 8 cores × 8 LLC slices, so
+        // every cell of the 9 × 4 suite matrix wants slice workers and
+        // pipeline producers of its own. The flat baseline gives each cell a
+        // private full-size budget (the pre-arbiter oversubscription); the
+        // scheduled pass arbitrates everything against one pool.
+        let mut bcfg = cfg.with_topology(8, 8);
+        let per_thread = 12_000.0 * 10.0 * bcfg.scale.factor();
+        bcfg.system.interval_instructions =
+            ((per_thread * bcfg.system.cores as f64) / 50.0).max(1_000.0) as u64;
+        let budget = icp_experiments::sched::budget::current();
+        eprintln!(
+            "[repro] sched-bench: flat pool vs core-budget scheduler, budget {}, best of {repeats} ...",
+            budget.total()
+        );
+        let mut flat_best = f64::INFINITY;
+        let mut sched_best = f64::INFINITY;
+        let mut digests: Vec<u64> = Vec::new();
+        for round in 0..repeats {
+            // Cold passes: every round gets fresh trace/result caches.
+            let t0 = std::time::Instant::now();
+            let flat_data = SuiteData::collect_flat(&bcfg);
+            let flat_secs = t0.elapsed().as_secs_f64();
+            flat_best = flat_best.min(flat_secs);
+            let (sched_data, stats) = SuiteData::collect_with_stats(&bcfg);
+            sched_best = sched_best.min(stats.elapsed_secs);
+            eprintln!(
+                "[repro]   round {}: flat {:.3}s, scheduled {:.3}s (peak {} threads, {:.0}% utilization)",
+                round + 1,
+                flat_secs,
+                stats.elapsed_secs,
+                stats.peak_threads,
+                stats.utilization * 100.0
+            );
+            digests.push(flat_data.digest());
+            digests.push(sched_data.digest());
+        }
+        if digests.windows(2).any(|w| w[0] != w[1]) {
+            eprintln!("[repro] sched-bench failed: digests differ across passes {digests:016x?}");
+            std::process::exit(1);
+        }
+        let speedup = flat_best / sched_best;
+        eprintln!(
+            "[repro] digest {:016x} across all passes; cold speedup {speedup:.2}x (flat {flat_best:.3}s / scheduled {sched_best:.3}s)",
+            digests[0]
+        );
+        if let Some(floor) = min_speedup {
+            if speedup < floor {
+                eprintln!("[repro] sched-bench gate failed: speedup {speedup:.2}x < {floor}x");
+                std::process::exit(1);
+            }
+            eprintln!("[repro] sched-bench gate passed: speedup {speedup:.2}x >= {floor}x");
         }
         return;
     }

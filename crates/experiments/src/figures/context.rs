@@ -4,8 +4,8 @@
 use icp_core::ExecutionOutcome;
 use icp_workloads::{suite, BenchmarkSpec};
 
-use crate::parallel::parallel_map;
 use crate::runner::{ExperimentConfig, Scheme};
+use crate::sched::{self, SchedStats};
 
 /// Outcomes of the whole suite under the four principal schemes.
 pub struct SuiteData {
@@ -23,27 +23,70 @@ pub struct SuiteData {
 
 impl SuiteData {
     /// Runs all 9 benchmarks under all 4 principal schemes (36 simulations,
-    /// parallel across OS threads). Each workload is generated exactly once:
-    /// a trace cache is attached if the caller didn't bring one, so the
-    /// other 27 runs replay packed traces zero-copy. A result cache is
-    /// likewise attached if absent — callers that bring a shared
+    /// fanned over budget-leased workers). Each workload is generated
+    /// exactly once: a trace cache is attached if the caller didn't bring
+    /// one, so the other 27 runs replay packed traces zero-copy. A result
+    /// cache is likewise attached if absent — callers that bring a shared
     /// [`crate::result_cache::ResultCache`] get whole-matrix reuse: a warm
     /// rerun performs zero simulations (pinned by a `result_cache` test).
     pub fn collect(cfg: &ExperimentConfig) -> SuiteData {
+        Self::collect_with_stats(cfg).0
+    }
+
+    /// [`Self::collect`] returning the scheduler statistics of the pass.
+    ///
+    /// Jobs go to the LPT queue with an estimated cost of
+    /// [`sched::job_cost`], with the first-scheme cell of every benchmark
+    /// weighted ×[`GENERATION_WEIGHT`]: those 9 cells pay the one-time
+    /// trace generation for their benchmark, so ordering them first (a)
+    /// overlaps the 9 generations with each other across workers and (b)
+    /// overlaps them with simulation of already-generated benchmarks —
+    /// instead of every worker piling onto the first benchmark's cells
+    /// and waiting on its trace-cache slot.
+    pub fn collect_with_stats(cfg: &ExperimentConfig) -> (SuiteData, SchedStats) {
         let cfg = &cfg.with_default_trace_cache().with_default_result_cache();
         let benches = suite::all();
-        let schemes = [
-            Scheme::Shared,
-            Scheme::StaticEqual,
-            Scheme::ModelBased,
-            Scheme::UcpThroughput,
-        ];
-        let jobs: Vec<(usize, Scheme)> = benches
+        let jobs = Self::jobs(&benches);
+        let (outs, stats) = sched::weighted_map_stats(
+            jobs,
+            |(i, s)| {
+                let base = sched::job_cost(&benches[*i], cfg);
+                if *s == Self::SCHEMES[0] { base.saturating_mul(GENERATION_WEIGHT) } else { base }
+            },
+            |(i, s)| cfg.run(&benches[*i], s),
+        );
+        (Self::demux(benches, outs), stats)
+    }
+
+    /// [`Self::collect`] through the pre-arbiter flat pool
+    /// ([`sched::flat_map_unarbitrated`]) — the `sched-bench` baseline.
+    /// Results are bit-identical to [`Self::collect`]; only wall-clock
+    /// and thread behaviour differ.
+    pub fn collect_flat(cfg: &ExperimentConfig) -> SuiteData {
+        let cfg = &cfg.with_default_trace_cache().with_default_result_cache();
+        let benches = suite::all();
+        let jobs = Self::jobs(&benches);
+        let outs = sched::flat_map_unarbitrated(jobs, |(i, s)| cfg.run(&benches[*i], s));
+        Self::demux(benches, outs)
+    }
+
+    /// The four principal schemes, in figure (and demux) order.
+    const SCHEMES: [Scheme; 4] = [
+        Scheme::Shared,
+        Scheme::StaticEqual,
+        Scheme::ModelBased,
+        Scheme::UcpThroughput,
+    ];
+
+    fn jobs(benches: &[BenchmarkSpec]) -> Vec<(usize, Scheme)> {
+        benches
             .iter()
             .enumerate()
-            .flat_map(|(i, _)| schemes.iter().cloned().map(move |s| (i, s)))
-            .collect();
-        let outs = parallel_map(jobs, |(i, s)| cfg.run(&benches[*i], s));
+            .flat_map(|(i, _)| Self::SCHEMES.iter().cloned().map(move |s| (i, s)))
+            .collect()
+    }
+
+    fn demux(benches: Vec<BenchmarkSpec>, outs: Vec<ExecutionOutcome>) -> SuiteData {
         let mut shared = Vec::new();
         let mut equal = Vec::new();
         let mut dynamic = Vec::new();
@@ -63,7 +106,36 @@ impl SuiteData {
     pub fn names(&self) -> Vec<&'static str> {
         self.benches.iter().map(|b| b.name).collect()
     }
+
+    /// Order-fixed fold of every outcome's counters (same shape as the
+    /// [`crate::result_cache::CacheTotals`] digest): bit-identical suite
+    /// results ⇔ equal digests, regardless of how the pass was scheduled.
+    pub fn digest(&self) -> u64 {
+        let mut d = 0u64;
+        // ORDER: scheme-major then bench order — fixed by construction.
+        for outs in [&self.shared, &self.equal, &self.dynamic, &self.ucp] {
+            for out in outs.iter() {
+                let mut acc = out.wall_cycles;
+                for c in &out.thread_totals {
+                    acc = acc.wrapping_mul(1_000_003).wrapping_add(
+                        c.active_cycles
+                            .wrapping_mul(31)
+                            .wrapping_add(c.l2_misses)
+                            .wrapping_add(c.l2_hits.wrapping_mul(7)),
+                    );
+                }
+                d = d.wrapping_mul(1_000_003).wrapping_add(acc);
+            }
+        }
+        d
+    }
 }
+
+/// Cost multiplier for the one cell per benchmark that pays trace
+/// generation (the first scheme to request a workload generates; the
+/// other three replay). Generation dominates a cold cell's cost, so the
+/// LPT queue should front-load these nine cells.
+const GENERATION_WEIGHT: u64 = 6;
 
 /// Shared test fixture: one suite collection at test scale for the whole
 /// crate's test binary (collection is by far the most expensive step).

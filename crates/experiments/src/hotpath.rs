@@ -56,6 +56,16 @@
 //!   result cache: zero simulations, pure cache reuse. Digest bit-identical
 //!   to `sweep_axis` (same cached outcomes either way); the cold→warm
 //!   `host_secs` drop is the result cache's tracked speedup.
+//! * `suite_figures` — the whole figure pass (9 benchmarks × 4 schemes)
+//!   through the core-budget scheduler ([`crate::sched`]): LPT-ordered
+//!   jobs on budget-leased workers, trace generation overlapped with
+//!   simulation, inner slice/shard/pipeline parallelism arbitrated
+//!   against the same token pool. Counters and digest come from the
+//!   result-cache totals (machine-independent); `utilization` and
+//!   `peak_threads` report what the scheduler actually used.
+//! * `suite_figures_warm` — the same pass against pre-populated caches:
+//!   zero simulations, pure scheduling overhead. Digest bit-identical to
+//!   `suite_figures`.
 //!
 //! The `bench_hotpath` binary runs these and records the numbers in
 //! `BENCH_hotpath.json` at the repository root so subsequent changes have a
@@ -79,7 +89,8 @@ pub struct HotpathResult {
     /// Scenario name (`single_access`, `l2_miss_prefetch`,
     /// `interleaved_4t`, `gen_only`, `gen_packed`, `pipeline_4t`,
     /// `pipeline_packed`, `sharded_4t`, `sharded_packed_4t`, `sliced_16t`,
-    /// `sliced_16t_serial`, `sliced_64t`, `sweep_axis`, `sweep_axis_warm`).
+    /// `sliced_16t_serial`, `sliced_64t`, `sweep_axis`, `sweep_axis_warm`,
+    /// `suite_figures`, `suite_figures_warm`).
     pub name: &'static str,
     /// Simulator shards (set stripes or LLC slices / worker threads): 1
     /// for the serial simulator, the pinned shard or slice count for
@@ -101,6 +112,12 @@ pub struct HotpathResult {
     /// versions — this is what lets the JSON trajectory double as a
     /// regression check on simulator semantics.
     pub digest: u64,
+    /// Fraction of the scenario's worker wall-clock spent inside jobs
+    /// (scheduler scenarios only; 0 where no outer pool runs).
+    pub utilization: f64,
+    /// Peak live threads observed via the core-budget watermark over the
+    /// scenario (0 when the budget saw no leases).
+    pub peak_threads: u32,
 }
 
 impl HotpathResult {
@@ -126,6 +143,8 @@ impl HotpathResult {
             ("events_per_sec", Json::Num(self.events_per_sec().round())),
             ("digest", Json::u64(self.digest)),
             ("shards", Json::u64(self.shards as u64)),
+            ("utilization", Json::Num((self.utilization * 1_000.0).round() / 1_000.0)),
+            ("peak_threads", Json::u64(self.peak_threads as u64)),
         ])
     }
 }
@@ -170,6 +189,8 @@ fn run_scenario<M: perf::Measurable>(name: &'static str, shards: u32, mut sim: M
         sim_cycles: sim.wall_cycles(),
         host_secs: report.host_secs,
         digest,
+        utilization: 0.0,
+        peak_threads: 0,
     }
 }
 
@@ -266,6 +287,8 @@ fn gen_result(name: &'static str, per_thread: &[(u64, u64, u64)], host_secs: f64
         sim_cycles: 0,
         host_secs,
         digest,
+        utilization: 0.0,
+        peak_threads: 0,
     }
 }
 
@@ -556,6 +579,8 @@ fn sweep_axis_run(name: &'static str, warm: bool) -> HotpathResult {
         sim_cycles: totals.sim_cycles,
         host_secs,
         digest: totals.digest,
+        utilization: 0.0,
+        peak_threads: 0,
     }
 }
 
@@ -571,6 +596,58 @@ pub fn sweep_axis(_events_per_thread: usize) -> HotpathResult {
 /// [`sweep_axis`].
 pub fn sweep_axis_warm(_events_per_thread: usize) -> HotpathResult {
     sweep_axis_run("sweep_axis_warm", true)
+}
+
+/// The scheduler-path scenario: one whole figure pass (9 benchmarks × 4
+/// schemes, [`crate::figures::context::SuiteData::collect_with_stats`]) at
+/// experiment test scale through the core-budget scheduler — LPT job
+/// order, budget-leased outer workers, generation overlapped with
+/// simulation, inner engines arbitrated against the same token pool. Like
+/// [`sweep_axis_run`], the suite sizes its own workloads from the
+/// experiment scale (`--events` does not apply), and counters plus the
+/// behavioural digest come from the result-cache totals, folded in key
+/// order — machine- and schedule-independent. `utilization` and
+/// `peak_threads` come from the pass's [`crate::sched::SchedStats`].
+fn suite_figures_run(name: &'static str, warm: bool) -> HotpathResult {
+    let cache = crate::result_cache::ResultCache::shared();
+    let cfg = crate::runner::ExperimentConfig::test()
+        .with_result_cache(std::sync::Arc::clone(&cache))
+        .with_default_trace_cache();
+    if warm {
+        // Untimed priming pass: fills the trace and result caches so the
+        // timed pass below performs zero simulations.
+        let _ = crate::figures::context::SuiteData::collect(&cfg);
+    }
+    let start = Instant::now();
+    let (_, sched_stats) = crate::figures::context::SuiteData::collect_with_stats(&cfg);
+    let host_secs = start.elapsed().as_secs_f64();
+    let totals = cache.totals();
+    HotpathResult {
+        name,
+        shards: 1,
+        accesses: totals.accesses,
+        events: totals.accesses,
+        instructions: totals.instructions,
+        sim_cycles: totals.sim_cycles,
+        host_secs,
+        digest: totals.digest,
+        utilization: sched_stats.utilization,
+        peak_threads: sched_stats.peak_threads as u32,
+    }
+}
+
+/// The cold scheduler path: the full figure pass simulated from scratch
+/// under the core-budget scheduler. See [`suite_figures_run`] for why
+/// `events_per_thread` is unused.
+pub fn suite_figures(_events_per_thread: usize) -> HotpathResult {
+    suite_figures_run("suite_figures", false)
+}
+
+/// The warm scheduler path: the identical figure pass served entirely
+/// from pre-populated caches — zero simulations, pure scheduling
+/// overhead. Digest bit-identical to [`suite_figures`].
+pub fn suite_figures_warm(_events_per_thread: usize) -> HotpathResult {
+    suite_figures_run("suite_figures_warm", true)
 }
 
 /// A registry entry: scenario name plus its runner.
@@ -593,19 +670,32 @@ pub const SCENARIOS: &[Scenario] = &[
     ("sliced_64t", sliced_64t),
     ("sweep_axis", sweep_axis),
     ("sweep_axis_warm", sweep_axis_warm),
+    ("suite_figures", suite_figures),
+    ("suite_figures_warm", suite_figures_warm),
 ];
 
 /// Runs the scenarios whose names contain `filter` (all of them when
-/// `None`) at the given scale, in registry order.
+/// `None`) at the given scale, in registry order. Each scenario runs
+/// against a freshly-reset budget watermark; scenarios that don't report
+/// a peak themselves get the watermark reading (inner engine leases show
+/// up there even without an outer pool).
 pub fn run_matching(events_per_thread: usize, filter: Option<&str>) -> Vec<HotpathResult> {
     SCENARIOS
         .iter()
         .filter(|(name, _)| filter.is_none_or(|f| name.contains(f)))
-        .map(|(_, scenario)| scenario(events_per_thread))
+        .map(|(_, scenario)| {
+            let bud = crate::sched::budget::current();
+            bud.reset_watermark();
+            let mut r = scenario(events_per_thread);
+            if r.peak_threads == 0 {
+                r.peak_threads = bud.peak_threads() as u32;
+            }
+            r
+        })
         .collect()
 }
 
-/// Runs all fourteen scenarios at the given scale.
+/// Runs all sixteen scenarios at the given scale.
 pub fn run_all(events_per_thread: usize) -> Vec<HotpathResult> {
     run_matching(events_per_thread, None)
 }
@@ -739,6 +829,21 @@ mod tests {
         let r = sliced_64t(200);
         assert_eq!(r.shards, 8);
         assert!(r.accesses > 0 && r.sim_cycles > 0);
+    }
+
+    #[test]
+    fn suite_figures_warm_matches_cold() {
+        // The acceptance property of the scheduler scenarios: a warm pass
+        // serves the identical outcome matrix from the caches, so every
+        // counter and the behavioural digest match the cold pass.
+        let cold = suite_figures(0);
+        let warm = suite_figures_warm(0);
+        assert_eq!(warm.digest, cold.digest);
+        assert_eq!(warm.accesses, cold.accesses);
+        assert_eq!(warm.instructions, cold.instructions);
+        assert_eq!(warm.sim_cycles, cold.sim_cycles);
+        assert!(cold.sim_cycles > 0);
+        assert!(cold.utilization >= 0.0 && cold.utilization <= 1.0);
     }
 
     #[test]

@@ -20,9 +20,9 @@ pub mod figures;
 pub mod hotpath;
 pub mod json;
 pub mod miss_model;
-pub mod parallel;
 pub mod result_cache;
 pub mod runner;
+pub mod sched;
 pub mod scorecard;
 pub mod sweeps;
 pub mod table;

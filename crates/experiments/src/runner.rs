@@ -296,14 +296,20 @@ impl ExperimentConfig {
         self.run_inner(bench, scheme, true)
     }
 
-    /// Runs `bench` under several schemes in parallel, preserving order.
+    /// Runs `bench` under several schemes on budget-leased workers,
+    /// preserving order.
     pub fn run_schemes(&self, bench: &BenchmarkSpec, schemes: &[Scheme]) -> Vec<ExecutionOutcome> {
-        crate::parallel::parallel_map(schemes.to_vec(), |s| self.run(bench, s))
+        crate::sched::parallel_map(schemes.to_vec(), |s| self.run(bench, s))
     }
 
-    /// Runs the full suite under one scheme in parallel, preserving order.
+    /// Runs the full suite under one scheme on budget-leased workers in
+    /// longest-first cost order, preserving output order.
     pub fn run_suite(&self, benches: &[BenchmarkSpec], scheme: &Scheme) -> Vec<ExecutionOutcome> {
-        crate::parallel::parallel_map(benches.to_vec(), |b| self.run(b, scheme))
+        crate::sched::weighted_map(
+            benches.to_vec(),
+            |b| crate::sched::job_cost(b, self),
+            |b| self.run(b, scheme),
+        )
     }
 }
 

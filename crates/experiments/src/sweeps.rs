@@ -65,7 +65,7 @@ fn measure_exact(
         (baseline.clone(), Scheme::StaticEqual),
         (point.clone(), Scheme::ModelBased),
     ];
-    let outs = crate::parallel::parallel_map(jobs, |(cfg, s)| cfg.run(bench, s));
+    let outs = crate::sched::parallel_map(jobs, |(cfg, s)| cfg.run(bench, s));
     (
         outs[2].improvement_percent_over(&outs[0]),
         outs[2].improvement_percent_over(&outs[1]),

@@ -20,12 +20,23 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use icp_cmp_sim::stream::AccessStream;
 use icp_cmp_sim::{PackedTrace, SystemConfig};
 use icp_hot_path::deterministic;
 use icp_workloads::{BenchmarkSpec, WorkloadScale};
+
+/// One cache slot: claimed the moment a generator commits to producing a
+/// key, filled when its traces are ready. Waiters on a `Pending` slot
+/// park on the cache condvar instead of generating a duplicate.
+#[derive(Debug)]
+enum Slot {
+    /// Some thread is generating this key right now.
+    Pending,
+    /// Materialised traces, shareable by reference.
+    Ready(Vec<Arc<PackedTrace>>),
+}
 
 /// A thread-safe generate-once store of packed workload traces.
 ///
@@ -34,7 +45,8 @@ use icp_workloads::{BenchmarkSpec, WorkloadScale};
 /// property rather than a hope.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    entries: Mutex<BTreeMap<String, Vec<Arc<PackedTrace>>>>,
+    entries: Mutex<BTreeMap<String, Slot>>,
+    ready: Condvar,
     generations: AtomicU64,
     hits: AtomicU64,
 }
@@ -68,14 +80,17 @@ impl TraceCache {
     /// Returns the packed traces for a workload, generating them on first
     /// use.
     ///
-    /// Generation happens under the cache lock: concurrent requests for
-    /// the same workload never generate twice (the exactly-once guarantee
-    /// the counters assert), at the cost of serialising first-time
-    /// generation across keys — cheap next to the simulations the traces
-    /// feed. Within a key the per-thread streams are materialised by
-    /// parallel producers ([`BenchmarkSpec::pack_streams_parallel`]), each
-    /// writing straight into packed columns; the result is bit-identical
-    /// to sequential recording.
+    /// Generation happens *outside* the cache lock: the first requester
+    /// claims the key with a [`Slot::Pending`] marker, releases the lock,
+    /// generates, and publishes [`Slot::Ready`] — so first-time
+    /// generations of distinct workloads overlap across threads instead
+    /// of serialising on the cache. Concurrent requests for the *same*
+    /// workload park on a condvar until the claimant publishes (the
+    /// exactly-once guarantee the counters assert). Within a key the
+    /// per-thread streams are materialised by budget-leased producers
+    /// ([`BenchmarkSpec::pack_streams_parallel`]), each writing straight
+    /// into packed columns; the result is bit-identical to sequential
+    /// recording.
     #[deterministic]
     pub fn get_or_pack(
         &self,
@@ -85,14 +100,49 @@ impl TraceCache {
         seed: u64,
     ) -> Vec<Arc<PackedTrace>> {
         let key = TraceCache::key(spec, cfg, scale, seed);
-        let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(traces) = map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return traces.clone();
+        {
+            let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match map.get(&key) {
+                    Some(Slot::Ready(traces)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return traces.clone();
+                    }
+                    Some(Slot::Pending) => {
+                        map = self.ready.wait(map).unwrap_or_else(|e| e.into_inner());
+                    }
+                    None => {
+                        // Claim the key; generation happens below, unlocked.
+                        map.insert(key.clone(), Slot::Pending);
+                        break;
+                    }
+                }
+            }
         }
+        // Claim guard: if generation panics, clear the Pending marker and
+        // wake waiters so they can reclaim instead of parking forever.
+        struct Unclaim<'a> {
+            cache: &'a TraceCache,
+            key: &'a str,
+            armed: bool,
+        }
+        impl Drop for Unclaim<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    let mut map =
+                        self.cache.entries.lock().unwrap_or_else(|e| e.into_inner());
+                    map.remove(self.key);
+                    self.cache.ready.notify_all();
+                }
+            }
+        }
+        let mut guard = Unclaim { cache: self, key: &key, armed: true };
         let traces = spec.pack_streams_parallel(cfg, scale, seed, usize::MAX);
+        guard.armed = false;
         self.generations.fetch_add(1, Ordering::Relaxed);
-        map.insert(key, traces.clone());
+        let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        map.insert(key.clone(), Slot::Ready(traces.clone()));
+        self.ready.notify_all();
         traces
     }
 
@@ -121,9 +171,15 @@ impl TraceCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Number of cached workloads.
+    /// Number of cached workloads (materialised entries; in-flight
+    /// claims don't count until published).
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
     }
 
     /// True when nothing has been cached yet.
@@ -137,7 +193,10 @@ impl TraceCache {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .values()
-            .flat_map(|ts| ts.iter())
+            .flat_map(|s| match s {
+                Slot::Ready(ts) => ts.as_slice(),
+                Slot::Pending => &[],
+            })
             .map(|t| t.packed_bytes())
             .sum()
     }

@@ -254,15 +254,17 @@ impl BenchmarkSpec {
             .collect()
     }
 
-    /// [`Self::pack_streams`] with one producer thread per workload thread.
+    /// [`Self::pack_streams`] with generation fanned over producer threads
+    /// leased from the process core budget ([`icp_cmp_sim::budget`]).
     ///
     /// Thread streams are seeded from independent forks of the master RNG,
-    /// so their recordings are order-independent: each OS thread generates
-    /// one stream straight into packed columns, and joining in thread order
-    /// yields exactly the traces `pack_streams` would produce (asserted by
-    /// the `parallel_pack_matches_sequential` test). Wall-clock win is the
-    /// per-thread generation overlap on multicore hosts; results are
-    /// bit-identical regardless of core count.
+    /// so their recordings are order-independent: each producer generates
+    /// a contiguous chunk of streams straight into packed columns, and
+    /// concatenating chunks in thread order yields exactly the traces
+    /// `pack_streams` would produce (asserted by the
+    /// `parallel_pack_matches_sequential` test). Up to `threads - 1` extra
+    /// workers are leased and returned at the join; with a dry pool the
+    /// caller generates everything itself — bit-identical either way.
     ///
     /// # Panics
     /// Same conditions as [`Self::build_streams`].
@@ -281,26 +283,45 @@ impl BenchmarkSpec {
             self.threads.len(),
             cfg.cores
         );
+        let n = self.threads.len();
+        let record = |t: usize| {
+            let mut s = SyntheticStream::new(self, &self.threads[t], t, cfg, scale, seed);
+            Arc::new(PackedTrace::record(&mut s, max_events))
+        };
+        let lease = icp_cmp_sim::budget::current().lease(n.saturating_sub(1));
+        let workers = (1 + lease.tokens()).min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return (0..n).map(record).collect();
+        }
+        // Contiguous chunks of thread indices, one per worker; the caller
+        // works chunk 0 while the leased workers run the rest. Chunk
+        // results concatenated in thread order reproduce the serial output.
+        let base = n / workers;
+        let extra = n % workers;
+        let mut starts = Vec::with_capacity(workers + 1);
+        let mut at = 0;
+        for i in 0..workers {
+            starts.push(at);
+            at += base + usize::from(i < extra);
+        }
+        starts.push(n);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .threads
-                .iter()
-                .enumerate()
-                .map(|(t, ts)| {
-                    scope.spawn(move || {
-                        let mut s = SyntheticStream::new(self, ts, t, cfg, scale, seed);
-                        Arc::new(PackedTrace::record(&mut s, max_events))
-                    })
+            let handles: Vec<_> = (1..workers)
+                .map(|i| {
+                    let range = starts[i]..starts[i + 1];
+                    scope.spawn(move || range.map(record).collect::<Vec<_>>())
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(trace) => trace,
+            let mut traces: Vec<Arc<PackedTrace>> = (starts[0]..starts[1]).map(record).collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => traces.extend(part),
                     Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
+                }
+            }
+            traces
         })
+        // `lease` drops here: tokens return at the join boundary.
     }
 
     /// Re-targets the spec to `n` threads by cycling the existing thread

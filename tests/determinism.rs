@@ -7,9 +7,14 @@
 //! protect, across every delivery path a stream can take into the sharded
 //! engine.
 
+use std::sync::Arc;
+
 use icp::experiments::{ExperimentConfig, Scheme, TraceCache};
+use icp::sim::budget::{self, CoreBudget};
+use icp::sim::config::LlcConfig;
 use icp::sim::l2::equal_split;
 use icp::sim::shard::ShardedSimulator;
+use icp::sim::slice::Llc;
 use icp::sim::stream::AccessStream;
 use icp::sim::{GlobalStats, PipelinedStream, SystemConfig};
 use icp::workloads::{suite, BenchmarkSpec, SyntheticStream, WorkloadScale};
@@ -172,6 +177,118 @@ fn shard_cache_pipeline_matrix_is_digest_identical() {
     }
     assert_eq!(cache.generations(), 1, "one workload, generated exactly once");
     assert_eq!(cache.hits(), 8, "every later matrix cell served warm");
+}
+
+/// Streams for the budget matrix: inline generation, or generation
+/// behind the budget-gated pipelined constructor ([`PipelinedStream::spawn`]
+/// leases a producer token and degrades to inline when the pool is dry).
+fn streams_for(
+    spec: &BenchmarkSpec,
+    cfg: &SystemConfig,
+    pipelined: bool,
+) -> Vec<Box<dyn AccessStream>> {
+    if !pipelined {
+        return spec.build_streams(cfg, WorkloadScale::Test, MATRIX_SEED);
+    }
+    spec.threads
+        .iter()
+        .enumerate()
+        .map(|(t, ts)| {
+            let synth = SyntheticStream::new(spec, ts, t, cfg, WorkloadScale::Test, MATRIX_SEED);
+            Box::new(PipelinedStream::spawn(synth)) as Box<dyn AccessStream>
+        })
+        .collect()
+}
+
+fn run_sliced(mut sim: Llc, cfg: &SystemConfig) -> (u64, GlobalStats) {
+    sim.set_partition(&equal_split(cfg.l2.ways, cfg.cores));
+    while let Some(r) = sim.run_interval() {
+        if r.finished {
+            break;
+        }
+    }
+    (sim.wall_cycles(), sim.stats().clone())
+}
+
+/// Core-budget arbitration must never change results — only where and
+/// when work executes. One workload digested across budget {1, 2, host}
+/// × stream delivery {inline, budget-gated pipelined} × engine
+/// {set-sharded (k = 3), sliced LLC (4 slices)}: within one engine every
+/// cell must match bit for bit. Topologies are pinned explicitly —
+/// the *sizing* helper (`ShardedSimulator::auto`) legitimately follows
+/// the budget, which would change the decomposition, not the guarantee.
+#[test]
+fn budget_invariance_matrix_is_digest_identical() {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let bench = suite::cg();
+    let sharded_cfg = SystemConfig::scaled_down();
+    let mut sliced_cfg = SystemConfig::scaled_down();
+    sliced_cfg.llc = LlcConfig::sliced(4);
+
+    // expected[0]: sharded engine, expected[1]: sliced engine.
+    let mut expected: [Option<(u64, GlobalStats, u64)>; 2] = [None, None];
+    for total in [1usize, 2, host] {
+        for pipelined in [false, true] {
+            let label = if pipelined { "pipelined" } else { "inline" };
+            let cells = budget::scoped(CoreBudget::new(total), || {
+                vec![
+                    (
+                        "sharded",
+                        run_sharded(
+                            ShardedSimulator::new(
+                                sharded_cfg,
+                                streams_for(&bench, &sharded_cfg, pipelined),
+                                3,
+                            ),
+                            &sharded_cfg,
+                        ),
+                    ),
+                    (
+                        "sliced",
+                        run_sliced(
+                            Llc::new(sliced_cfg, streams_for(&bench, &sliced_cfg, pipelined)),
+                            &sliced_cfg,
+                        ),
+                    ),
+                ]
+            });
+            for (i, (engine, (wall, stats))) in cells.into_iter().enumerate() {
+                let d = digest(wall, &stats);
+                match &expected[i] {
+                    None => expected[i] = Some((wall, stats, d)),
+                    Some((w, s, e)) => {
+                        assert_eq!(wall, *w, "budget={total} {label} {engine}: wall diverged");
+                        assert_eq!(&stats, s, "budget={total} {label} {engine}: stats diverged");
+                        assert_eq!(d, *e, "budget={total} {label} {engine}: digest diverged");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The lease watermark bounds live workers: every spawned worker in the
+/// workspace holds a leased token, so even the deepest nesting we have —
+/// pipelined producers feeding a sharded engine — can never exceed the
+/// budget, and every token comes back once the run's leases drop.
+#[test]
+fn thread_peak_never_exceeds_budget() {
+    let cfg = SystemConfig::scaled_down();
+    let bench = suite::ft();
+    for total in [1usize, 2, 3] {
+        let b = CoreBudget::new(total);
+        budget::scoped(Arc::clone(&b), || {
+            let streams = streams_for(&bench, &cfg, true);
+            let (wall, _) = run_sharded(ShardedSimulator::new(cfg, streams, 4), &cfg);
+            assert!(wall > 0);
+        });
+        assert!(
+            b.peak_threads() <= total,
+            "budget={total}: peak {} exceeded the budget",
+            b.peak_threads()
+        );
+        assert_eq!(b.spare(), total - 1, "budget={total}: tokens leaked");
+    }
 }
 
 #[test]
